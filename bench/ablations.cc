@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation studies beyond the paper's figures, exercising the design
+ * choices sections 2.1-3.2 call out:
+ *
+ *   - each optimization family disabled in turn (CP/RA, RLE/SF, branch
+ *     inference, strength reduction, move elimination)
+ *   - MBC capacity sweep (32 / 64 / 128 / 256 entries)
+ *   - flush-on-unknown-store vs. speculate (the paper reports "little
+ *     difference" between the two)
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+namespace {
+
+double
+suiteGeomean(const pipeline::MachineConfig &cfg,
+             const bench::CycleMap &base)
+{
+    std::vector<double> speedups;
+    for (const auto &w : workloads::allWorkloads()) {
+        const auto r = bench::runWorkload(w, cfg);
+        speedups.push_back(double(base.at(w.name)) /
+                           double(r.stats.cycles));
+    }
+    return bench::geomean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto base = bench::runAll(pipeline::MachineConfig::baseline());
+
+    bench::header("Ablation: optimization families (all-workload geomean "
+                  "speedup)");
+    struct Variant
+    {
+        const char *name;
+        core::OptimizerConfig oc;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"full optimizer", core::OptimizerConfig::full()});
+    {
+        auto oc = core::OptimizerConfig::full();
+        oc.enableRleSf = false;
+        variants.push_back({"without RLE/SF", oc});
+    }
+    {
+        auto oc = core::OptimizerConfig::full();
+        oc.enableValueFeedback = false;
+        variants.push_back({"without value feedback", oc});
+    }
+    {
+        auto oc = core::OptimizerConfig::full();
+        oc.enableBranchInference = false;
+        variants.push_back({"without branch inference", oc});
+    }
+    {
+        auto oc = core::OptimizerConfig::full();
+        oc.enableStrengthReduction = false;
+        variants.push_back({"without strength reduction", oc});
+    }
+    {
+        auto oc = core::OptimizerConfig::full();
+        oc.enableMoveElim = false;
+        variants.push_back({"without move elimination", oc});
+    }
+    variants.push_back(
+        {"feedback only", core::OptimizerConfig::feedbackOnly()});
+
+    for (const auto &v : variants) {
+        const auto cfg = pipeline::MachineConfig::withOptimizer(v.oc);
+        std::printf("  %-28s %.3f\n", v.name, suiteGeomean(cfg, base));
+    }
+
+    bench::header("Ablation: Memory Bypass Cache capacity");
+    for (unsigned entries : {32u, 64u, 128u, 256u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.mbc.entries = entries;
+        const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
+        std::printf("  %3u entries: %.3f\n", entries,
+                    suiteGeomean(cfg, base));
+    }
+
+    bench::header("Ablation: unknown-address store policy");
+    {
+        const auto spec = pipeline::MachineConfig::optimized();
+        auto oc = core::OptimizerConfig::full();
+        oc.mbcFlushOnUnknownStore = true;
+        const auto flush = pipeline::MachineConfig::withOptimizer(oc);
+        std::printf("  speculate (default): %.3f\n",
+                    suiteGeomean(spec, base));
+        std::printf("  flush MBC:           %.3f\n",
+                    suiteGeomean(flush, base));
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 12 of the paper: sensitivity to the value-feedback
+ * transmission delay (0, 1, 5, 10 cycles).
+ *
+ * Paper-reported shape: essentially no change across delays -- a
+ * physical register is either referenced by the optimizer for a long
+ * time (so a few cycles of transmission latency are immaterial) or not
+ * referenced at all.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+int
+main()
+{
+    const std::vector<unsigned> delays = {0, 1, 5, 10};
+    const auto base_cfg = pipeline::MachineConfig::baseline();
+
+    bench::header("Figure 12: Value-feedback transmission delay");
+    std::printf("%-12s %10s %10s %10s %10s\n", "Suite", "delay 0",
+                "delay 1", "delay 5", "delay 10");
+    for (const auto &suite : workloads::suiteNames()) {
+        std::vector<std::pair<const workloads::Workload *, uint64_t>> base;
+        for (const auto *w : workloads::suiteWorkloads(suite))
+            base.emplace_back(w, bench::runWorkload(*w, base_cfg)
+                                     .stats.cycles);
+        std::printf("%-12s", suite.c_str());
+        for (unsigned d : delays) {
+            auto cfg = pipeline::MachineConfig::optimized();
+            cfg.vfbDelay = d;
+            std::vector<double> speedups;
+            for (const auto &[w, base_cycles] : base) {
+                const auto r = bench::runWorkload(*w, cfg);
+                speedups.push_back(double(base_cycles) /
+                                   double(r.stats.cycles));
+            }
+            std::printf(" %10.3f", bench::geomean(speedups));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 6 of the paper: speedup of continuous optimization
+ * over the baseline for every SPECint, SPECfp, and mediabench workload,
+ * with a suite average as the rightmost entry.
+ *
+ * Paper-reported shape: speedups range from 0.98 to 1.28; almost every
+ * benchmark improves despite the two extra pipeline stages; mcf and
+ * untoast stand out in their suites; ammp shows 1.00; mediabench has the
+ * largest overall improvement.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+int
+main()
+{
+    const auto base_cfg = pipeline::MachineConfig::baseline();
+    const auto opt_cfg = pipeline::MachineConfig::optimized();
+
+    bench::header("Figure 6: Speedup of continuous optimization over "
+                  "baseline");
+
+    for (const auto &suite : workloads::suiteNames()) {
+        std::printf("\n[%s]\n", suite.c_str());
+        std::vector<double> speedups;
+        for (const auto *w : workloads::suiteWorkloads(suite)) {
+            const auto program = w->build(w->defaultScale *
+                                          bench::envScale());
+            const auto base = sim::simulate(program, base_cfg);
+            const auto opt = sim::simulate(program, opt_cfg);
+            const double s =
+                double(base.stats.cycles) / double(opt.stats.cycles);
+            speedups.push_back(s);
+            std::printf("  %-7s %.3f\n", w->name.c_str(), s);
+        }
+        std::printf("  %-7s %.3f (geometric mean)\n", "avg",
+                    bench::geomean(speedups));
+    }
+    return 0;
+}

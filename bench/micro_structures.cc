@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the optimizer's hardware
+ * structures as simulated: symbolic-RAT rename throughput, MBC
+ * lookup/insert, branch predictor, cache hierarchy, and end-to-end
+ * simulation rate. These measure the *simulator*, complementing the
+ * table/figure harnesses that measure the *simulated machine*.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/arch/emulator.hh"
+#include "src/branch/branch_predictor.hh"
+#include "src/cache/cache.hh"
+#include "src/core/mbc.hh"
+#include "src/core/optimizer.hh"
+#include "src/pipeline/ooo_core.hh"
+#include "src/pipeline/phys_reg_file.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+namespace {
+
+void
+BM_SymbolicResolve(benchmark::State &state)
+{
+    pipeline::PhysRegFile prf(64);
+    const core::PhysRegId p = prf.alloc();
+    prf.setOracle(p, 42);
+    prf.setVfbAt(p, 10);
+    const auto sym = core::SymbolicValue::expr(p, 2, 100);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        auto v = sym.resolve(prf, cycle + 11);
+        benchmark::DoNotOptimize(v);
+        ++cycle;
+    }
+}
+BENCHMARK(BM_SymbolicResolve);
+
+void
+BM_MbcLookupInsert(benchmark::State &state)
+{
+    pipeline::PhysRegFile iprf(512), fprf(64);
+    core::MemoryBypassCache mbc({128, 4}, iprf, fprf);
+    const core::PhysRegId p = iprf.alloc();
+    Rng rng(7);
+    for (auto _ : state) {
+        const uint64_t addr = (rng.next() & 0xffff) * 8;
+        const auto *e = mbc.lookup(addr, 8, false);
+        benchmark::DoNotOptimize(e);
+        if (!e)
+            mbc.insert(addr, 8, core::SymbolicValue::expr(p), true, 0);
+    }
+}
+BENCHMARK(BM_MbcLookupInsert);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    branch::BranchPredictor bp(branch::PredictorConfig{});
+    isa::Instruction br;
+    br.op = isa::Opcode::BNE;
+    Rng rng(13);
+    for (auto _ : state) {
+        const uint64_t pc = 0x10000 + (rng.next() & 0xfff) * 4;
+        auto pred = bp.predict(pc, br, pc + 4);
+        bp.update(pc, br, pred, rng.nextBool(0.7), pc + 64);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_CacheHierarchy(benchmark::State &state)
+{
+    cache::Hierarchy hier{};
+    Rng rng(17);
+    for (auto _ : state) {
+        const unsigned lat = hier.accessData(rng.next() & 0xfffff);
+        benchmark::DoNotOptimize(lat);
+    }
+}
+BENCHMARK(BM_CacheHierarchy);
+
+/** End-to-end simulation rate (simulated instructions per second). */
+void
+BM_SimulationRate(benchmark::State &state)
+{
+    const auto &w = workloads::workloadByName("untst");
+    const auto program = w.build(1);
+    const auto cfg = state.range(0)
+                         ? pipeline::MachineConfig::optimized()
+                         : pipeline::MachineConfig::baseline();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        arch::Emulator emu(program);
+        pipeline::OooCore core(cfg, emu);
+        core.run();
+        insts += emu.instCount();
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulationRate)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Table 2 of the paper: the simulated machine configuration,
+ * as actually instantiated by this repository's timing model.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+int
+main()
+{
+    bench::header("Table 2: Simulated Machine Configuration (baseline)");
+    std::printf("%s", pipeline::MachineConfig::baseline().describe().c_str());
+    bench::header("Table 2: with continuous optimizer");
+    std::printf("%s",
+                pipeline::MachineConfig::optimized().describe().c_str());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the optimizer's
+ * pipeline-latency, dependence-depth, and feedback-delay knobs for one
+ * workload (the paper's sensitivity studies, sections 6.2-6.4, on a
+ * single benchmark instead of suite averages).
+ *
+ * Usage: config_explorer [workload-name]   (default: mcf)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const auto &w = workloads::workloadByName(name);
+    const auto program = w.build(w.defaultScale);
+
+    const auto base =
+        sim::simulate(program, pipeline::MachineConfig::baseline());
+    std::printf("config explorer: %s (%s)\n", w.name.c_str(),
+                w.fullName.c_str());
+    std::printf("baseline: %s\n", base.stats.summary().c_str());
+
+    auto speedup_of = [&](const pipeline::MachineConfig &cfg) {
+        const auto r = sim::simulate(program, cfg);
+        return double(base.stats.cycles) / double(r.stats.cycles);
+    };
+
+    std::printf("\noptimizer latency (fig. 11):\n");
+    for (unsigned stages : {0u, 2u, 4u, 6u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.extraStages = stages;
+        std::printf("  %u extra stages: %.3f\n", stages,
+                    speedup_of(pipeline::MachineConfig::withOptimizer(
+                        oc)));
+    }
+
+    std::printf("\nintra-bundle depth (fig. 10):\n");
+    for (unsigned depth : {0u, 1u, 3u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.addChainDepth = depth;
+        std::printf("  depth %u: %.3f\n", depth,
+                    speedup_of(pipeline::MachineConfig::withOptimizer(
+                        oc)));
+    }
+
+    std::printf("\nvalue-feedback delay (fig. 12):\n");
+    for (unsigned d : {0u, 1u, 5u, 10u}) {
+        auto cfg = pipeline::MachineConfig::optimized();
+        cfg.vfbDelay = d;
+        std::printf("  delay %u: %.3f\n", d, speedup_of(cfg));
+    }
+
+    std::printf("\nmachine balance (fig. 8):\n");
+    std::printf("  fetch-bound + opt: %.3f\n",
+                speedup_of(pipeline::MachineConfig::fetchBound(true)));
+    std::printf("  exec-bound + opt:  %.3f\n",
+                speedup_of(pipeline::MachineConfig::execBound(true)));
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Command-line simulator driver: run any Table 1 workload under any
+ * machine/optimizer configuration and print the full statistics. The
+ * tool a downstream user reaches for first.
+ *
+ * Usage:
+ *   conopt_sim [options] <workload>|all
+ *
+ * Options:
+ *   --baseline            no optimizer (default: optimizer on)
+ *   --compare             run both machines and report the speedup
+ *   --scale N             workload iteration scale (default 1)
+ *   --depth N             intra-bundle chained additions (default 0)
+ *   --chained-mem         allow one intra-bundle MBC forward
+ *   --opt-stages N        extra rename stages (default 2)
+ *   --vfb-delay N         value-feedback transmission delay (default 1)
+ *   --mbc-entries N       MBC capacity (default 128)
+ *   --mbc-flush           flush MBC on unknown-address stores
+ *   --no-rlesf | --no-feedback | --no-inference | --no-strength
+ *   --no-moveelim | --feedback-only
+ *   --fetch-bound | --exec-bound
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+namespace {
+
+struct Options
+{
+    bool baseline = false;
+    bool compare = false;
+    unsigned scale = 1;
+    bool fetch_bound = false;
+    bool exec_bound = false;
+    unsigned vfb_delay = 1;
+    core::OptimizerConfig oc = core::OptimizerConfig::full();
+    std::vector<std::string> workloads;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: conopt_sim [options] <workload>|all\n"
+                 "       (see the file header for options; workloads:");
+    for (const auto &w : workloads::allWorkloads())
+        std::fprintf(stderr, " %s", w.name.c_str());
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next_uint = [&](unsigned &out) {
+            if (++i >= argc)
+                usage();
+            out = unsigned(std::strtoul(argv[i], nullptr, 10));
+        };
+        if (a == "--baseline") {
+            o.baseline = true;
+        } else if (a == "--compare") {
+            o.compare = true;
+        } else if (a == "--scale") {
+            next_uint(o.scale);
+        } else if (a == "--depth") {
+            next_uint(o.oc.addChainDepth);
+        } else if (a == "--chained-mem") {
+            o.oc.allowChainedMem = true;
+        } else if (a == "--opt-stages") {
+            next_uint(o.oc.extraStages);
+        } else if (a == "--vfb-delay") {
+            next_uint(o.vfb_delay);
+        } else if (a == "--mbc-entries") {
+            next_uint(o.oc.mbc.entries);
+        } else if (a == "--mbc-flush") {
+            o.oc.mbcFlushOnUnknownStore = true;
+        } else if (a == "--no-rlesf") {
+            o.oc.enableRleSf = false;
+        } else if (a == "--no-feedback") {
+            o.oc.enableValueFeedback = false;
+        } else if (a == "--no-inference") {
+            o.oc.enableBranchInference = false;
+        } else if (a == "--no-strength") {
+            o.oc.enableStrengthReduction = false;
+        } else if (a == "--no-moveelim") {
+            o.oc.enableMoveElim = false;
+        } else if (a == "--feedback-only") {
+            const auto keep_stages = o.oc.extraStages;
+            o.oc = core::OptimizerConfig::feedbackOnly();
+            o.oc.extraStages = keep_stages;
+        } else if (a == "--fetch-bound") {
+            o.fetch_bound = true;
+        } else if (a == "--exec-bound") {
+            o.exec_bound = true;
+        } else if (a == "all") {
+            for (const auto &w : workloads::allWorkloads())
+                o.workloads.push_back(w.name);
+        } else if (!a.empty() && a[0] == '-') {
+            usage();
+        } else {
+            o.workloads.push_back(a);
+        }
+    }
+    if (o.workloads.empty())
+        usage();
+    return o;
+}
+
+pipeline::MachineConfig
+machineFor(const Options &o, bool with_opt)
+{
+    pipeline::MachineConfig cfg;
+    if (o.fetch_bound)
+        cfg = pipeline::MachineConfig::fetchBound(with_opt);
+    else if (o.exec_bound)
+        cfg = pipeline::MachineConfig::execBound(with_opt);
+    if (with_opt)
+        cfg.opt = o.oc;
+    else
+        cfg.opt = core::OptimizerConfig::baseline();
+    cfg.vfbDelay = o.vfb_delay;
+    return cfg;
+}
+
+void
+printStats(const sim::SimResult &r)
+{
+    const auto &s = r.stats;
+    std::printf("  instructions        %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  cycles              %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  IPC                 %.3f\n", s.ipc());
+    std::printf("  branches            %llu (mispredicted %llu, "
+                "resteers %llu)\n",
+                static_cast<unsigned long long>(s.branches),
+                static_cast<unsigned long long>(s.mispredicted),
+                static_cast<unsigned long long>(s.btbResteers));
+    std::printf("  loads / stores      %llu / %llu (DL1 miss %llu, "
+                "LSQ fwd %llu)\n",
+                static_cast<unsigned long long>(s.loads),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.dl1Misses),
+                static_cast<unsigned long long>(s.loadsForwardedFromStoreQ));
+    std::printf("  exec early          %.1f%%\n",
+                100 * s.execEarlyFrac());
+    std::printf("  recov. mispred.     %.1f%%\n",
+                100 * s.recoveredMispredFrac());
+    std::printf("  ld/st addr gen      %.1f%%\n", 100 * s.addrGenFrac());
+    std::printf("  loads removed       %.1f%% (synthesized %llu, "
+                "misspec %llu)\n",
+                100 * s.loadsRemovedFrac(),
+                static_cast<unsigned long long>(s.opt.loadsSynthesized),
+                static_cast<unsigned long long>(s.opt.mbcMisspecs));
+    std::printf("  moves eliminated    %llu\n",
+                static_cast<unsigned long long>(s.opt.movesEliminated));
+    std::printf("  stall cycles        mispred %llu, icache %llu, "
+                "sched %llu, rob %llu\n",
+                static_cast<unsigned long long>(s.fetchStallMispredict),
+                static_cast<unsigned long long>(s.fetchStallIcache),
+                static_cast<unsigned long long>(s.dispatchStallSched),
+                static_cast<unsigned long long>(s.renameStallRob));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    for (const auto &name : o.workloads) {
+        const auto &w = workloads::workloadByName(name);
+        const auto program = w.build(w.defaultScale * o.scale);
+        std::printf("== %s (%s, %s) ==\n", w.name.c_str(),
+                    w.fullName.c_str(), w.suite.c_str());
+
+        if (o.compare) {
+            const auto base =
+                sim::simulate(program, machineFor(o, false));
+            const auto opt = sim::simulate(program, machineFor(o, true));
+            std::printf("baseline:\n");
+            printStats(base);
+            std::printf("optimized:\n");
+            printStats(opt);
+            std::printf("speedup               %.3f\n\n",
+                        double(base.stats.cycles) /
+                            double(opt.stats.cycles));
+        } else {
+            const auto r =
+                sim::simulate(program, machineFor(o, !o.baseline));
+            printStats(r);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's mcf case study (section 5.2): the sort_basket quicksort.
+ *
+ * "Since the quicksort algorithm touches every element of the array at
+ * each level of recursion, the quicksort algorithm effectively fills up
+ * the MBC with array elements. Once the array being passed to quicksort
+ * is small enough that it does not thrash the MBC, all array accesses
+ * are eliminated, and the simple instructions dependent on these load
+ * operations are executed in the optimizer."
+ *
+ * This example runs the mcf kernel and sweeps the MBC capacity to show
+ * exactly that thrash-to-fit transition.
+ */
+
+#include <cstdio>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+int
+main()
+{
+    const auto &w = workloads::workloadByName("mcf");
+    const auto program = w.build(w.defaultScale);
+
+    const auto base_cfg = pipeline::MachineConfig::baseline();
+    const auto base = sim::simulate(program, base_cfg);
+
+    std::printf("mcf case study: network simplex + sort_basket\n");
+    std::printf("----------------------------------------------\n");
+    std::printf("baseline: %s\n\n", base.stats.summary().c_str());
+
+    std::printf("%-14s %10s %12s %12s %12s\n", "MBC entries", "speedup",
+                "lds removed", "exec early", "MBC hit rate");
+    for (unsigned entries : {16u, 32u, 64u, 128u, 256u, 512u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.mbc.entries = entries;
+        const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
+        const auto r = sim::simulate(program, cfg);
+        const double hit_rate =
+            r.stats.mbc.lookups
+                ? double(r.stats.mbc.hits) / double(r.stats.mbc.lookups)
+                : 0.0;
+        std::printf("%-14u %10.3f %11.1f%% %11.1f%% %11.1f%%\n", entries,
+                    double(base.stats.cycles) / double(r.stats.cycles),
+                    100.0 * r.stats.loadsRemovedFrac(),
+                    100.0 * r.stats.execEarlyFrac(), 100.0 * hit_rate);
+    }
+    std::printf("\nAs the MBC grows past the basket's working set, load\n"
+                "removal and early execution jump -- the paper's mcf\n"
+                "explanation in action.\n");
+    return 0;
+}

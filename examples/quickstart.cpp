@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: build a small program with the assembler, run it on the
+ * baseline machine and on the machine with the continuous optimizer, and
+ * print the headline statistics.
+ *
+ * The program is the motivating example from section 2.4 of the paper: a
+ * loop that sums the elements of an array, whose loop counter and array
+ * base are loaded from memory (so value feedback can turn them into known
+ * values mid-run).
+ */
+
+#include <cstdio>
+
+#include "src/asm/assembler.hh"
+#include "src/sim/simulator.hh"
+
+using namespace conopt;
+using namespace conopt::assembler;
+
+namespace {
+
+/** The paper's Figure 4 loop: sum array[0..n-1]. */
+Program
+buildArraySum(unsigned elems)
+{
+    Assembler a;
+
+    // Static data: the counter cell, the array base cell, and the array.
+    std::vector<uint64_t> array_vals;
+    for (unsigned i = 0; i < elems; ++i)
+        array_vals.push_back(3 * i + 1);
+    const uint64_t array = a.dataQuads(array_vals);
+    const uint64_t counter_cell = a.dataQuads({elems});
+    const uint64_t base_cell = a.dataQuads({array});
+
+    a.li(R29, int64_t(counter_cell));
+    a.li(R28, int64_t(base_cell));
+    a.ldq(R1, 0, R29);     // r1 = loop count        (ld [r29] -> r1)
+    a.ldq(R4, 0, R28);     // r4 = array base        (ld [r30] -> r4)
+    a.li(R2, 0);           // r2 = sum
+    a.label("loop");
+    a.ldq(R3, 0, R4);      // r3 = array element
+    a.addq(R2, R3, R2);    // sum += element
+    a.addq(R4, 8, R4);     // advance array pointer
+    a.subq(R1, 1, R1);     // decrement counter
+    a.bne(R1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    const Program prog = buildArraySum(4096);
+
+    const auto base_cfg = pipeline::MachineConfig::baseline();
+    const auto opt_cfg = pipeline::MachineConfig::optimized();
+
+    const auto base = sim::simulate(prog, base_cfg);
+    const auto opt = sim::simulate(prog, opt_cfg);
+
+    std::printf("Continuous-optimization quickstart (array-sum loop)\n");
+    std::printf("---------------------------------------------------\n");
+    std::printf("dynamic instructions : %llu\n",
+                static_cast<unsigned long long>(base.instructions));
+    std::printf("baseline             : %s\n",
+                base.stats.summary().c_str());
+    std::printf("with optimizer       : %s\n", opt.stats.summary().c_str());
+    std::printf("speedup              : %.3f\n",
+                double(base.stats.cycles) / double(opt.stats.cycles));
+    std::printf("\nTable-3-style effects with the optimizer:\n");
+    std::printf("  executed early     : %5.1f%%\n",
+                100.0 * opt.stats.execEarlyFrac());
+    std::printf("  recovered mispred  : %5.1f%%\n",
+                100.0 * opt.stats.recoveredMispredFrac());
+    std::printf("  ld/st addr gen     : %5.1f%%\n",
+                100.0 * opt.stats.addrGenFrac());
+    std::printf("  loads removed      : %5.1f%%\n",
+                100.0 * opt.stats.loadsRemovedFrac());
+    return 0;
+}

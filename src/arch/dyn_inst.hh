@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A dynamic instruction: one executed instance of a static instruction,
+ * annotated with the oracle values the functional emulator computed. The
+ * timing model consumes a stream of these; the continuous optimizer's
+ * symbolic results are cross-checked against the oracle fields ("strict
+ * expression and value checking", paper section 4.2).
+ */
+
+#ifndef CONOPT_ARCH_DYN_INST_HH
+#define CONOPT_ARCH_DYN_INST_HH
+
+#include <cstdint>
+
+#include "src/isa/isa.hh"
+
+namespace conopt::arch {
+
+/** One executed instruction with its oracle values. */
+struct DynInst
+{
+    uint64_t seq = 0;       ///< dynamic sequence number (0-based)
+    uint64_t pc = 0;        ///< byte address of the instruction
+    isa::Instruction inst;  ///< static instruction
+
+    uint64_t srcA = 0;      ///< oracle value of the ra operand
+    uint64_t srcB = 0;      ///< oracle value of the rb/imm operand
+    uint64_t srcC = 0;      ///< oracle value of rc when read (stores)
+    uint64_t result = 0;    ///< oracle destination value (loads: data)
+    uint64_t memAddr = 0;   ///< effective address for memory ops
+    uint8_t memSize = 0;    ///< access size in bytes
+    bool taken = false;     ///< branch outcome
+    uint64_t nextPc = 0;    ///< architectural successor PC
+};
+
+} // namespace conopt::arch
+
+#endif // CONOPT_ARCH_DYN_INST_HH

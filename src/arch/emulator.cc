@@ -1,0 +1,149 @@
+#include "src/arch/emulator.hh"
+
+#include <bit>
+#include <utility>
+#include <cmath>
+
+#include "src/asm/assembler.hh"
+#include "src/isa/exec.hh"
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::arch {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Emulator::Emulator(assembler::Program program, uint64_t max_insts)
+    : program_(std::move(program)), maxInsts_(max_insts)
+{
+    state_.pc = program_.entryPc;
+    state_.intRegs.fill(0);
+    state_.fpRegs.fill(0);
+    state_.writeInt(assembler::SP, assembler::stackTop);
+    for (const auto &seg : program_.data)
+        memory_.writeBytes(seg.addr, seg.bytes.data(), seg.bytes.size());
+}
+
+uint64_t
+Emulator::readOperandB(const Instruction &inst) const
+{
+    if (inst.useImm)
+        return static_cast<uint64_t>(inst.imm);
+    const auto &info = isa::opInfo(inst.op);
+    if (info.rbIsFp)
+        return state_.fpRegs[inst.rb];
+    return state_.readInt(inst.rb);
+}
+
+uint64_t
+Emulator::executeAlu(const Instruction &inst, uint64_t a, uint64_t b) const
+{
+    return isa::aluCompute(inst.op, a, b);
+}
+
+bool
+Emulator::branchTaken(const Instruction &inst, uint64_t a) const
+{
+    return isa::branchCondTaken(inst.op, a);
+}
+
+DynInst
+Emulator::step()
+{
+    conopt_assert(!done_);
+    if (!program_.contains(state_.pc)) {
+        conopt_panic("pc 0x%llx outside program",
+                     static_cast<unsigned long long>(state_.pc));
+    }
+
+    const Instruction &inst = program_.at(state_.pc);
+    const auto &info = isa::opInfo(inst.op);
+
+    DynInst dyn;
+    dyn.seq = instCount_;
+    dyn.pc = state_.pc;
+    dyn.inst = inst;
+    dyn.nextPc = state_.pc + isa::instBytes;
+
+    // Read sources.
+    if (info.readsRa)
+        dyn.srcA = info.raIsFp ? state_.fpRegs[inst.ra]
+                               : state_.readInt(inst.ra);
+    if (info.readsRb || inst.useImm)
+        dyn.srcB = readOperandB(inst);
+    if (info.readsRc)
+        dyn.srcC = info.rcIsFp ? state_.fpRegs[inst.rc]
+                               : state_.readInt(inst.rc);
+
+    switch (info.cls) {
+      case isa::OpClass::IntSimple:
+      case isa::OpClass::IntComplex:
+      case isa::OpClass::Fp:
+        dyn.result = executeAlu(inst, dyn.srcA, dyn.srcB);
+        break;
+
+      case isa::OpClass::Mem:
+        dyn.memAddr = wrappingAdd(state_.readInt(inst.ra),
+                                  static_cast<uint64_t>(inst.imm));
+        dyn.memSize = info.memSize;
+        if (info.isLoad) {
+            uint64_t raw = memory_.read(dyn.memAddr, info.memSize);
+            if (inst.op == Opcode::LDL)
+                raw = static_cast<uint64_t>(sext64(raw, 32));
+            dyn.result = raw;
+        } else {
+            dyn.result = dyn.srcC;
+            unsigned size = info.memSize;
+            memory_.write(dyn.memAddr, dyn.srcC, size);
+        }
+        break;
+
+      case isa::OpClass::Control:
+        if (info.isCondBranch) {
+            dyn.taken = branchTaken(inst, dyn.srcA);
+            if (dyn.taken)
+                dyn.nextPc = static_cast<uint64_t>(inst.imm);
+        } else if (info.isIndirect) {
+            dyn.taken = true;
+            dyn.nextPc = dyn.srcA;
+        } else {
+            dyn.taken = true;
+            dyn.nextPc = static_cast<uint64_t>(inst.imm);
+        }
+        if (info.isCall)
+            dyn.result = state_.pc + isa::instBytes;
+        break;
+
+      case isa::OpClass::None:
+        if (inst.op == Opcode::HALT) {
+            done_ = true;
+            halted_ = true;
+        }
+        break;
+    }
+
+    // Write back.
+    if (info.writesRc) {
+        if (info.rcIsFp)
+            state_.fpRegs[inst.rc] = dyn.result;
+        else
+            state_.writeInt(inst.rc, dyn.result);
+    }
+
+    state_.pc = dyn.nextPc;
+    ++instCount_;
+    if (instCount_ >= maxInsts_)
+        done_ = true;
+    return dyn;
+}
+
+uint64_t
+Emulator::run()
+{
+    while (!done_)
+        step();
+    return instCount_;
+}
+
+} // namespace conopt::arch

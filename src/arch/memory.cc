@@ -1,0 +1,74 @@
+#include "src/arch/memory.hh"
+
+#include <cstring>
+
+#include "src/util/logging.hh"
+
+namespace conopt::arch {
+
+const Memory::Page *
+Memory::findPage(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> pageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(uint64_t addr)
+{
+    auto &slot = pages_[addr >> pageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint64_t
+Memory::read(uint64_t addr, unsigned size) const
+{
+    conopt_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    uint64_t value = 0;
+    // Fast path: access within a single page.
+    const uint64_t off = addr & (pageBytes - 1);
+    if (off + size <= pageBytes) {
+        const Page *p = findPage(addr);
+        if (p)
+            std::memcpy(&value, p->data() + off, size);
+        return value;
+    }
+    // Page-straddling access, byte by byte.
+    for (unsigned i = 0; i < size; ++i) {
+        const Page *p = findPage(addr + i);
+        const uint8_t b = p ? (*p)[(addr + i) & (pageBytes - 1)] : 0;
+        value |= uint64_t(b) << (8 * i);
+    }
+    return value;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    conopt_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    const uint64_t off = addr & (pageBytes - 1);
+    if (off + size <= pageBytes) {
+        Page &p = touchPage(addr);
+        std::memcpy(p.data() + off, &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        Page &p = touchPage(addr + i);
+        p[(addr + i) & (pageBytes - 1)] = uint8_t(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBytes(uint64_t addr, const uint8_t *src, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        Page &p = touchPage(addr + i);
+        p[(addr + i) & (pageBytes - 1)] = src[i];
+    }
+}
+
+} // namespace conopt::arch

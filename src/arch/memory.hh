@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image backed by 4 KiB pages. Provides the
+ * single source of architectural memory truth for the functional emulator;
+ * the timing model's caches only track tags/latency, never data.
+ */
+
+#ifndef CONOPT_ARCH_MEMORY_HH
+#define CONOPT_ARCH_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace conopt::arch {
+
+/** Sparse 64-bit address space. Unwritten bytes read as zero. */
+class Memory
+{
+  public:
+    static constexpr uint64_t pageShift = 12;
+    static constexpr uint64_t pageBytes = uint64_t(1) << pageShift;
+
+    /** Read @p size (1/2/4/8) bytes, little-endian, zero-extended. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value, little-endian. */
+    void write(uint64_t addr, uint64_t value, unsigned size);
+
+    uint64_t readQuad(uint64_t addr) const { return read(addr, 8); }
+    void writeQuad(uint64_t addr, uint64_t v) { write(addr, v, 8); }
+
+    /** Bulk initialization (used to load program data segments). */
+    void writeBytes(uint64_t addr, const uint8_t *src, size_t len);
+
+    /** Number of resident pages (for tests). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    const Page *findPage(uint64_t addr) const;
+    Page &touchPage(uint64_t addr);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace conopt::arch
+
+#endif // CONOPT_ARCH_MEMORY_HH

@@ -1,0 +1,191 @@
+#include "src/asm/assembler.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "src/util/logging.hh"
+
+namespace conopt::assembler {
+
+Assembler::Assembler() : dataCursor_(dataBase) {}
+
+void
+Assembler::label(const std::string &name)
+{
+    conopt_assert(!finished_);
+    auto [it, inserted] = labels_.emplace(name, here());
+    if (!inserted)
+        conopt_fatal("duplicate label '%s'", name.c_str());
+}
+
+uint64_t
+Assembler::labelAddr(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        conopt_fatal("unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+uint64_t
+Assembler::here() const
+{
+    return codeBase + code_.size() * isa::instBytes;
+}
+
+uint64_t
+Assembler::allocQuads(size_t count, uint64_t align)
+{
+    conopt_assert(align != 0 && (align & (align - 1)) == 0);
+    dataCursor_ = (dataCursor_ + align - 1) & ~(align - 1);
+    const uint64_t addr = dataCursor_;
+    dataChunks_[addr] = std::vector<uint8_t>(count * 8, 0);
+    dataCursor_ += count * 8;
+    return addr;
+}
+
+uint64_t
+Assembler::dataQuads(const std::vector<uint64_t> &values)
+{
+    const uint64_t addr = allocQuads(values.size());
+    auto &bytes = dataChunks_[addr];
+    for (size_t i = 0; i < values.size(); ++i)
+        std::memcpy(bytes.data() + i * 8, &values[i], 8);
+    return addr;
+}
+
+uint64_t
+Assembler::dataDoubles(const std::vector<double> &values)
+{
+    std::vector<uint64_t> quads;
+    quads.reserve(values.size());
+    for (double v : values)
+        quads.push_back(std::bit_cast<uint64_t>(v));
+    return dataQuads(quads);
+}
+
+uint64_t
+Assembler::dataBytes(const std::vector<uint8_t> &bytes, uint64_t align)
+{
+    conopt_assert(align != 0 && (align & (align - 1)) == 0);
+    dataCursor_ = (dataCursor_ + align - 1) & ~(align - 1);
+    const uint64_t addr = dataCursor_;
+    dataChunks_[addr] = bytes;
+    dataCursor_ += bytes.size();
+    return addr;
+}
+
+void
+Assembler::pokeQuad(uint64_t addr, uint64_t value)
+{
+    for (auto &[base, bytes] : dataChunks_) {
+        if (addr >= base && addr + 8 <= base + bytes.size()) {
+            std::memcpy(bytes.data() + (addr - base), &value, 8);
+            return;
+        }
+    }
+    conopt_fatal("pokeQuad at 0x%llx outside any data chunk",
+                 static_cast<unsigned long long>(addr));
+}
+
+void
+Assembler::dataLabel(uint64_t addr, const std::string &label)
+{
+    dataFixups_.push_back({addr, label});
+}
+
+void
+Assembler::emit(isa::Instruction inst)
+{
+    conopt_assert(!finished_);
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitRR(isa::Opcode op, isa::RegIndex a, isa::RegIndex b,
+                  isa::RegIndex c)
+{
+    isa::Instruction i;
+    i.op = op;
+    i.ra = a;
+    i.rb = b;
+    i.rc = c;
+    emit(i);
+}
+
+void
+Assembler::emitRI(isa::Opcode op, isa::RegIndex a, int64_t imm,
+                  isa::RegIndex c)
+{
+    isa::Instruction i;
+    i.op = op;
+    i.ra = a;
+    i.useImm = true;
+    i.imm = imm;
+    i.rc = c;
+    emit(i);
+}
+
+void
+Assembler::emitFp(isa::Opcode op, isa::RegIndex a, isa::RegIndex b,
+                  isa::RegIndex c)
+{
+    isa::Instruction i;
+    i.op = op;
+    i.ra = a;
+    i.rb = b;
+    i.rc = c;
+    emit(i);
+}
+
+void
+Assembler::emitMem(isa::Opcode op, isa::RegIndex data, int64_t off,
+                   isa::RegIndex base)
+{
+    isa::Instruction i;
+    i.op = op;
+    i.ra = base;
+    i.rc = data;
+    i.imm = off;
+    emit(i);
+}
+
+void
+Assembler::emitBr(isa::Opcode op, isa::RegIndex a, const std::string &l)
+{
+    isa::Instruction i;
+    i.op = op;
+    i.ra = a;
+    emit(i);
+    fixups_.push_back({code_.size() - 1, l});
+}
+
+Program
+Assembler::finish()
+{
+    conopt_assert(!finished_);
+    finished_ = true;
+
+    for (const Fixup &f : fixups_) {
+        auto it = labels_.find(f.labelName);
+        if (it == labels_.end())
+            conopt_fatal("undefined label '%s'", f.labelName.c_str());
+        code_[f.instIndex].imm = static_cast<int64_t>(it->second);
+    }
+
+    for (const DataFixup &f : dataFixups_) {
+        auto it = labels_.find(f.labelName);
+        if (it == labels_.end())
+            conopt_fatal("undefined label '%s'", f.labelName.c_str());
+        pokeQuad(f.addr, it->second);
+    }
+
+    Program p;
+    p.code = std::move(code_);
+    p.entryPc = codeBase;
+    for (auto &[addr, bytes] : dataChunks_)
+        p.data.push_back({addr, std::move(bytes)});
+    return p;
+}
+
+} // namespace conopt::assembler

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * A label-based assembler for building programs in C++.
+ *
+ * Usage:
+ * @code
+ *   Assembler a;
+ *   a.li(R1, 100);                 // loop counter
+ *   a.label("loop");
+ *   a.addq(R2, 1, R2);
+ *   a.subq(R1, 1, R1);
+ *   a.bne(R1, "loop");
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ *
+ * Forward references to labels are fixed up in finish(). Data is placed
+ * with a bump allocator starting at dataBase; use allocQuads()/allocBytes()
+ * to reserve and initialize regions and pass their addresses to li().
+ */
+
+#ifndef CONOPT_ASM_ASSEMBLER_HH
+#define CONOPT_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/asm/program.hh"
+#include "src/isa/isa.hh"
+
+namespace conopt::assembler {
+
+/** Integer register names for readable workload code. */
+enum Reg : isa::RegIndex
+{
+    R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23, R24, R25, R26, R27, R28, R29,
+    R30,
+    ZERO = isa::zeroReg,
+    /** Conventional roles. */
+    SP = R30,  ///< stack pointer
+    RA = R26,  ///< return address (link) register
+};
+
+/** Floating-point register names. */
+enum FReg : isa::RegIndex
+{
+    F0, F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15,
+    F16, F17, F18, F19, F20, F21, F22, F23, F24, F25, F26, F27, F28, F29,
+    F30, F31
+};
+
+/**
+ * Builds a Program instruction by instruction. All branch emitters accept
+ * either a label name (resolved at finish()) or an absolute byte target.
+ */
+class Assembler
+{
+  public:
+    Assembler();
+
+    // ------------------------------------------------------------------
+    // Labels and layout
+    // ------------------------------------------------------------------
+
+    /** Bind @p name to the address of the next emitted instruction. */
+    void label(const std::string &name);
+
+    /** Byte address that @p name is (or will be) bound to. */
+    uint64_t labelAddr(const std::string &name) const;
+
+    /** Byte address of the next emitted instruction. */
+    uint64_t here() const;
+
+    // ------------------------------------------------------------------
+    // Data segment
+    // ------------------------------------------------------------------
+
+    /** Reserve @p count zero-initialized 8-byte words; returns address. */
+    uint64_t allocQuads(size_t count, uint64_t align = 8);
+
+    /** Place @p values as consecutive 8-byte words; returns address. */
+    uint64_t dataQuads(const std::vector<uint64_t> &values);
+
+    /** Place doubles as consecutive 8-byte words; returns address. */
+    uint64_t dataDoubles(const std::vector<double> &values);
+
+    /** Place raw bytes; returns address. */
+    uint64_t dataBytes(const std::vector<uint8_t> &bytes,
+                       uint64_t align = 8);
+
+    /** Overwrite one already-allocated quad. */
+    void pokeQuad(uint64_t addr, uint64_t value);
+
+    /**
+     * Record that the quad at @p addr must hold the address of @p label
+     * (resolved at finish()). Used to build jump/function-pointer tables.
+     */
+    void dataLabel(uint64_t addr, const std::string &label);
+
+    // ------------------------------------------------------------------
+    // Integer ALU (register or immediate second operand)
+    // ------------------------------------------------------------------
+
+    void addq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::ADDQ, a, b, c); }
+    void addq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::ADDQ, a, i, c); }
+    void subq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::SUBQ, a, b, c); }
+    void subq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::SUBQ, a, i, c); }
+    void and_(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::AND, a, b, c); }
+    void and_(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::AND, a, i, c); }
+    void bis(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::BIS, a, b, c); }
+    void bis(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::BIS, a, i, c); }
+    void xor_(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::XOR, a, b, c); }
+    void xor_(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::XOR, a, i, c); }
+    void sll(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::SLL, a, b, c); }
+    void sll(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::SLL, a, i, c); }
+    void srl(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::SRL, a, b, c); }
+    void srl(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::SRL, a, i, c); }
+    void sra(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::SRA, a, b, c); }
+    void sra(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::SRA, a, i, c); }
+    void cmpeq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::CMPEQ, a, b, c); }
+    void cmpeq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::CMPEQ, a, i, c); }
+    void cmplt(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::CMPLT, a, b, c); }
+    void cmplt(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::CMPLT, a, i, c); }
+    void cmple(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::CMPLE, a, b, c); }
+    void cmple(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::CMPLE, a, i, c); }
+    void cmpult(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::CMPULT, a, b, c); }
+    void cmpult(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::CMPULT, a, i, c); }
+    void cmpule(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::CMPULE, a, b, c); }
+    void cmpule(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::CMPULE, a, i, c); }
+    void lda(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::LDA, a, i, c); }
+    void addl(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::ADDL, a, b, c); }
+    void addl(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::ADDL, a, i, c); }
+    void subl(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::SUBL, a, b, c); }
+    void subl(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::SUBL, a, i, c); }
+    void sextl(Reg b, Reg c) { emitRR(isa::Opcode::SEXTL, ZERO, b, c); }
+    void mulq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::MULQ, a, b, c); }
+    void mulq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::MULQ, a, i, c); }
+    void divq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::DIVQ, a, b, c); }
+    void divq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::DIVQ, a, i, c); }
+    void remq(Reg a, Reg b, Reg c) { emitRR(isa::Opcode::REMQ, a, b, c); }
+    void remq(Reg a, int64_t i, Reg c) { emitRI(isa::Opcode::REMQ, a, i, c); }
+
+    // Pseudo-ops.
+    /** Load a 64-bit immediate (single LDA off the zero register). */
+    void li(Reg c, int64_t value) { emitRI(isa::Opcode::LDA, ZERO, value, c); }
+    /** Register move (ADDQ a, 0 -> c; eliminated by reassociation). */
+    void mov(Reg a, Reg c) { emitRI(isa::Opcode::ADDQ, a, 0, c); }
+    void nop() { emit({isa::Opcode::NOP}); }
+
+    // ------------------------------------------------------------------
+    // Floating point
+    // ------------------------------------------------------------------
+
+    void addt(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::ADDT, a, b, c); }
+    void subt(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::SUBT, a, b, c); }
+    void mult(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::MULT, a, b, c); }
+    void divt(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::DIVT, a, b, c); }
+    void sqrtt(FReg b, FReg c) { emitFp(isa::Opcode::SQRTT, F31, b, c); }
+    void cmptlt(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::CMPTLT, a, b, c); }
+    void cmpteq(FReg a, FReg b, FReg c) { emitFp(isa::Opcode::CMPTEQ, a, b, c); }
+    void fmov(FReg b, FReg c) { emitFp(isa::Opcode::FMOV, F31, b, c); }
+
+    /** Integer ra -> fp rc. */
+    void
+    cvtqt(Reg a, FReg c)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::CVTQT;
+        i.ra = a;
+        i.rc = c;
+        emit(i);
+    }
+
+    /** fp rb -> integer rc. */
+    void
+    cvttq(FReg b, Reg c)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::CVTTQ;
+        i.rb = b;
+        i.rc = c;
+        emit(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    void ldq(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::LDQ, c, off, base); }
+    void ldl(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::LDL, c, off, base); }
+    void ldbu(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::LDBU, c, off, base); }
+    void stq(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::STQ, c, off, base); }
+    void stl(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::STL, c, off, base); }
+    void stb(Reg c, int64_t off, Reg base) { emitMem(isa::Opcode::STB, c, off, base); }
+    void ldt(FReg c, int64_t off, Reg base) { emitMem(isa::Opcode::LDT, c, off, base); }
+    void stt(FReg c, int64_t off, Reg base) { emitMem(isa::Opcode::STT, c, off, base); }
+
+    // ------------------------------------------------------------------
+    // Control
+    // ------------------------------------------------------------------
+
+    void beq(Reg a, const std::string &l) { emitBr(isa::Opcode::BEQ, a, l); }
+    void bne(Reg a, const std::string &l) { emitBr(isa::Opcode::BNE, a, l); }
+    void blt(Reg a, const std::string &l) { emitBr(isa::Opcode::BLT, a, l); }
+    void bge(Reg a, const std::string &l) { emitBr(isa::Opcode::BGE, a, l); }
+    void ble(Reg a, const std::string &l) { emitBr(isa::Opcode::BLE, a, l); }
+    void bgt(Reg a, const std::string &l) { emitBr(isa::Opcode::BGT, a, l); }
+    void fbeq(FReg a, const std::string &l) { emitBr(isa::Opcode::FBEQ, a, l); }
+    void fbne(FReg a, const std::string &l) { emitBr(isa::Opcode::FBNE, a, l); }
+    void br(const std::string &l) { emitBr(isa::Opcode::BR, ZERO, l); }
+
+    /** Direct call: link register gets the return address. */
+    void
+    bsr(Reg link, const std::string &l)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::BSR;
+        i.rc = link;
+        emit(i);
+        fixups_.push_back({code_.size() - 1, l});
+    }
+
+    void
+    jmp(Reg a)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::JMP;
+        i.ra = a;
+        emit(i);
+    }
+
+    void
+    jsr(Reg link, Reg a)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::JSR;
+        i.ra = a;
+        i.rc = link;
+        emit(i);
+    }
+
+    void
+    ret(Reg a = RA)
+    {
+        isa::Instruction i;
+        i.op = isa::Opcode::RET;
+        i.ra = a;
+        emit(i);
+    }
+
+    void halt() { emit({isa::Opcode::HALT}); }
+
+    // ------------------------------------------------------------------
+
+    /** Resolve fixups and return the finished program. */
+    Program finish();
+
+    /** Number of instructions emitted so far. */
+    size_t instCount() const { return code_.size(); }
+
+  private:
+    void emit(isa::Instruction inst);
+    void emitRR(isa::Opcode op, isa::RegIndex a, isa::RegIndex b,
+                isa::RegIndex c);
+    void emitRI(isa::Opcode op, isa::RegIndex a, int64_t imm,
+                isa::RegIndex c);
+    void emitFp(isa::Opcode op, isa::RegIndex a, isa::RegIndex b,
+                isa::RegIndex c);
+    void emitMem(isa::Opcode op, isa::RegIndex data, int64_t off,
+                 isa::RegIndex base);
+    void emitBr(isa::Opcode op, isa::RegIndex a, const std::string &l);
+
+    struct Fixup
+    {
+        size_t instIndex;
+        std::string labelName;
+    };
+
+    struct DataFixup
+    {
+        uint64_t addr;
+        std::string labelName;
+    };
+
+    std::vector<isa::Instruction> code_;
+    std::map<std::string, uint64_t> labels_;
+    std::vector<Fixup> fixups_;
+    std::vector<DataFixup> dataFixups_;
+    std::map<uint64_t, std::vector<uint8_t>> dataChunks_;
+    uint64_t dataCursor_;
+    bool finished_ = false;
+};
+
+} // namespace conopt::assembler
+
+#endif // CONOPT_ASM_ASSEMBLER_HH

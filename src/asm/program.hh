@@ -1,0 +1,67 @@
+/**
+ * @file
+ * An assembled program: code, initialized data segments, and the layout
+ * constants shared by the assembler and the emulator.
+ */
+
+#ifndef CONOPT_ASM_PROGRAM_HH
+#define CONOPT_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/isa/isa.hh"
+
+namespace conopt::assembler {
+
+/** Default base address of the code segment. */
+constexpr uint64_t codeBase = 0x10000;
+/** Default base address of the static data segment. */
+constexpr uint64_t dataBase = 0x1000000;
+/** Default initial stack pointer (stack grows down). */
+constexpr uint64_t stackTop = 0x8000000;
+
+/** A contiguous block of initialized memory. */
+struct DataSegment
+{
+    uint64_t addr;
+    std::vector<uint8_t> bytes;
+};
+
+/** A complete program ready to run on the emulator. */
+struct Program
+{
+    std::vector<isa::Instruction> code;
+    uint64_t entryPc = codeBase;
+    std::vector<DataSegment> data;
+
+    /** Static instruction count. */
+    size_t size() const { return code.size(); }
+
+    /** Byte address of instruction index @p idx. */
+    uint64_t
+    pcOf(size_t idx) const
+    {
+        return codeBase + idx * isa::instBytes;
+    }
+
+    /** True if @p pc addresses an instruction in this program. */
+    bool
+    contains(uint64_t pc) const
+    {
+        return pc >= codeBase && pc < codeBase + code.size() * isa::instBytes
+            && (pc - codeBase) % isa::instBytes == 0;
+    }
+
+    /** The instruction at byte address @p pc. */
+    const isa::Instruction &
+    at(uint64_t pc) const
+    {
+        return code[(pc - codeBase) / isa::instBytes];
+    }
+};
+
+} // namespace conopt::assembler
+
+#endif // CONOPT_ASM_PROGRAM_HH

@@ -1,0 +1,103 @@
+#include "src/branch/branch_predictor.hh"
+
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::branch {
+
+BranchPredictor::BranchPredictor(const PredictorConfig &config)
+    : config_(config),
+      counters_(size_t(1) << config.historyBits, 1), // weakly not-taken
+      btb_(config.btbEntries),
+      ras_(config.rasEntries, 0),
+      historyMask_((uint64_t(1) << config.historyBits) - 1)
+{
+    conopt_assert(isPowerOfTwo(config.btbEntries));
+}
+
+unsigned
+BranchPredictor::tableIndex(uint64_t pc, uint64_t history) const
+{
+    const uint64_t word = pc / isa::instBytes;
+    return unsigned((word ^ history) & historyMask_);
+}
+
+unsigned
+BranchPredictor::btbIndex(uint64_t pc) const
+{
+    return unsigned((pc / isa::instBytes) & (config_.btbEntries - 1));
+}
+
+Prediction
+BranchPredictor::predict(uint64_t pc, const isa::Instruction &inst,
+                         uint64_t fallthrough)
+{
+    ++lookups_;
+    const auto &info = isa::opInfo(inst.op);
+    Prediction pred;
+    pred.historyBefore = history_;
+
+    if (info.isCondBranch) {
+        const uint8_t ctr = counters_[tableIndex(pc, history_)];
+        pred.taken = ctr >= 2;
+        // Speculative history insert; repaired on mispredict.
+        history_ = ((history_ << 1) | (pred.taken ? 1 : 0)) & historyMask_;
+    } else {
+        pred.taken = true; // unconditional control is always taken
+    }
+
+    // Target: RAS for returns, BTB otherwise.
+    if (info.isReturn) {
+        if (rasTop_ > 0) {
+            pred.target = ras_[(rasTop_ - 1) % ras_.size()];
+            pred.targetValid = true;
+            --rasTop_;
+        }
+    } else if (pred.taken) {
+        const BtbEntry &e = btb_[btbIndex(pc)];
+        if (e.valid && e.tag == pc) {
+            pred.target = e.target;
+            pred.targetValid = true;
+        }
+    }
+
+    if (info.isCall) {
+        ras_[rasTop_ % ras_.size()] = fallthrough;
+        ++rasTop_;
+    }
+
+    return pred;
+}
+
+void
+BranchPredictor::update(uint64_t pc, const isa::Instruction &inst,
+                        const Prediction &pred, bool taken, uint64_t target)
+{
+    const auto &info = isa::opInfo(inst.op);
+    if (info.isCondBranch) {
+        // Train with the history the prediction used.
+        uint8_t &ctr = counters_[tableIndex(pc, pred.historyBefore)];
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+    if (taken && !info.isReturn) {
+        BtbEntry &e = btb_[btbIndex(pc)];
+        e.tag = pc;
+        e.target = target;
+        e.valid = true;
+    }
+}
+
+void
+BranchPredictor::recover(const Prediction &pred, bool actual_taken)
+{
+    history_ =
+        ((pred.historyBefore << 1) | (actual_taken ? 1 : 0)) & historyMask_;
+}
+
+} // namespace conopt::branch

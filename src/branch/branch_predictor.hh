@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Front-end branch prediction: an 18-bit gshare direction predictor, a
+ * 1K-entry branch target buffer, and a small return-address stack
+ * (Table 2 of the paper: "18-bit gshare, 1K-entry BTB").
+ *
+ * The global history register is updated speculatively at prediction time
+ * and repaired on a misprediction, mirroring real front ends.
+ */
+
+#ifndef CONOPT_BRANCH_BRANCH_PREDICTOR_HH
+#define CONOPT_BRANCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.hh"
+
+namespace conopt::branch {
+
+/** Configuration for the front-end predictors. */
+struct PredictorConfig
+{
+    unsigned historyBits = 18;   ///< gshare history length / table index
+    unsigned btbEntries = 1024;  ///< direct-mapped, tagged
+    unsigned rasEntries = 16;    ///< return-address stack depth
+};
+
+/** The outcome of predicting one branch at fetch. */
+struct Prediction
+{
+    bool taken = false;       ///< predicted direction
+    uint64_t target = 0;      ///< predicted target (valid if taken)
+    bool targetValid = false; ///< BTB/RAS supplied a target
+    uint64_t historyBefore = 0; ///< snapshot for recovery/update
+};
+
+/**
+ * Combined direction + target predictor.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorConfig &config = {});
+
+    /**
+     * Predict the branch at @p pc. Call exactly once per fetched branch;
+     * speculatively updates the global history for conditional branches
+     * and the RAS for calls/returns.
+     *
+     * @param pc branch address
+     * @param inst the static instruction (class decides BTB/RAS use)
+     * @param fallthrough pc + 4, used to push return addresses
+     */
+    Prediction predict(uint64_t pc, const isa::Instruction &inst,
+                       uint64_t fallthrough);
+
+    /**
+     * Train tables with the resolved outcome. @p pred must be the value
+     * predict() returned for this dynamic branch.
+     */
+    void update(uint64_t pc, const isa::Instruction &inst,
+                const Prediction &pred, bool taken, uint64_t target);
+
+    /**
+     * Repair speculative state after a misprediction: restores the global
+     * history to the pre-prediction snapshot and re-inserts the actual
+     * outcome.
+     */
+    void recover(const Prediction &pred, bool actual_taken);
+
+    /** Direction-prediction accuracy counters (for tests). */
+    uint64_t lookups() const { return lookups_; }
+
+  private:
+    unsigned tableIndex(uint64_t pc, uint64_t history) const;
+    unsigned btbIndex(uint64_t pc) const;
+
+    PredictorConfig config_;
+    std::vector<uint8_t> counters_;  ///< 2-bit saturating
+    struct BtbEntry
+    {
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<uint64_t> ras_;
+    size_t rasTop_ = 0;
+    uint64_t history_ = 0;
+    uint64_t historyMask_;
+    uint64_t lookups_ = 0;
+};
+
+} // namespace conopt::branch
+
+#endif // CONOPT_BRANCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,99 @@
+#include "src/cache/cache.hh"
+
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::cache {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    conopt_assert(isPowerOfTwo(config.lineBytes));
+    conopt_assert(config.assoc >= 1);
+    lineShift_ = log2Exact(config.lineBytes);
+    const uint64_t lines = config.sizeBytes / config.lineBytes;
+    conopt_assert(lines % config.assoc == 0);
+    numSets_ = lines / config.assoc;
+    conopt_assert(isPowerOfTwo(numSets_));
+    ways_.resize(numSets_ * config.assoc);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    const uint64_t line = lineAddr(addr);
+    const size_t set = setIndex(line);
+    Way *base = &ways_[set * config_.assoc];
+    ++stamp_;
+
+    Way *victim = base;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lruStamp = stamp_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lruStamp < victim->lruStamp) {
+            victim = &way;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lruStamp = stamp_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t line = lineAddr(addr);
+    const size_t set = setIndex(line);
+    const Way *base = &ways_[set * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+}
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+}
+
+unsigned
+Hierarchy::accessInst(uint64_t addr)
+{
+    unsigned latency = l1i_.latency();
+    if (!l1i_.access(addr)) {
+        latency += l2_.latency();
+        if (!l2_.access(addr))
+            latency += config_.memLatency;
+    }
+    return latency;
+}
+
+unsigned
+Hierarchy::accessData(uint64_t addr)
+{
+    unsigned latency = l1d_.latency();
+    if (!l1d_.access(addr)) {
+        latency += l2_.latency();
+        if (!l2_.access(addr))
+            latency += config_.memLatency;
+    }
+    return latency;
+}
+
+} // namespace conopt::cache

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tag-only set-associative cache with true-LRU replacement, plus the
+ * three-level hierarchy from Table 2 of the paper:
+ *
+ *   L1 I: 64 KB, 4-way, 64 B lines, 1 cycle
+ *   L1 D: 32 KB, 2-way, 32 B lines, 2 ports, 2 cycles
+ *   L2:   1 MB, 2-way, 128 B lines, 10 cycles (unified)
+ *   Mem:  100 cycles
+ *
+ * Caches track hit/miss and latency only; data always comes from the
+ * functional emulator (oracle values), so no data arrays are needed.
+ */
+
+#ifndef CONOPT_CACHE_CACHE_HH
+#define CONOPT_CACHE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace conopt::cache {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    uint64_t sizeBytes;
+    unsigned assoc;
+    unsigned lineBytes;
+    unsigned latency;     ///< access latency in cycles on a hit
+};
+
+/** A single tag-only set-associative cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr; on a miss the line is filled (LRU victim evicted).
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Look up without filling (for tests). */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    unsigned latency() const { return config_.latency; }
+    const CacheConfig &config() const { return config_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const { return addr >> lineShift_; }
+    size_t setIndex(uint64_t line) const { return line & (numSets_ - 1); }
+
+    CacheConfig config_;
+    unsigned lineShift_;
+    size_t numSets_;
+    std::vector<Way> ways_;   ///< numSets_ * assoc, set-major
+    uint64_t stamp_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Configuration of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{64 * 1024, 4, 64, 1};
+    CacheConfig l1d{32 * 1024, 2, 32, 2};
+    CacheConfig l2{1024 * 1024, 2, 128, 10};
+    unsigned memLatency = 100;
+};
+
+/**
+ * The full memory hierarchy. Instruction and data accesses return the
+ * total latency of the access including lower levels.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config = {});
+
+    /** Fetch-side access; returns total latency in cycles. */
+    unsigned accessInst(uint64_t addr);
+
+    /** Data-side access (load or store); returns total latency. */
+    unsigned accessData(uint64_t addr);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace conopt::cache
+
+#endif // CONOPT_CACHE_CACHE_HH

@@ -1,0 +1,198 @@
+#include "src/core/mbc.hh"
+
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::core {
+
+MemoryBypassCache::MemoryBypassCache(const MbcConfig &config,
+                                     PhysRegInterface &int_prf,
+                                     PhysRegInterface &fp_prf)
+    : config_(config), intPrf_(int_prf), fpPrf_(fp_prf)
+{
+    conopt_assert(config.assoc >= 1);
+    conopt_assert(config.entries % config.assoc == 0);
+    numSets_ = config.entries / config.assoc;
+    conopt_assert(isPowerOfTwo(numSets_));
+    entries_.resize(config.entries);
+}
+
+MemoryBypassCache::~MemoryBypassCache()
+{
+    flush();
+}
+
+void
+MemoryBypassCache::releaseEntry(Entry &e)
+{
+    if (e.valid && e.sym.isExpr()) {
+        if (e.sym.isFp)
+            fpPrf_.release(e.sym.base);
+        else
+            intPrf_.release(e.sym.base);
+    }
+    e.valid = false;
+}
+
+const MemoryBypassCache::Entry *
+MemoryBypassCache::lookup(uint64_t addr, unsigned size, bool fp)
+{
+    ++stats_.lookups;
+    const uint64_t tag = addr >> 3;
+    const uint8_t off = addr & 7;
+    Entry *base = &entries_[setIndex(tag) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag && e.offset == off && e.size == size &&
+            e.sym.isFp == fp) {
+            e.lruStamp = ++stamp_;
+            ++stats_.hits;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void
+MemoryBypassCache::insert(uint64_t addr, unsigned size,
+                          const SymbolicValue &sym, bool from_load,
+                          uint64_t writer_seq)
+{
+    const uint64_t tag = addr >> 3;
+    const uint8_t off = addr & 7;
+
+    // A store whose data can't be forwarded at this size still clobbers
+    // whatever the MBC knew about the word.
+    const bool forwardable = from_load || size == 8 || sym.isConst();
+
+    Entry *base = &entries_[setIndex(tag) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            if (e.offset == off && e.size == size &&
+                e.sym.isFp == sym.isFp && forwardable) {
+                // Exact match: update in place.
+                if (sym.isExpr()) {
+                    if (sym.isFp)
+                        fpPrf_.addRef(sym.base);
+                    else
+                        intPrf_.addRef(sym.base);
+                }
+                releaseEntry(e);
+                e.valid = true;
+                e.tag = tag;
+                e.offset = off;
+                e.size = uint8_t(size);
+                e.fromLoad = from_load;
+                e.sym = sym;
+                e.writerSeq = writer_seq;
+                e.lruStamp = ++stamp_;
+                ++stats_.inserts;
+                return;
+            }
+            // Same aligned word, different shape: stale, drop it.
+            releaseEntry(e);
+            ++stats_.invalidations;
+        }
+    }
+
+    if (!forwardable)
+        return;
+
+    // Pick victim: first invalid way, else LRU.
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (victim->valid && e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+
+    if (sym.isExpr()) {
+        if (sym.isFp)
+            fpPrf_.addRef(sym.base);
+        else
+            intPrf_.addRef(sym.base);
+    }
+    releaseEntry(*victim);
+    victim->valid = true;
+    victim->tag = tag;
+    victim->offset = off;
+    victim->size = uint8_t(size);
+    victim->fromLoad = from_load;
+    victim->sym = sym;
+    victim->writerSeq = writer_seq;
+    victim->lruStamp = ++stamp_;
+    ++stats_.inserts;
+}
+
+void
+MemoryBypassCache::invalidateOverlap(uint64_t addr, unsigned size)
+{
+    // Accesses are at most 8 bytes, so they overlap at most two aligned
+    // words.
+    for (uint64_t a = addr & ~uint64_t(7); a < addr + size; a += 8) {
+        const uint64_t tag = a >> 3;
+        Entry *base = &entries_[setIndex(tag) * config_.assoc];
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.tag == tag) {
+                const uint64_t e_lo = e.tag * 8 + e.offset;
+                if (e_lo < addr + size && addr < e_lo + e.size) {
+                    releaseEntry(e);
+                    ++stats_.invalidations;
+                }
+            }
+        }
+    }
+}
+
+void
+MemoryBypassCache::invalidateStale(uint64_t addr, unsigned size,
+                                   uint64_t store_seq)
+{
+    for (uint64_t a = addr & ~uint64_t(7); a < addr + size; a += 8) {
+        const uint64_t tag = a >> 3;
+        Entry *base = &entries_[setIndex(tag) * config_.assoc];
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.tag == tag && e.writerSeq < store_seq) {
+                const uint64_t e_lo = e.tag * 8 + e.offset;
+                if (e_lo < addr + size && addr < e_lo + e.size) {
+                    releaseEntry(e);
+                    ++stats_.invalidations;
+                }
+            }
+        }
+    }
+}
+
+void
+MemoryBypassCache::invalidateEntry(const Entry *entry)
+{
+    for (Entry &e : entries_) {
+        if (&e == entry) {
+            releaseEntry(e);
+            ++stats_.invalidations;
+            return;
+        }
+    }
+    conopt_panic("invalidateEntry: entry not part of this MBC");
+}
+
+void
+MemoryBypassCache::flush()
+{
+    for (Entry &e : entries_) {
+        if (e.valid)
+            releaseEntry(e);
+    }
+    ++stats_.flushes;
+}
+
+} // namespace conopt::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Memory Bypass Cache (paper section 3.2): a small cache that maps
+ * memory addresses to the symbolic representation of the data most
+ * recently loaded from or stored to that address. Redundant load
+ * elimination and store forwarding are implemented as MBC hits.
+ *
+ * Entries are 8-byte aligned; the tag match must also match the offset
+ * within the aligned word and the access size. Each entry records whether
+ * it came from a load (the symbolic value is exactly what an identical
+ * load would return) or a store (the symbolic value is the raw stored
+ * register, so narrower loads must apply their own truncation/extension;
+ * we only keep sub-8-byte store entries when the data is a known
+ * constant, so that transformation stays computable).
+ */
+
+#ifndef CONOPT_CORE_MBC_HH
+#define CONOPT_CORE_MBC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/phys_reg.hh"
+#include "src/core/symbolic.hh"
+
+namespace conopt::core {
+
+/** Geometry of the Memory Bypass Cache. */
+struct MbcConfig
+{
+    unsigned entries = 128;
+    unsigned assoc = 4;
+};
+
+/** Counters exposed for the evaluation harness. */
+struct MbcStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    uint64_t flushes = 0;
+};
+
+/** The MBC proper. */
+class MemoryBypassCache
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;       ///< addr >> 3 (8-byte aligned)
+        uint8_t offset = 0;     ///< addr & 7
+        uint8_t size = 0;       ///< access size in bytes
+        bool fromLoad = false;  ///< vs. from a store
+        SymbolicValue sym;      ///< the forwarded data
+        uint64_t writerSeq = 0; ///< dynamic seq of the writing instruction
+        uint64_t lruStamp = 0;
+    };
+
+    /**
+     * @param config geometry
+     * @param int_prf reference-count holder for integer bases
+     * @param fp_prf reference-count holder for fp aliases
+     */
+    MemoryBypassCache(const MbcConfig &config, PhysRegInterface &int_prf,
+                      PhysRegInterface &fp_prf);
+    ~MemoryBypassCache();
+
+    /**
+     * Look up a load at @p addr/@p size. Returns the matching entry (and
+     * touches LRU) or nullptr. @p fp selects fp-alias entries (LDT) vs.
+     * integer entries.
+     */
+    const Entry *lookup(uint64_t addr, unsigned size, bool fp);
+
+    /**
+     * Record the data at @p addr (store forwarding source, or a load's
+     * destination for redundant load elimination).
+     *
+     * Overlapping entries with a different offset/size are invalidated.
+     * Sub-8-byte store data that is not a known constant cannot be
+     * forwarded; such stores only invalidate.
+     */
+    void insert(uint64_t addr, unsigned size, const SymbolicValue &sym,
+                bool from_load, uint64_t writer_seq);
+
+    /** Drop every entry overlapping [addr, addr+size). */
+    void invalidateOverlap(uint64_t addr, unsigned size);
+
+    /**
+     * Invalidate entries overlapping the address whose writer is older
+     * than @p store_seq. Called when a store with an unknown rename-time
+     * address finally executes (speculative mode, paper section 3.2).
+     */
+    void invalidateStale(uint64_t addr, unsigned size, uint64_t store_seq);
+
+    /** Invalidate a specific entry (after detected misspeculation). */
+    void invalidateEntry(const Entry *entry);
+
+    /** Drop everything (flush-on-unknown-store mode). */
+    void flush();
+
+    const MbcStats &stats() const { return stats_; }
+
+  private:
+    size_t setIndex(uint64_t tag) const { return tag & (numSets_ - 1); }
+    void releaseEntry(Entry &e);
+
+    MbcConfig config_;
+    PhysRegInterface &intPrf_;
+    PhysRegInterface &fpPrf_;
+    size_t numSets_;
+    std::vector<Entry> entries_;
+    uint64_t stamp_ = 0;
+    MbcStats stats_;
+};
+
+} // namespace conopt::core
+
+#endif // CONOPT_CORE_MBC_HH

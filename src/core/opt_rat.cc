@@ -1,0 +1,104 @@
+#include "src/core/opt_rat.hh"
+
+#include "src/util/logging.hh"
+
+namespace conopt::core {
+
+OptRat::OptRat(PhysRegInterface &prf) : prf_(prf)
+{
+    zeroEntry_.mapping = invalidPreg;
+    zeroEntry_.sym = SymbolicValue::constant(0);
+}
+
+const OptRat::Entry &
+OptRat::read(isa::RegIndex reg) const
+{
+    if (reg == isa::zeroReg)
+        return zeroEntry_;
+    return entries_[reg];
+}
+
+void
+OptRat::acquireSym(const SymbolicValue &sym)
+{
+    if (sym.isExpr() && !sym.isFp)
+        prf_.addRef(sym.base);
+}
+
+void
+OptRat::releaseSym(const SymbolicValue &sym)
+{
+    if (sym.isExpr() && !sym.isFp)
+        prf_.release(sym.base);
+}
+
+void
+OptRat::write(isa::RegIndex reg, PhysRegId mapping,
+              const SymbolicValue &sym)
+{
+    conopt_assert(reg != isa::zeroReg);
+    conopt_assert(!sym.isFp);
+    Entry &e = entries_[reg];
+
+    // Acquire before release so self-referential updates stay live.
+    if (mapping != invalidPreg)
+        prf_.addRef(mapping);
+    acquireSym(sym);
+
+    if (e.mapping != invalidPreg)
+        prf_.release(e.mapping);
+    releaseSym(e.sym);
+
+    e.mapping = mapping;
+    e.sym = sym;
+}
+
+void
+OptRat::setSym(isa::RegIndex reg, const SymbolicValue &sym)
+{
+    if (reg == isa::zeroReg)
+        return;
+    Entry &e = entries_[reg];
+    acquireSym(sym);
+    releaseSym(e.sym);
+    e.sym = sym;
+}
+
+void
+OptRat::clear()
+{
+    for (auto &e : entries_) {
+        if (e.mapping != invalidPreg)
+            prf_.release(e.mapping);
+        releaseSym(e.sym);
+        e.mapping = invalidPreg;
+        e.sym = SymbolicValue::constant(0);
+    }
+}
+
+FpRat::FpRat(PhysRegInterface &prf) : prf_(prf)
+{
+    map_.fill(invalidPreg);
+}
+
+void
+FpRat::write(isa::RegIndex reg, PhysRegId mapping)
+{
+    if (mapping != invalidPreg)
+        prf_.addRef(mapping);
+    if (map_[reg] != invalidPreg)
+        prf_.release(map_[reg]);
+    map_[reg] = mapping;
+}
+
+void
+FpRat::clear()
+{
+    for (auto &m : map_) {
+        if (m != invalidPreg)
+            prf_.release(m);
+        m = invalidPreg;
+    }
+}
+
+} // namespace conopt::core

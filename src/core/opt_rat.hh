@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The register alias table augmented with symbolic values (paper
+ * sections 2 and 3.1): for every integer architectural register the table
+ * holds both the current physical mapping and a symbolic expression
+ * describing the register's value. A separate plain table maps
+ * floating-point registers (the paper's CP/RA tables cover only integer
+ * registers).
+ *
+ * Reference counting: each entry owns one reference on its mapping and,
+ * when the symbolic value is an expression, one reference on its base
+ * register. Entries release references when overwritten.
+ */
+
+#ifndef CONOPT_CORE_OPT_RAT_HH
+#define CONOPT_CORE_OPT_RAT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/phys_reg.hh"
+#include "src/core/symbolic.hh"
+#include "src/isa/isa.hh"
+
+namespace conopt::core {
+
+/** Integer RAT with symbolic values. */
+class OptRat
+{
+  public:
+    struct Entry
+    {
+        PhysRegId mapping = invalidPreg;
+        SymbolicValue sym = SymbolicValue::constant(0);
+    };
+
+    explicit OptRat(PhysRegInterface &prf);
+
+    /**
+     * Read the entry for @p reg. The zero register reads as a fixed
+     * Const(0) entry with no mapping.
+     */
+    const Entry &read(isa::RegIndex reg) const;
+
+    /**
+     * Replace the entry for @p reg. Acquires references on the new
+     * mapping and symbolic base, releases the old entry's references.
+     * Must not be called for the zero register.
+     */
+    void write(isa::RegIndex reg, PhysRegId mapping,
+               const SymbolicValue &sym);
+
+    /**
+     * Replace only the symbolic value (branch-direction inference,
+     * paper section 2.1). Keeps the mapping.
+     */
+    void setSym(isa::RegIndex reg, const SymbolicValue &sym);
+
+    /** Release all held references (end of simulation / reset). */
+    void clear();
+
+  private:
+    void acquireSym(const SymbolicValue &sym);
+    void releaseSym(const SymbolicValue &sym);
+
+    PhysRegInterface &prf_;
+    std::array<Entry, isa::numIntRegs> entries_;
+    Entry zeroEntry_;
+};
+
+/** Plain mapping-only RAT for floating-point registers. */
+class FpRat
+{
+  public:
+    explicit FpRat(PhysRegInterface &prf);
+
+    PhysRegId read(isa::RegIndex reg) const { return map_[reg]; }
+
+    /** Replace the mapping; handles reference counting. */
+    void write(isa::RegIndex reg, PhysRegId mapping);
+
+    void clear();
+
+  private:
+    PhysRegInterface &prf_;
+    std::array<PhysRegId, isa::numFpRegs> map_;
+};
+
+} // namespace conopt::core
+
+#endif // CONOPT_CORE_OPT_RAT_HH

@@ -1,0 +1,748 @@
+#include "src/core/optimizer.hh"
+
+#include <algorithm>
+
+#include "src/isa/exec.hh"
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::core {
+
+using isa::OpClass;
+using isa::Opcode;
+
+namespace {
+
+/** Bundle level assigned to MBC-forwarded destinations: RLE/SF results
+ *  are produced in the second optimizer step and are never visible to
+ *  instructions in the same rename bundle (paper section 3.2). */
+constexpr unsigned mbcChainLevel = 99;
+
+/** Strict expression-and-value check (paper section 4.2). */
+void
+checkValue(uint64_t computed, uint64_t oracle, const char *what,
+           const arch::DynInst &dyn)
+{
+    if (computed != oracle) {
+        conopt_panic("strict check failed (%s) at seq %llu pc 0x%llx: "
+                     "optimizer computed 0x%llx, oracle 0x%llx",
+                     what, static_cast<unsigned long long>(dyn.seq),
+                     static_cast<unsigned long long>(dyn.pc),
+                     static_cast<unsigned long long>(computed),
+                     static_cast<unsigned long long>(oracle));
+    }
+}
+
+} // namespace
+
+RenameUnit::RenameUnit(const OptimizerConfig &config,
+                       PhysRegInterface &int_prf, PhysRegInterface &fp_prf)
+    : config_(config),
+      intPrf_(int_prf),
+      fpPrf_(fp_prf),
+      rat_(int_prf),
+      fpRat_(fp_prf),
+      mbc_(config.mbc, int_prf, fp_prf)
+{
+    bundleLevel_.fill(0);
+}
+
+RenameUnit::~RenameUnit()
+{
+    rat_.clear();
+    fpRat_.clear();
+    mbc_.flush();
+}
+
+void
+RenameUnit::reset(const std::array<uint64_t, isa::numIntRegs> &int_init,
+                  const std::array<uint64_t, isa::numFpRegs> &fp_init)
+{
+    // Each architectural register starts mapped to a fresh physical
+    // register whose value is a known constant (the initial state).
+    for (isa::RegIndex r = 0; r < isa::numIntRegs; ++r) {
+        if (r == isa::zeroReg)
+            continue;
+        const PhysRegId p = intPrf_.alloc();
+        conopt_assert(p != invalidPreg);
+        intPrf_.setOracle(p, int_init[r]);
+        const SymbolicValue sym = (config_.enabled && config_.enableCpRa)
+                                      ? SymbolicValue::constant(int_init[r])
+                                      : SymbolicValue::expr(p);
+        rat_.write(r, p, sym);
+        // The table's refs were taken by write(); drop the alloc ref.
+        intPrf_.release(p);
+    }
+    for (isa::RegIndex r = 0; r < isa::numFpRegs; ++r) {
+        const PhysRegId p = fpPrf_.alloc();
+        conopt_assert(p != invalidPreg);
+        fpPrf_.setOracle(p, fp_init[r]);
+        fpRat_.write(r, p);
+        fpPrf_.release(p);
+    }
+}
+
+void
+RenameUnit::beginBundle()
+{
+    bundleLevel_.fill(0);
+    bundleActive_ = true;
+    bundleHasSeq_ = false;
+    chainedMemUsed_ = 0;
+}
+
+unsigned
+RenameUnit::sourceChainLevel(isa::RegIndex reg) const
+{
+    if (reg == isa::zeroReg)
+        return 0;
+    return unsigned(bundleLevel_[reg]);
+}
+
+void
+RenameUnit::noteDestWritten(isa::RegIndex reg, unsigned level)
+{
+    if (reg != isa::zeroReg)
+        bundleLevel_[reg] = int(level);
+}
+
+RenameUnit::View
+RenameUnit::readIntSource(isa::RegIndex reg, uint64_t opt_cycle)
+{
+    View v;
+    const OptRat::Entry &e = rat_.read(reg);
+    v.mapping = e.mapping;
+
+    if (reg == isa::zeroReg) {
+        v.sym = SymbolicValue::constant(0);
+        v.known = 0;
+        return v;
+    }
+
+    if (!config_.enabled) {
+        // Baseline machine: plain rename, no symbolic information.
+        v.sym = SymbolicValue::expr(e.mapping);
+        return v;
+    }
+
+    const unsigned lvl = sourceChainLevel(reg);
+    if (lvl > config_.addChainDepth) {
+        // Depth-limited: this bundle already spent its serial-addition
+        // budget producing this register; fall back to the mapping.
+        v.sym = SymbolicValue::expr(e.mapping);
+        v.viaTrivial = true;
+        ++stats_.depthBlocked;
+    } else {
+        v.sym = e.sym;
+        maxSrcLevel_ = std::max(maxSrcLevel_, lvl);
+    }
+
+    if (v.sym.isConst())
+        v.known = v.sym.value;
+    else if (config_.enableValueFeedback)
+        v.known = v.sym.resolve(intPrf_, opt_cycle);
+    return v;
+}
+
+void
+RenameUnit::writeIntDest(OptResult &r, isa::RegIndex rc,
+                         const SymbolicValue &sym, uint64_t oracle)
+{
+    if (rc == isa::zeroReg)
+        return;
+    const PhysRegId p = intPrf_.alloc();
+    conopt_assert(p != invalidPreg);
+    intPrf_.setOracle(p, oracle);
+    r.destPreg = p;
+    r.destIsFp = false;
+    const bool keep_sym = config_.enabled && config_.enableCpRa;
+    rat_.write(rc, p, keep_sym ? sym : SymbolicValue::expr(p));
+    // The alloc reference is owned by the caller (the pipeline's ROB
+    // entry); the RAT took its own references in write().
+}
+
+void
+RenameUnit::writeIntDestTrivial(OptResult &r, isa::RegIndex rc,
+                                uint64_t oracle)
+{
+    if (rc == isa::zeroReg)
+        return;
+    const PhysRegId p = intPrf_.alloc();
+    conopt_assert(p != invalidPreg);
+    intPrf_.setOracle(p, oracle);
+    r.destPreg = p;
+    r.destIsFp = false;
+    rat_.write(rc, p, SymbolicValue::expr(p));
+}
+
+void
+RenameUnit::writeFpDest(OptResult &r, isa::RegIndex rc, uint64_t oracle)
+{
+    const PhysRegId p = fpPrf_.alloc();
+    conopt_assert(p != invalidPreg);
+    fpPrf_.setOracle(p, oracle);
+    r.destPreg = p;
+    r.destIsFp = true;
+    fpRat_.write(rc, p);
+}
+
+void
+RenameUnit::aliasIntDest(OptResult &r, isa::RegIndex rc, PhysRegId alias,
+                         const SymbolicValue &sym)
+{
+    conopt_assert(rc != isa::zeroReg);
+    intPrf_.addRef(alias); // the ROB entry's hold on the aliased dest
+    r.destPreg = alias;
+    r.destIsFp = false;
+    r.destAliased = true;
+    rat_.write(rc, alias, sym);
+}
+
+void
+RenameUnit::holdDep(OptResult &r, PhysRegId reg, bool fp)
+{
+    (fp ? fpPrf_ : intPrf_).addRef(reg);
+    r.addDep(reg, fp);
+}
+
+void
+RenameUnit::holdStoreData(OptResult &r, PhysRegId reg, bool fp)
+{
+    (fp ? fpPrf_ : intPrf_).addRef(reg);
+    r.storeDataDep = SrcDep{reg, fp};
+}
+
+OptResult
+RenameUnit::renameInst(const arch::DynInst &dyn, uint64_t opt_cycle)
+{
+    conopt_assert(bundleActive_);
+    if (!bundleHasSeq_) {
+        bundleFirstSeq_ = dyn.seq;
+        bundleHasSeq_ = true;
+    }
+    maxSrcLevel_ = 0;
+    ++stats_.instsRenamed;
+
+    const auto &info = isa::opInfo(dyn.inst.op);
+    OptResult r;
+    switch (info.cls) {
+      case OpClass::IntSimple:
+      case OpClass::IntComplex:
+        r = renameAlu(dyn, opt_cycle);
+        break;
+      case OpClass::Fp:
+        r = renameFp(dyn, opt_cycle);
+        break;
+      case OpClass::Mem:
+        r = renameMem(dyn, opt_cycle);
+        break;
+      case OpClass::Control:
+        r = renameControl(dyn, opt_cycle);
+        break;
+      case OpClass::None:
+        r.schedClass = OpClass::None;
+        break;
+    }
+
+    if (r.earlyExecuted)
+        ++stats_.earlyExecuted;
+    return r;
+}
+
+OptResult
+RenameUnit::renameAlu(const arch::DynInst &dyn, uint64_t opt_cycle)
+{
+    const isa::Instruction &inst = dyn.inst;
+    const auto &info = isa::opInfo(inst.op);
+    OptResult r;
+    r.schedClass = info.cls;
+    r.execLatency = info.latency;
+
+    // Operand views. "a" is the ra operand, "b" is rb or the immediate.
+    View va, vb;
+    std::optional<uint64_t> a_known, b_known;
+    bool a_is_reg = info.readsRa;
+    bool b_is_reg = info.readsRb && !inst.useImm;
+    if (a_is_reg) {
+        va = readIntSource(inst.ra, opt_cycle);
+        a_known = va.known;
+    }
+    if (b_is_reg) {
+        vb = readIntSource(inst.rb, opt_cycle);
+        b_known = vb.known;
+    } else if (inst.useImm) {
+        b_known = static_cast<uint64_t>(inst.imm);
+    }
+
+    const bool opt_on = config_.enabled;
+    const bool cpra_on = opt_on && config_.enableCpRa;
+
+    // Strength reduction: multiply by a power of two becomes a shift,
+    // which the optimizer's simple ALUs can both fold and execute.
+    Opcode eff_op = inst.op;
+    if (opt_on && config_.enableStrengthReduction &&
+        inst.op == Opcode::MULQ) {
+        if (b_known && isPowerOfTwo(*b_known)) {
+            eff_op = Opcode::SLL;
+            b_known = uint64_t(log2Exact(*b_known));
+            b_is_reg = false;
+            ++stats_.strengthReductions;
+        } else if (a_known && isPowerOfTwo(*a_known) && b_is_reg) {
+            // Commute: (2^k) * x == x << k.
+            const uint64_t k = log2Exact(*a_known);
+            eff_op = Opcode::SLL;
+            va = vb;
+            a_known = b_known;
+            a_is_reg = true;
+            b_known = k;
+            b_is_reg = false;
+            ++stats_.strengthReductions;
+        }
+    }
+
+    // Early execution: every integer input known and the (effective) op
+    // simple (paper footnote 1: one-cycle instructions only).
+    const bool a_ready = !a_is_reg || a_known.has_value();
+    const bool b_ready = !b_is_reg && (b_known.has_value() || !info.readsRb);
+    const bool b_reg_ready = b_is_reg && b_known.has_value();
+    if (opt_on && isa::isSimpleOp(eff_op) && a_ready &&
+        (b_ready || b_reg_ready)) {
+        const uint64_t a_val = a_is_reg ? *a_known : 0;
+        const uint64_t b_val = b_known ? *b_known : 0;
+        const uint64_t value = isa::aluCompute(eff_op, a_val, b_val);
+        checkValue(value, dyn.result, "early-exec ALU", dyn);
+        r.earlyExecuted = true;
+        r.wasOptimized = true;
+        r.earlyValue = value;
+        r.schedClass = OpClass::None;
+        if (info.writesRc)
+            writeIntDest(r, inst.rc, SymbolicValue::constant(value),
+                         dyn.result);
+        noteDestWritten(inst.rc, maxSrcLevel_ + 1);
+        return r;
+    }
+
+    // Symbolic derivation (CP/RA, paper section 3.1).
+    std::optional<SymbolicValue> derived;
+    if (cpra_on) {
+        switch (eff_op) {
+          case Opcode::ADDQ:
+          case Opcode::LDA:
+            if (a_is_reg && !a_known && va.sym.isExpr() && b_known)
+                derived = va.sym.plusConst(*b_known);
+            else if (b_is_reg && !b_known && vb.sym.isExpr() && a_known)
+                derived = vb.sym.plusConst(*a_known);
+            break;
+          case Opcode::SUBQ:
+            if (a_is_reg && !a_known && va.sym.isExpr() && b_known)
+                derived = va.sym.plusConst(uint64_t(0) - *b_known);
+            break;
+          case Opcode::SLL:
+            if (a_is_reg && !a_known && va.sym.isExpr() && b_known &&
+                *b_known <= 63) {
+                derived = va.sym.shiftedLeft(unsigned(*b_known));
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (derived && info.writesRc) {
+        ++stats_.symRewrites;
+        r.wasOptimized = true;
+        const SymbolicValue &s = *derived;
+        checkValue(s.evaluate(intPrf_.oracleValue(s.base)), dyn.result,
+                   "CP/RA rewrite", dyn);
+        if (config_.enableMoveElim && s.isPureAlias() &&
+            inst.rc != isa::zeroReg) {
+            // Pure register move: no execution at all; the destination
+            // is unified with the source physical register ([15]).
+            aliasIntDest(r, inst.rc, s.base, s);
+            r.earlyExecuted = true;
+            r.moveEliminated = true;
+            r.schedClass = OpClass::None;
+            ++stats_.movesEliminated;
+        } else {
+            // Executes as a single collapsed op on the (earlier) base,
+            // shortening the dependence chain.
+            writeIntDest(r, inst.rc, s, dyn.result);
+            r.schedClass = OpClass::IntSimple;
+            r.execLatency = 1;
+            holdDep(r, s.base);
+        }
+        noteDestWritten(inst.rc, maxSrcLevel_ + 1);
+        return r;
+    }
+
+    // Plain rename. Constant propagation may still have removed source
+    // dependences (a known operand is carried as an immediate).
+    if (a_is_reg && !a_known)
+        holdDep(r, cpra_on && va.sym.isExpr() ? va.sym.base : va.mapping);
+    if (b_is_reg && !b_known)
+        holdDep(r, cpra_on && vb.sym.isExpr() ? vb.sym.base : vb.mapping);
+    if ((a_is_reg && a_known) || (b_is_reg && b_known))
+        r.wasOptimized = opt_on;
+
+    // A strength-reduced multiply that couldn't fold still executes as a
+    // one-cycle shift instead of a multi-cycle multiply.
+    if (eff_op != inst.op) {
+        r.schedClass = OpClass::IntSimple;
+        r.execLatency = 1;
+    }
+
+    if (info.writesRc)
+        writeIntDestTrivial(r, inst.rc, dyn.result);
+    noteDestWritten(inst.rc, 0);
+    return r;
+}
+
+OptResult
+RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
+{
+    const isa::Instruction &inst = dyn.inst;
+    const auto &info = isa::opInfo(inst.op);
+    OptResult r;
+    r.schedClass = OpClass::IntSimple; // branches resolve on simple ALUs
+    r.execLatency = 1;
+
+    const bool opt_on = config_.enabled;
+    const bool cpra_on = opt_on && config_.enableCpRa;
+
+    if (info.raIsFp) {
+        // FBEQ/FBNE: fp condition, not tracked by the optimizer tables.
+        r.schedClass = OpClass::Fp;
+        r.execLatency = 4;
+        holdDep(r, fpRat_.read(inst.ra), true);
+        return r;
+    }
+
+    View va;
+    if (info.readsRa)
+        va = readIntSource(inst.ra, opt_cycle);
+
+    const bool is_direct = !info.isIndirect;
+    bool resolved = false;
+    if (opt_on) {
+        if (info.isCondBranch) {
+            if (va.known) {
+                const bool taken =
+                    isa::branchCondTaken(inst.op, *va.known);
+                checkValue(taken, dyn.taken, "early branch direction",
+                           dyn);
+                resolved = true;
+                r.branchTaken = taken;
+                r.branchTarget = dyn.nextPc;
+            }
+        } else if (is_direct) {
+            // BR/BSR: direction and target are static.
+            resolved = true;
+            r.branchTaken = true;
+            r.branchTarget = static_cast<uint64_t>(inst.imm);
+        } else if (va.known) {
+            // JMP/JSR/RET with a known register target.
+            checkValue(*va.known, dyn.nextPc, "early indirect target",
+                       dyn);
+            resolved = true;
+            r.branchTaken = true;
+            r.branchTarget = *va.known;
+        }
+    }
+
+    if (resolved) {
+        r.branchResolved = true;
+        r.earlyExecuted = true;
+        r.wasOptimized = true;
+        r.schedClass = OpClass::None;
+        r.earlyValue = dyn.pc + isa::instBytes; // link value if any
+        ++stats_.branchesResolved;
+    } else if (info.readsRa) {
+        holdDep(r, cpra_on && va.sym.isExpr() ? va.sym.base : va.mapping);
+        if (cpra_on && va.sym.isExpr() && va.sym.base != va.mapping)
+            r.wasOptimized = true;
+    }
+
+    // Calls write the return address, a PC-derived constant the
+    // optimizer always knows. (Written after the dependence was held so
+    // that a call whose target register is also the link register cannot
+    // free its own source.)
+    if (info.writesRc) {
+        const uint64_t link = dyn.pc + isa::instBytes;
+        if (opt_on)
+            writeIntDest(r, inst.rc, SymbolicValue::constant(link), link);
+        else
+            writeIntDestTrivial(r, inst.rc, link);
+        noteDestWritten(inst.rc, maxSrcLevel_ + 1);
+    }
+
+    // Branch-direction value inference (paper section 2.1): a taken beq
+    // (or a fall-through bne) proves the register is zero. Safe because
+    // wrong-path state is discarded on misprediction recovery.
+    if (cpra_on && config_.enableBranchInference && info.isCondBranch &&
+        inst.ra != isa::zeroReg) {
+        const bool proves_zero = (inst.op == Opcode::BEQ && dyn.taken) ||
+                                 (inst.op == Opcode::BNE && !dyn.taken);
+        if (proves_zero) {
+            rat_.setSym(inst.ra, SymbolicValue::constant(0));
+            noteDestWritten(inst.ra, maxSrcLevel_ + 1);
+            ++stats_.branchInferences;
+        }
+    }
+
+    return r;
+}
+
+OptResult
+RenameUnit::renameMem(const arch::DynInst &dyn, uint64_t opt_cycle)
+{
+    const isa::Instruction &inst = dyn.inst;
+    const auto &info = isa::opInfo(inst.op);
+    OptResult r;
+    r.schedClass = OpClass::Mem;
+    r.execLatency = 1;
+    r.needsAgen = true;
+
+    const bool opt_on = config_.enabled;
+    const bool cpra_on = opt_on && config_.enableCpRa;
+    const bool rlesf_on = opt_on && config_.enableRleSf;
+
+    ++stats_.memOps;
+    if (info.isLoad)
+        ++stats_.loads;
+
+    // --- address generation (CP/RA on the base register) ---------------
+    View base = readIntSource(inst.ra, opt_cycle);
+    const SymbolicValue addr_sym =
+        base.sym.plusConst(static_cast<uint64_t>(inst.imm));
+    if (opt_on && base.known) {
+        const uint64_t addr = *base.known + static_cast<uint64_t>(inst.imm);
+        checkValue(addr, dyn.memAddr, "rename-time address", dyn);
+        r.addrKnown = true;
+        r.needsAgen = false;
+        ++stats_.addrKnown;
+    }
+
+    if (info.isLoad)
+        return renameLoad(dyn, opt_cycle, r, base, addr_sym);
+
+    // --- store ----------------------------------------------------------
+    if (!r.addrKnown)
+        holdDep(r, cpra_on && addr_sym.isExpr() ? addr_sym.base
+                                                : base.mapping);
+
+    // Data dependence and the symbolic data recorded for forwarding. The
+    // data register is read at commit, not by the agen, so it is not a
+    // scheduling dependence.
+    SymbolicValue data_sym = SymbolicValue::constant(0);
+    if (info.rcIsFp) {
+        const PhysRegId fp_map = fpRat_.read(inst.rc);
+        data_sym = SymbolicValue::expr(fp_map, 0, 0, true);
+        holdStoreData(r, fp_map, true);
+    } else {
+        View vc = readIntSource(inst.rc, opt_cycle);
+        data_sym = cpra_on ? vc.sym : SymbolicValue::expr(vc.mapping);
+        if (vc.known && opt_on) {
+            // Known data: the store needs no data register read.
+            r.wasOptimized = true;
+            if (cpra_on)
+                data_sym = SymbolicValue::constant(*vc.known);
+        } else {
+            holdStoreData(r, vc.mapping, false);
+        }
+    }
+
+    // --- store forwarding bookkeeping (MBC update) ----------------------
+    if (rlesf_on) {
+        if (r.addrKnown) {
+            mbc_.insert(dyn.memAddr, info.memSize, data_sym,
+                        /*from_load=*/false, dyn.seq);
+        } else if (config_.mbcFlushOnUnknownStore) {
+            mbc_.flush();
+        }
+        // Speculative mode: stale entries are invalidated when the store
+        // executes (onStoreExecuted); wrong forwards are caught by the
+        // strict check and handled as misspeculation.
+    }
+    return r;
+}
+
+OptResult
+RenameUnit::renameLoad(const arch::DynInst &dyn, uint64_t opt_cycle,
+                       OptResult r, const View &base,
+                       const SymbolicValue &addr_sym)
+{
+    const isa::Instruction &inst = dyn.inst;
+    const auto &info = isa::opInfo(inst.op);
+    const bool cpra_on = config_.enabled && config_.enableCpRa;
+    const bool rlesf_on = config_.enabled && config_.enableRleSf;
+    const bool fp_dest = info.rcIsFp;
+
+    // --- RLE / store forwarding ----------------------------------------
+    if (r.addrKnown && rlesf_on) {
+        const MemoryBypassCache::Entry *e =
+            mbc_.lookup(dyn.memAddr, info.memSize, fp_dest);
+
+        // Intra-bundle MBC forwarding is disallowed (optionally one per
+        // bundle, fig. 10's "1 mem").
+        if (e && e->writerSeq >= bundleFirstSeq_) {
+            if (config_.allowChainedMem && chainedMemUsed_ == 0)
+                ++chainedMemUsed_;
+            else
+                e = nullptr;
+        }
+
+        if (e) {
+            // Forwarded data, with the load's size transformation when
+            // the entry came from a narrower store (const-only).
+            SymbolicValue fsym = e->sym;
+            if (!e->fromLoad && info.memSize < 8) {
+                conopt_assert(fsym.isConst());
+                uint64_t v = fsym.value;
+                if (inst.op == Opcode::LDL)
+                    v = static_cast<uint64_t>(sext64(v, 32));
+                else if (inst.op == Opcode::LDBU)
+                    v &= 0xFF;
+                else if (inst.op == Opcode::LDQ)
+                    conopt_panic("size-4/1 MBC entry matched an ldq");
+                fsym = SymbolicValue::constant(v);
+            }
+
+            const uint64_t expected =
+                fsym.isConst()
+                    ? fsym.value
+                    : fsym.evaluate(fsym.isFp
+                                        ? fpPrf_.oracleValue(fsym.base)
+                                        : intPrf_.oracleValue(fsym.base));
+            if (expected != dyn.result) {
+                // Stale entry: an unknown-address store intervened and
+                // we speculated through it (paper section 3.2).
+                r.mbcMisspec = true;
+                ++stats_.mbcMisspecs;
+                mbc_.invalidateEntry(e);
+            } else {
+                r.loadRemoved = true;
+                r.wasOptimized = true;
+                ++stats_.loadsRemoved;
+
+                std::optional<uint64_t> v;
+                if (fsym.isConst())
+                    v = fsym.value;
+                else if (config_.enableValueFeedback && !fsym.isFp)
+                    v = fsym.resolve(intPrf_, opt_cycle);
+
+                if (v) {
+                    // Fully known value: the load executes in the
+                    // optimizer (its result is a constant).
+                    r.earlyExecuted = true;
+                    r.earlyValue = *v;
+                    r.schedClass = OpClass::None;
+                    r.needsAgen = false;
+                    if (fp_dest)
+                        writeFpDest(r, inst.rc, dyn.result);
+                    else if (inst.rc != isa::zeroReg)
+                        writeIntDest(r, inst.rc,
+                                     SymbolicValue::constant(*v),
+                                     dyn.result);
+                    noteDestWritten(fp_dest ? isa::zeroReg : inst.rc,
+                                    mbcChainLevel);
+                } else if (fsym.isPureAlias()) {
+                    // The classic converted-to-move case, optimized away
+                    // by unifying the destination with the source.
+                    r.earlyExecuted = true;
+                    r.schedClass = OpClass::None;
+                    r.needsAgen = false;
+                    if (fp_dest) {
+                        fpPrf_.addRef(fsym.base); // ROB hold
+                        r.destPreg = fsym.base;
+                        r.destIsFp = true;
+                        r.destAliased = true;
+                        fpRat_.write(inst.rc, fsym.base);
+                    } else if (inst.rc != isa::zeroReg) {
+                        aliasIntDest(r, inst.rc, fsym.base, fsym);
+                        noteDestWritten(inst.rc, mbcChainLevel);
+                    }
+                } else {
+                    // Symbolic (base << scale) + offset data: the load
+                    // becomes a single ALU op on the base register; no
+                    // cache access, no agen.
+                    conopt_assert(!fsym.isFp);
+                    r.loadSynthesized = true;
+                    ++stats_.loadsSynthesized;
+                    r.schedClass = OpClass::IntSimple;
+                    r.execLatency = 1;
+                    r.needsAgen = false;
+                    holdDep(r, fsym.base);
+                    if (inst.rc != isa::zeroReg) {
+                        writeIntDest(r, inst.rc, fsym, dyn.result);
+                        noteDestWritten(inst.rc, mbcChainLevel);
+                    }
+                }
+                return r;
+            }
+        }
+    }
+
+    // --- normal load -----------------------------------------------------
+    if (!r.addrKnown)
+        holdDep(r, cpra_on && addr_sym.isExpr() ? addr_sym.base
+                                                : base.mapping);
+
+    if (fp_dest)
+        writeFpDest(r, inst.rc, dyn.result);
+    else if (inst.rc != isa::zeroReg)
+        writeIntDestTrivial(r, inst.rc, dyn.result);
+    noteDestWritten(fp_dest ? isa::zeroReg : inst.rc, 0);
+
+    // Record the loaded value for redundant load elimination.
+    if (r.addrKnown && rlesf_on && r.destPreg != invalidPreg) {
+        mbc_.insert(dyn.memAddr, info.memSize,
+                    SymbolicValue::expr(r.destPreg, 0, 0, fp_dest),
+                    /*from_load=*/true, dyn.seq);
+    }
+    return r;
+}
+
+OptResult
+RenameUnit::renameFp(const arch::DynInst &dyn, uint64_t opt_cycle)
+{
+    const isa::Instruction &inst = dyn.inst;
+    const auto &info = isa::opInfo(inst.op);
+    OptResult r;
+    r.schedClass = OpClass::Fp;
+    r.execLatency = info.latency;
+
+    if (info.readsRa) {
+        if (info.raIsFp) {
+            holdDep(r, fpRat_.read(inst.ra), true);
+        } else {
+            // CVTQT reads an integer register.
+            View va = readIntSource(inst.ra, opt_cycle);
+            if (!va.known)
+                holdDep(r, va.mapping);
+            else
+                r.wasOptimized = config_.enabled;
+        }
+    }
+    if (info.readsRb && info.rbIsFp)
+        holdDep(r, fpRat_.read(inst.rb), true);
+
+    if (info.writesRc) {
+        if (info.rcIsFp) {
+            writeFpDest(r, inst.rc, dyn.result);
+        } else {
+            // CVTTQ writes an integer register.
+            writeIntDestTrivial(r, inst.rc, dyn.result);
+            noteDestWritten(inst.rc, 0);
+        }
+    }
+    return r;
+}
+
+void
+RenameUnit::onStoreExecuted(uint64_t addr, unsigned size, uint64_t seq)
+{
+    if (config_.enabled && config_.enableRleSf)
+        mbc_.invalidateStale(addr, size, seq);
+}
+
+} // namespace conopt::core

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The continuous optimizer: the combined rename + optimization unit the
+ * paper places in the rename stage (sections 2 and 3).
+ *
+ * RenameUnit::renameInst() performs, per dynamic instruction:
+ *
+ *   1. CP/RA  -- read the symbolic RAT, propagate constants (including
+ *      values returned by value feedback), reassociate add/shift chains
+ *      into the (base << scale) + offset form, apply strength reduction
+ *      and move elimination, and early-execute simple instructions whose
+ *      inputs are all known. Intra-bundle dependence depth is limited as
+ *      in the hardware (one ALU level per rename bundle by default).
+ *   2. RLE/SF -- for memory operations whose address is fully generated
+ *      at rename, query/update the Memory Bypass Cache, converting loads
+ *      that hit into (eliminated) moves.
+ *   3. Rename -- allocate the destination physical register (or alias it
+ *      for eliminated moves/loads) and publish the new RAT entry.
+ *
+ * All derived values are cross-checked against the oracle values carried
+ * by the DynInst (strict expression-and-value checking, paper sec. 4.2).
+ */
+
+#ifndef CONOPT_CORE_OPTIMIZER_HH
+#define CONOPT_CORE_OPTIMIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/arch/dyn_inst.hh"
+#include "src/core/mbc.hh"
+#include "src/core/opt_rat.hh"
+#include "src/core/phys_reg.hh"
+#include "src/core/symbolic.hh"
+#include "src/isa/isa.hh"
+
+namespace conopt::core {
+
+/** Feature switches and size knobs for the optimizer. */
+struct OptimizerConfig
+{
+    /** Master switch; false models the baseline machine (plain rename,
+     *  no extra pipeline stages). */
+    bool enabled = false;
+
+    bool enableCpRa = true;       ///< symbolic CP/RA (false: feedback only)
+    bool enableRleSf = true;      ///< MBC-based RLE and store forwarding
+    bool enableValueFeedback = true; ///< consult fed-back values
+    bool enableBranchInference = true; ///< beq/bne imply register == 0
+    bool enableStrengthReduction = true; ///< mul by 2^k -> shift
+    bool enableMoveElim = true;   ///< alias pure register moves
+
+    /** Intra-bundle chained additions allowed (paper fig. 10: "depth").
+     *  0 = only the first instruction of a dependence chain in a rename
+     *  bundle is optimized. */
+    unsigned addChainDepth = 0;
+
+    /** Allow one load per bundle to forward from an MBC entry written
+     *  earlier in the same bundle (fig. 10, "depth 3 & 1 mem"). */
+    bool allowChainedMem = false;
+
+    /** Extra rename pipeline stages the optimizer adds (fig. 11). */
+    unsigned extraStages = 2;
+
+    /** MBC geometry. */
+    MbcConfig mbc;
+
+    /** Flush the MBC when a store with unknown address renames, instead
+     *  of proceeding speculatively (paper section 3.2). */
+    bool mbcFlushOnUnknownStore = false;
+
+    /** Preset: everything on (the paper's default optimizer). */
+    static OptimizerConfig
+    full()
+    {
+        OptimizerConfig c;
+        c.enabled = true;
+        return c;
+    }
+
+    /** Preset: value feedback only (fig. 9's "feedback" bars). */
+    static OptimizerConfig
+    feedbackOnly()
+    {
+        OptimizerConfig c;
+        c.enabled = true;
+        c.enableCpRa = false;
+        c.enableRleSf = false;
+        c.enableBranchInference = false;
+        c.enableStrengthReduction = false;
+        c.enableMoveElim = false;
+        return c;
+    }
+
+    /** Preset: the baseline machine without an optimizer. */
+    static OptimizerConfig
+    baseline()
+    {
+        OptimizerConfig c;
+        c.enabled = false;
+        c.extraStages = 0;
+        return c;
+    }
+};
+
+/** A rewritten source dependence handed to the out-of-order core. */
+struct SrcDep
+{
+    PhysRegId reg = invalidPreg;
+    bool isFp = false;
+};
+
+/** Everything the pipeline needs to know about one renamed instruction. */
+struct OptResult
+{
+    // --- classification ------------------------------------------------
+    bool earlyExecuted = false;  ///< executes in the optimizer; no OoO work
+    bool moveEliminated = false; ///< dest aliased to an existing register
+    bool loadRemoved = false;    ///< RLE/SF converted the load to a move
+    bool loadSynthesized = false;///< removed load that became one ALU op
+    bool addrKnown = false;      ///< memory address generated at rename
+    bool branchResolved = false; ///< branch outcome computed at rename
+    bool branchTaken = false;    ///< resolved direction / indirect target
+    uint64_t branchTarget = 0;   ///< resolved target when branchResolved
+    bool mbcMisspec = false;     ///< stale MBC data detected (speculation)
+    bool wasOptimized = false;   ///< some symbolic rewrite was applied
+
+    // --- dataflow handed to the OoO core -------------------------------
+    /** Scheduler class after rewriting; OpClass::None means the
+     *  instruction skips the schedulers entirely. */
+    isa::OpClass schedClass = isa::OpClass::None;
+    unsigned execLatency = 1;
+    std::array<SrcDep, 3> deps{};
+    unsigned numDeps = 0;
+    /** Stores: the data register, needed at commit (not for agen). */
+    SrcDep storeDataDep{};
+    PhysRegId destPreg = invalidPreg;
+    bool destIsFp = false;
+    bool destAliased = false;    ///< destPreg is a pre-existing register
+    bool needsAgen = false;      ///< memory op still needs an agen unit
+    uint64_t earlyValue = 0;     ///< result when earlyExecuted
+
+    void
+    addDep(PhysRegId reg, bool fp = false)
+    {
+        deps[numDeps++] = SrcDep{reg, fp};
+    }
+};
+
+/** Optimization-activity counters (inputs to Table 3). */
+struct OptStats
+{
+    uint64_t instsRenamed = 0;
+    uint64_t earlyExecuted = 0;
+    uint64_t movesEliminated = 0;
+    uint64_t branchesResolved = 0;
+    uint64_t memOps = 0;
+    uint64_t loads = 0;
+    uint64_t addrKnown = 0;
+    uint64_t loadsRemoved = 0;
+    uint64_t loadsSynthesized = 0;
+    uint64_t mbcMisspecs = 0;
+    uint64_t symRewrites = 0;
+    uint64_t depthBlocked = 0;
+    uint64_t strengthReductions = 0;
+    uint64_t branchInferences = 0;
+};
+
+/**
+ * The rename + continuous-optimization unit.
+ *
+ * Drive it with beginBundle() once per rename cycle, then renameInst()
+ * for each instruction renamed that cycle. The pipeline is responsible
+ * for resource checks (ROB space, free physical registers) *before*
+ * calling renameInst.
+ *
+ * Reference ownership: every physical register named in the returned
+ * OptResult (destPreg, deps[], storeDataDep) carries one reference owned
+ * by the caller's ROB entry, taken by the rename unit itself before any
+ * table update could free the register. The caller must release those
+ * references when the instruction retires.
+ */
+class RenameUnit
+{
+  public:
+    RenameUnit(const OptimizerConfig &config, PhysRegInterface &int_prf,
+               PhysRegInterface &fp_prf);
+    ~RenameUnit();
+
+    /**
+     * Install the initial architectural state: every integer register
+     * maps to a freshly allocated physical register holding @p int_init,
+     * recorded as a known constant; same for fp.
+     */
+    void reset(const std::array<uint64_t, isa::numIntRegs> &int_init,
+               const std::array<uint64_t, isa::numFpRegs> &fp_init);
+
+    /** Start a new rename bundle (clears intra-bundle chaining state). */
+    void beginBundle();
+
+    /**
+     * Rename and optimize one instruction.
+     *
+     * @param dyn the dynamic instruction with oracle values
+     * @param opt_cycle the cycle at which the optimizer examines the
+     *        instruction (rename cycle + extra optimizer stages); value
+     *        feedback visible by this cycle is used
+     */
+    OptResult renameInst(const arch::DynInst &dyn, uint64_t opt_cycle);
+
+    /**
+     * Notification that a store with a rename-time-unknown address has
+     * executed; invalidates stale MBC entries (speculative mode).
+     */
+    void onStoreExecuted(uint64_t addr, unsigned size, uint64_t seq);
+
+    const OptimizerConfig &config() const { return config_; }
+    const OptRat &rat() const { return rat_; }
+    const FpRat &fpRat() const { return fpRat_; }
+    MemoryBypassCache &mbc() { return mbc_; }
+    const OptStats &stats() const { return stats_; }
+
+  private:
+    /** A source operand's view through the optimization tables. */
+    struct View
+    {
+        SymbolicValue sym = SymbolicValue::constant(0);
+        PhysRegId mapping = invalidPreg; ///< plain renamed register
+        std::optional<uint64_t> known;   ///< resolved constant, if any
+        bool viaTrivial = false;         ///< depth-limited trivial view
+    };
+
+    View readIntSource(isa::RegIndex reg, uint64_t opt_cycle);
+    void noteDestWritten(isa::RegIndex reg, unsigned level);
+    unsigned sourceChainLevel(isa::RegIndex reg) const;
+
+    OptResult renameAlu(const arch::DynInst &dyn, uint64_t opt_cycle);
+    OptResult renameMem(const arch::DynInst &dyn, uint64_t opt_cycle);
+    OptResult renameLoad(const arch::DynInst &dyn, uint64_t opt_cycle,
+                         OptResult r, const View &base,
+                         const SymbolicValue &addr_sym);
+    OptResult renameControl(const arch::DynInst &dyn, uint64_t opt_cycle);
+    OptResult renameFp(const arch::DynInst &dyn, uint64_t opt_cycle);
+
+    /** Allocate the integer destination and publish the RAT entry. */
+    void writeIntDest(OptResult &r, isa::RegIndex rc,
+                      const SymbolicValue &sym, uint64_t oracle);
+    /** Allocate the integer destination with a trivial self-alias. */
+    void writeIntDestTrivial(OptResult &r, isa::RegIndex rc,
+                             uint64_t oracle);
+    /** Allocate a floating-point destination register. */
+    void writeFpDest(OptResult &r, isa::RegIndex rc, uint64_t oracle);
+    /** Alias the integer destination to an existing register. */
+    void aliasIntDest(OptResult &r, isa::RegIndex rc, PhysRegId alias,
+                      const SymbolicValue &sym);
+    /** Record a scheduling dependence, taking the ROB's reference. */
+    void holdDep(OptResult &r, PhysRegId reg, bool fp = false);
+    /** Record a store's data dependence, taking the ROB's reference. */
+    void holdStoreData(OptResult &r, PhysRegId reg, bool fp);
+
+    OptimizerConfig config_;
+    PhysRegInterface &intPrf_;
+    PhysRegInterface &fpPrf_;
+    OptRat rat_;
+    FpRat fpRat_;
+    MemoryBypassCache mbc_;
+    OptStats stats_;
+
+    // Intra-bundle chaining state (reset by beginBundle).
+    std::array<int, isa::numIntRegs> bundleLevel_;
+    uint64_t bundleFirstSeq_ = 0;
+    bool bundleActive_ = false;
+    bool bundleHasSeq_ = false;
+    unsigned chainedMemUsed_ = 0;
+    unsigned maxSrcLevel_ = 0; ///< per-instruction scratch
+};
+
+} // namespace conopt::core
+
+#endif // CONOPT_CORE_OPTIMIZER_HH

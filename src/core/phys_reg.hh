@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Physical register identifiers and the interface the optimizer uses to
+ * talk to a physical register file. The concrete register file (with
+ * timing state) lives in the pipeline library; unit tests provide mocks.
+ *
+ * The paper relies on a reference-counting allocation scheme (Jourdan et
+ * al. [15]) because the optimizer extends physical register lifetimes
+ * beyond the classic free-on-next-overwrite-retire point. The interface
+ * exposes exactly that: addRef/release, plus the value-feedback query.
+ */
+
+#ifndef CONOPT_CORE_PHYS_REG_HH
+#define CONOPT_CORE_PHYS_REG_HH
+
+#include <cstdint>
+
+namespace conopt::core {
+
+/** Physical register name. */
+using PhysRegId = uint16_t;
+
+/** Sentinel meaning "no physical register". */
+constexpr PhysRegId invalidPreg = 0xFFFF;
+
+/**
+ * What the optimizer needs from a physical register file.
+ *
+ * Reference counts keep a register's value live while any RAT symbolic
+ * entry, MBC entry, in-flight consumer, or architectural mapping still
+ * refers to it.
+ */
+class PhysRegInterface
+{
+  public:
+    virtual ~PhysRegInterface() = default;
+
+    /**
+     * Allocate a fresh register with one reference (the caller's).
+     * Returns invalidPreg if the free list is empty.
+     */
+    virtual PhysRegId alloc() = 0;
+
+    /** Number of registers currently free. */
+    virtual unsigned freeCount() const = 0;
+
+    /** Take an additional reference. */
+    virtual void addRef(PhysRegId reg) = 0;
+
+    /** Drop a reference; the register is freed when the count hits 0. */
+    virtual void release(PhysRegId reg) = 0;
+
+    /**
+     * Value feedback (paper section 3.3): true if the value of @p reg has
+     * been produced and transmitted back to the optimization tables by
+     * @p cycle. On success @p value is the register's value.
+     */
+    virtual bool valueKnown(PhysRegId reg, uint64_t cycle,
+                            uint64_t &value) const = 0;
+
+    /**
+     * The oracle (architecturally correct) value this register will hold,
+     * available as soon as the producer is renamed. Used only for the
+     * strict expression-and-value checking described in paper section
+     * 4.2, never for timing decisions.
+     */
+    virtual uint64_t oracleValue(PhysRegId reg) const = 0;
+
+    /** Record the oracle value for a freshly allocated register. */
+    virtual void setOracle(PhysRegId reg, uint64_t value) = 0;
+};
+
+} // namespace conopt::core
+
+#endif // CONOPT_CORE_PHYS_REG_HH

@@ -1,0 +1,30 @@
+#include "src/core/symbolic.hh"
+
+#include <cstdio>
+
+namespace conopt::core {
+
+std::string
+SymbolicValue::toString() const
+{
+    char buf[64];
+    if (kind == Kind::Const) {
+        std::snprintf(buf, sizeof(buf), "#%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    const char *pfx = isFp ? "fp" : "p";
+    if (scale == 0 && offset == 0) {
+        std::snprintf(buf, sizeof(buf), "%s%u", pfx, unsigned(base));
+    } else if (scale == 0) {
+        std::snprintf(buf, sizeof(buf), "%s%u + %lld", pfx, unsigned(base),
+                      static_cast<long long>(offset));
+    } else {
+        std::snprintf(buf, sizeof(buf), "(%s%u << %u) + %lld", pfx,
+                      unsigned(base), unsigned(scale),
+                      static_cast<long long>(offset));
+    }
+    return buf;
+}
+
+} // namespace conopt::core

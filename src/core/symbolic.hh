@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The symbolic value representation at the heart of continuous
+ * optimization (paper section 3.1).
+ *
+ * Each integer architectural register's RAT entry carries a symbolic
+ * expression of the form
+ *
+ *     (physreg << scale) + offset
+ *
+ * where scale is a 2-bit left-shift amount (0..3) and offset is a full
+ * 64-bit two's-complement immediate. A known constant is encoded by
+ * pointing the register field at the hardwired zero register and placing
+ * the constant in the base-register-value field; here we model that with
+ * an explicit Const kind.
+ */
+
+#ifndef CONOPT_CORE_SYMBOLIC_HH
+#define CONOPT_CORE_SYMBOLIC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/core/phys_reg.hh"
+
+namespace conopt::core {
+
+/** Hardware limit of the 2-bit scale field. */
+constexpr unsigned maxSymScale = 3;
+
+/** A symbolic register value: constant, or (base << scale) + offset. */
+struct SymbolicValue
+{
+    enum class Kind : uint8_t
+    {
+        Expr,  ///< (base << scale) + offset
+        Const, ///< a fully known 64-bit value
+    };
+
+    Kind kind = Kind::Const;
+    PhysRegId base = invalidPreg; ///< Expr: base physical register
+    uint8_t scale = 0;            ///< Expr: 2-bit left shift (0..3)
+    uint64_t offset = 0;          ///< Expr: wrapping 64-bit offset
+    uint64_t value = 0;           ///< Const: the value
+
+    /** Whether the expression holds a floating-point register alias.
+     *  FP values are never folded; only pure aliases are tracked, which
+     *  is what store forwarding of fp data needs. */
+    bool isFp = false;
+
+    static SymbolicValue
+    constant(uint64_t v)
+    {
+        SymbolicValue s;
+        s.kind = Kind::Const;
+        s.value = v;
+        return s;
+    }
+
+    static SymbolicValue
+    expr(PhysRegId base, uint8_t scale = 0, uint64_t offset = 0,
+         bool is_fp = false)
+    {
+        SymbolicValue s;
+        s.kind = Kind::Expr;
+        s.base = base;
+        s.scale = scale;
+        s.offset = offset;
+        s.isFp = is_fp;
+        return s;
+    }
+
+    bool isConst() const { return kind == Kind::Const; }
+    bool isExpr() const { return kind == Kind::Expr; }
+
+    /** Expr with scale 0 and offset 0: a plain register alias. */
+    bool
+    isPureAlias() const
+    {
+        return kind == Kind::Expr && scale == 0 && offset == 0;
+    }
+
+    /** Evaluate the expression given the base register's value. */
+    uint64_t
+    evaluate(uint64_t base_value) const
+    {
+        if (kind == Kind::Const)
+            return value;
+        return (base_value << scale) + offset;
+    }
+
+    /**
+     * Add a constant: CP/RA folds `x + k` into the offset field.
+     * Always representable.
+     */
+    SymbolicValue
+    plusConst(uint64_t k) const
+    {
+        SymbolicValue s = *this;
+        if (s.kind == Kind::Const)
+            s.value += k;
+        else
+            s.offset += k;
+        return s;
+    }
+
+    /**
+     * Left-shift by a constant @p k: `(b<<s)+o << k = (b<<(s+k))+(o<<k)`.
+     * Representable only while the combined scale fits the 2-bit field.
+     */
+    std::optional<SymbolicValue>
+    shiftedLeft(unsigned k) const
+    {
+        if (kind == Kind::Const)
+            return constant(value << (k & 63));
+        if (isFp)
+            return std::nullopt;
+        if (scale + k > maxSymScale)
+            return std::nullopt;
+        SymbolicValue s = *this;
+        s.scale = uint8_t(scale + k);
+        s.offset = offset << k;
+        return s;
+    }
+
+    /**
+     * Resolve to a known constant if possible: Const directly, or Expr
+     * whose base value has been fed back by @p cycle (paper section 2.2,
+     * value feedback).
+     */
+    std::optional<uint64_t>
+    resolve(const PhysRegInterface &prf, uint64_t cycle) const
+    {
+        if (kind == Kind::Const)
+            return value;
+        if (isFp)
+            return std::nullopt;
+        uint64_t base_value;
+        if (prf.valueKnown(base, cycle, base_value))
+            return evaluate(base_value);
+        return std::nullopt;
+    }
+
+    bool
+    operator==(const SymbolicValue &o) const
+    {
+        if (kind != o.kind)
+            return false;
+        if (kind == Kind::Const)
+            return value == o.value;
+        return base == o.base && scale == o.scale && offset == o.offset &&
+               isFp == o.isFp;
+    }
+
+    /** Debug rendering, e.g. "(p35 << 1) + 8" or "#42". */
+    std::string toString() const;
+};
+
+} // namespace conopt::core
+
+#endif // CONOPT_CORE_SYMBOLIC_HH

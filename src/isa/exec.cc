@@ -1,0 +1,120 @@
+#include "src/isa/exec.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::isa {
+
+uint64_t
+aluCompute(Opcode op, uint64_t a, uint64_t b)
+{
+    auto as_d = [](uint64_t v) { return std::bit_cast<double>(v); };
+    auto from_d = [](double d) { return std::bit_cast<uint64_t>(d); };
+    const int64_t sa = static_cast<int64_t>(a);
+    const int64_t sb = static_cast<int64_t>(b);
+
+    switch (op) {
+      case Opcode::ADDQ:
+      case Opcode::LDA:
+        return wrappingAdd(a, b);
+      case Opcode::SUBQ:
+        return wrappingSub(a, b);
+      case Opcode::AND:
+        return a & b;
+      case Opcode::BIS:
+        return a | b;
+      case Opcode::XOR:
+        return a ^ b;
+      case Opcode::SLL:
+        return a << (b & 63);
+      case Opcode::SRL:
+        return a >> (b & 63);
+      case Opcode::SRA:
+        return static_cast<uint64_t>(sa >> (b & 63));
+      case Opcode::CMPEQ:
+        return a == b;
+      case Opcode::CMPLT:
+        return sa < sb;
+      case Opcode::CMPLE:
+        return sa <= sb;
+      case Opcode::CMPULT:
+        return a < b;
+      case Opcode::CMPULE:
+        return a <= b;
+      case Opcode::ADDL:
+        return static_cast<uint64_t>(sext64(wrappingAdd(a, b), 32));
+      case Opcode::SUBL:
+        return static_cast<uint64_t>(sext64(wrappingSub(a, b), 32));
+      case Opcode::SEXTL:
+        return static_cast<uint64_t>(sext64(b, 32));
+      case Opcode::MULQ:
+        return wrappingMul(a, b);
+      case Opcode::DIVQ:
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return static_cast<uint64_t>(INT64_MIN);
+        return static_cast<uint64_t>(sa / sb);
+      case Opcode::REMQ:
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return 0;
+        return static_cast<uint64_t>(sa % sb);
+      case Opcode::ADDT:
+        return from_d(as_d(a) + as_d(b));
+      case Opcode::SUBT:
+        return from_d(as_d(a) - as_d(b));
+      case Opcode::MULT:
+        return from_d(as_d(a) * as_d(b));
+      case Opcode::DIVT:
+        return from_d(as_d(a) / as_d(b));
+      case Opcode::SQRTT:
+        return from_d(std::sqrt(as_d(b)));
+      case Opcode::CMPTLT:
+        return from_d(as_d(a) < as_d(b) ? 1.0 : 0.0);
+      case Opcode::CMPTEQ:
+        return from_d(as_d(a) == as_d(b) ? 1.0 : 0.0);
+      case Opcode::CVTQT:
+        return from_d(static_cast<double>(sa));
+      case Opcode::CVTTQ:
+        return static_cast<uint64_t>(static_cast<int64_t>(as_d(b)));
+      case Opcode::FMOV:
+        return b;
+      default:
+        conopt_panic("aluCompute on non-ALU opcode %s",
+                     opInfo(op).mnemonic);
+    }
+}
+
+bool
+branchCondTaken(Opcode op, uint64_t a)
+{
+    const int64_t sa = static_cast<int64_t>(a);
+    switch (op) {
+      case Opcode::BEQ:
+        return a == 0;
+      case Opcode::BNE:
+        return a != 0;
+      case Opcode::BLT:
+        return sa < 0;
+      case Opcode::BGE:
+        return sa >= 0;
+      case Opcode::BLE:
+        return sa <= 0;
+      case Opcode::BGT:
+        return sa > 0;
+      case Opcode::FBEQ:
+        return std::bit_cast<double>(a) == 0.0;
+      case Opcode::FBNE:
+        return std::bit_cast<double>(a) != 0.0;
+      default:
+        conopt_panic("branchCondTaken on non-conditional opcode %s",
+                     opInfo(op).mnemonic);
+    }
+}
+
+} // namespace conopt::isa

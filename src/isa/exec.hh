@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared execution semantics: the single definition of what each ALU op
+ * and branch condition computes. Used by the functional emulator and by
+ * the continuous optimizer's early-execution path, so the two can never
+ * disagree.
+ */
+
+#ifndef CONOPT_ISA_EXEC_HH
+#define CONOPT_ISA_EXEC_HH
+
+#include <cstdint>
+
+#include "src/isa/isa.hh"
+
+namespace conopt::isa {
+
+/**
+ * Compute the result of an ALU operation (integer or floating point; fp
+ * operands/results are double bit patterns).
+ */
+uint64_t aluCompute(Opcode op, uint64_t a, uint64_t b);
+
+/** Evaluate a conditional branch's direction given its register value. */
+bool branchCondTaken(Opcode op, uint64_t a);
+
+} // namespace conopt::isa
+
+#endif // CONOPT_ISA_EXEC_HH

@@ -1,0 +1,337 @@
+#include "src/isa/isa.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "src/util/logging.hh"
+
+namespace conopt::isa {
+
+namespace {
+
+using OC = OpClass;
+
+constexpr OpInfo
+intOp(const char *m, uint8_t lat = 1, OC cls = OC::IntSimple)
+{
+    OpInfo i{};
+    i.mnemonic = m;
+    i.cls = cls;
+    i.latency = lat;
+    i.readsRa = true;
+    i.readsRb = true;
+    i.writesRc = true;
+    return i;
+}
+
+constexpr OpInfo
+fpOp(const char *m, uint8_t lat, bool reads_a = true)
+{
+    OpInfo i{};
+    i.mnemonic = m;
+    i.cls = OC::Fp;
+    i.latency = lat;
+    i.readsRa = reads_a;
+    i.readsRb = true;
+    i.writesRc = true;
+    i.raIsFp = reads_a;
+    i.rbIsFp = true;
+    i.rcIsFp = true;
+    return i;
+}
+
+constexpr OpInfo
+loadOp(const char *m, uint8_t size, bool fp = false)
+{
+    OpInfo i{};
+    i.mnemonic = m;
+    i.cls = OC::Mem;
+    i.latency = 1; // cache latency added by the memory model
+    i.isLoad = true;
+    i.memSize = size;
+    i.readsRa = true;
+    i.writesRc = true;
+    i.rcIsFp = fp;
+    return i;
+}
+
+constexpr OpInfo
+storeOp(const char *m, uint8_t size, bool fp = false)
+{
+    OpInfo i{};
+    i.mnemonic = m;
+    i.cls = OC::Mem;
+    i.latency = 1;
+    i.isStore = true;
+    i.memSize = size;
+    i.readsRa = true;
+    i.readsRc = true;
+    i.rcIsFp = fp;
+    return i;
+}
+
+constexpr OpInfo
+condBr(const char *m, bool fp = false)
+{
+    OpInfo i{};
+    i.mnemonic = m;
+    i.cls = OC::Control;
+    i.latency = 1;
+    i.isBranch = true;
+    i.isCondBranch = true;
+    i.readsRa = true;
+    i.raIsFp = fp;
+    return i;
+}
+
+constexpr std::array<OpInfo, size_t(Opcode::NumOpcodes)>
+buildTable()
+{
+    std::array<OpInfo, size_t(Opcode::NumOpcodes)> t{};
+    auto set = [&t](Opcode op, OpInfo i) { t[size_t(op)] = i; };
+
+    set(Opcode::ADDQ, intOp("addq"));
+    set(Opcode::SUBQ, intOp("subq"));
+    set(Opcode::AND, intOp("and"));
+    set(Opcode::BIS, intOp("bis"));
+    set(Opcode::XOR, intOp("xor"));
+    set(Opcode::SLL, intOp("sll"));
+    set(Opcode::SRL, intOp("srl"));
+    set(Opcode::SRA, intOp("sra"));
+    set(Opcode::CMPEQ, intOp("cmpeq"));
+    set(Opcode::CMPLT, intOp("cmplt"));
+    set(Opcode::CMPLE, intOp("cmple"));
+    set(Opcode::CMPULT, intOp("cmpult"));
+    set(Opcode::CMPULE, intOp("cmpule"));
+    {
+        OpInfo i = intOp("lda");
+        i.readsRb = false; // lda is always ra + imm
+        set(Opcode::LDA, i);
+    }
+    set(Opcode::ADDL, intOp("addl"));
+    set(Opcode::SUBL, intOp("subl"));
+    {
+        OpInfo i = intOp("sextl");
+        i.readsRa = false;
+        set(Opcode::SEXTL, i);
+    }
+
+    set(Opcode::MULQ, intOp("mulq", 7, OC::IntComplex));
+    set(Opcode::DIVQ, intOp("divq", 20, OC::IntComplex));
+    set(Opcode::REMQ, intOp("remq", 20, OC::IntComplex));
+
+    set(Opcode::ADDT, fpOp("addt", 4));
+    set(Opcode::SUBT, fpOp("subt", 4));
+    set(Opcode::MULT, fpOp("mult", 4));
+    set(Opcode::DIVT, fpOp("divt", 12));
+    set(Opcode::SQRTT, fpOp("sqrtt", 16, false));
+    set(Opcode::CMPTLT, fpOp("cmptlt", 4));
+    set(Opcode::CMPTEQ, fpOp("cmpteq", 4));
+    {
+        // int -> fp: reads integer ra, writes fp rc.
+        OpInfo i{};
+        i.mnemonic = "cvtqt";
+        i.cls = OC::Fp;
+        i.latency = 4;
+        i.readsRa = true;
+        i.writesRc = true;
+        i.rcIsFp = true;
+        set(Opcode::CVTQT, i);
+    }
+    {
+        // fp -> int: reads fp rb, writes integer rc.
+        OpInfo i{};
+        i.mnemonic = "cvttq";
+        i.cls = OC::Fp;
+        i.latency = 4;
+        i.readsRb = true;
+        i.rbIsFp = true;
+        i.writesRc = true;
+        set(Opcode::CVTTQ, i);
+    }
+    set(Opcode::FMOV, fpOp("fmov", 1, false));
+
+    set(Opcode::LDQ, loadOp("ldq", 8));
+    set(Opcode::LDL, loadOp("ldl", 4));
+    set(Opcode::LDBU, loadOp("ldbu", 1));
+    set(Opcode::STQ, storeOp("stq", 8));
+    set(Opcode::STL, storeOp("stl", 4));
+    set(Opcode::STB, storeOp("stb", 1));
+    set(Opcode::LDT, loadOp("ldt", 8, true));
+    set(Opcode::STT, storeOp("stt", 8, true));
+
+    set(Opcode::BEQ, condBr("beq"));
+    set(Opcode::BNE, condBr("bne"));
+    set(Opcode::BLT, condBr("blt"));
+    set(Opcode::BGE, condBr("bge"));
+    set(Opcode::BLE, condBr("ble"));
+    set(Opcode::BGT, condBr("bgt"));
+    set(Opcode::FBEQ, condBr("fbeq", true));
+    set(Opcode::FBNE, condBr("fbne", true));
+    {
+        OpInfo i{};
+        i.mnemonic = "br";
+        i.cls = OC::Control;
+        i.latency = 1;
+        i.isBranch = true;
+        set(Opcode::BR, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "bsr";
+        i.cls = OC::Control;
+        i.latency = 1;
+        i.isBranch = true;
+        i.isCall = true;
+        i.writesRc = true;
+        set(Opcode::BSR, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "jmp";
+        i.cls = OC::Control;
+        i.latency = 1;
+        i.isBranch = true;
+        i.isIndirect = true;
+        i.readsRa = true;
+        set(Opcode::JMP, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "jsr";
+        i.cls = OC::Control;
+        i.latency = 1;
+        i.isBranch = true;
+        i.isIndirect = true;
+        i.isCall = true;
+        i.readsRa = true;
+        i.writesRc = true;
+        set(Opcode::JSR, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "ret";
+        i.cls = OC::Control;
+        i.latency = 1;
+        i.isBranch = true;
+        i.isIndirect = true;
+        i.isReturn = true;
+        i.readsRa = true;
+        set(Opcode::RET, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "nop";
+        i.cls = OC::None;
+        i.latency = 1;
+        set(Opcode::NOP, i);
+    }
+    {
+        OpInfo i{};
+        i.mnemonic = "halt";
+        i.cls = OC::None;
+        i.latency = 1;
+        set(Opcode::HALT, i);
+    }
+    return t;
+}
+
+const std::array<OpInfo, size_t(Opcode::NumOpcodes)> opTable = buildTable();
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    conopt_assert(size_t(op) < size_t(Opcode::NumOpcodes));
+    return opTable[size_t(op)];
+}
+
+bool
+isSimpleOp(Opcode op)
+{
+    const OpInfo &i = opInfo(op);
+    return (i.cls == OpClass::IntSimple || i.cls == OpClass::Control) &&
+           i.latency == 1 && !i.raIsFp && !i.rbIsFp && !i.rcIsFp;
+}
+
+std::string
+disassemble(const Instruction &inst, uint64_t pc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    char buf[128];
+
+    auto reg = [](bool fp, RegIndex r) {
+        char b[8];
+        std::snprintf(b, sizeof(b), "%s%u", fp ? "f" : "r", unsigned(r));
+        return std::string(b);
+    };
+
+    if (inst.isMem()) {
+        // ld/st rc, imm(ra)
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %lld(%s)", info.mnemonic,
+                      reg(info.rcIsFp, inst.rc).c_str(),
+                      static_cast<long long>(inst.imm),
+                      reg(false, inst.ra).c_str());
+    } else if (info.isCondBranch) {
+        std::snprintf(buf, sizeof(buf), "%-7s %s, 0x%llx", info.mnemonic,
+                      reg(info.raIsFp, inst.ra).c_str(),
+                      static_cast<unsigned long long>(inst.imm));
+    } else if (inst.op == Opcode::BR) {
+        std::snprintf(buf, sizeof(buf), "%-7s 0x%llx", info.mnemonic,
+                      static_cast<unsigned long long>(inst.imm));
+    } else if (inst.op == Opcode::BSR) {
+        std::snprintf(buf, sizeof(buf), "%-7s %s, 0x%llx", info.mnemonic,
+                      reg(false, inst.rc).c_str(),
+                      static_cast<unsigned long long>(inst.imm));
+    } else if (info.isIndirect) {
+        if (info.writesRc) {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, (%s)", info.mnemonic,
+                          reg(false, inst.rc).c_str(),
+                          reg(false, inst.ra).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-7s (%s)", info.mnemonic,
+                          reg(false, inst.ra).c_str());
+        }
+    } else if (info.cls == OpClass::None) {
+        std::snprintf(buf, sizeof(buf), "%s", info.mnemonic);
+    } else if (info.writesRc) {
+        if (info.readsRa && (info.readsRb || inst.useImm)) {
+            if (inst.useImm) {
+                std::snprintf(buf, sizeof(buf), "%-7s %s, %lld -> %s",
+                              info.mnemonic,
+                              reg(info.raIsFp, inst.ra).c_str(),
+                              static_cast<long long>(inst.imm),
+                              reg(info.rcIsFp, inst.rc).c_str());
+            } else {
+                std::snprintf(buf, sizeof(buf), "%-7s %s, %s -> %s",
+                              info.mnemonic,
+                              reg(info.raIsFp, inst.ra).c_str(),
+                              reg(info.rbIsFp, inst.rb).c_str(),
+                              reg(info.rcIsFp, inst.rc).c_str());
+            }
+        } else if (info.readsRa) {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %lld -> %s",
+                          info.mnemonic, reg(info.raIsFp, inst.ra).c_str(),
+                          static_cast<long long>(inst.imm),
+                          reg(info.rcIsFp, inst.rc).c_str());
+        } else if (inst.useImm) {
+            std::snprintf(buf, sizeof(buf), "%-7s %lld -> %s",
+                          info.mnemonic, static_cast<long long>(inst.imm),
+                          reg(info.rcIsFp, inst.rc).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-7s %s -> %s", info.mnemonic,
+                          reg(info.rbIsFp, inst.rb).c_str(),
+                          reg(info.rcIsFp, inst.rc).c_str());
+        }
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s", info.mnemonic);
+    }
+
+    char out[160];
+    std::snprintf(out, sizeof(out), "0x%06llx: %s",
+                  static_cast<unsigned long long>(pc), buf);
+    return std::string(out);
+}
+
+} // namespace conopt::isa

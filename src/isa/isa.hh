@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Definition of the simulated instruction set.
+ *
+ * The ISA is a 64-bit Alpha-like load/store RISC with the exact shapes the
+ * continuous optimizer rewrites (paper section 3): three-operand register
+ * or register-immediate ALU ops, base+displacement memory operations, and
+ * compare-register-against-zero branches. 32 integer registers (r31 is
+ * hardwired to zero) and 32 floating-point registers holding IEEE double
+ * bit patterns. Instructions are a nominal 4 bytes for PC arithmetic.
+ */
+
+#ifndef CONOPT_ISA_ISA_HH
+#define CONOPT_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace conopt::isa {
+
+/** Architectural register index. */
+using RegIndex = uint8_t;
+
+constexpr RegIndex numIntRegs = 32;
+constexpr RegIndex numFpRegs = 32;
+/** r31 reads as zero and discards writes (Alpha convention). */
+constexpr RegIndex zeroReg = 31;
+
+/** Nominal instruction size in bytes (used for PC arithmetic). */
+constexpr uint64_t instBytes = 4;
+
+/** Every operation in the ISA. */
+enum class Opcode : uint8_t
+{
+    // Simple integer ops: one cycle, eligible for early execution.
+    ADDQ,   ///< rc = ra + rb/imm
+    SUBQ,   ///< rc = ra - rb/imm
+    AND,    ///< rc = ra & rb/imm
+    BIS,    ///< rc = ra | rb/imm (Alpha's OR)
+    XOR,    ///< rc = ra ^ rb/imm
+    SLL,    ///< rc = ra << (rb/imm & 63)
+    SRL,    ///< rc = ra >> (rb/imm & 63) logical
+    SRA,    ///< rc = ra >> (rb/imm & 63) arithmetic
+    CMPEQ,  ///< rc = (ra == rb/imm)
+    CMPLT,  ///< rc = (ra <  rb/imm) signed
+    CMPLE,  ///< rc = (ra <= rb/imm) signed
+    CMPULT, ///< rc = (ra <  rb/imm) unsigned
+    CMPULE, ///< rc = (ra <= rb/imm) unsigned
+    LDA,    ///< rc = ra + imm (address/constant materialization)
+    ADDL,   ///< rc = sext32(ra + rb/imm) (32-bit add)
+    SUBL,   ///< rc = sext32(ra - rb/imm)
+    SEXTL,  ///< rc = sext32(rb/imm)
+
+    // Complex integer ops: multi-cycle, never execute in the optimizer.
+    MULQ,   ///< rc = ra * rb/imm (low 64 bits)
+    DIVQ,   ///< rc = ra / rb/imm signed (0 if divisor is 0)
+    REMQ,   ///< rc = ra % rb/imm signed (0 if divisor is 0)
+
+    // Floating point (separate register file, double precision).
+    ADDT,   ///< fc = fa + fb
+    SUBT,   ///< fc = fa - fb
+    MULT,   ///< fc = fa * fb
+    DIVT,   ///< fc = fa / fb
+    SQRTT,  ///< fc = sqrt(fb)
+    CMPTLT, ///< fc = (fa < fb) ? 1.0 : 0.0
+    CMPTEQ, ///< fc = (fa == fb) ? 1.0 : 0.0
+    CVTQT,  ///< fc = double(int64(ra))     (int -> fp)
+    CVTTQ,  ///< rc = int64(trunc(fb))      (fp -> int)
+    FMOV,   ///< fc = fb
+
+    // Memory. Effective address is always intreg[ra] + imm.
+    LDQ,    ///< rc = mem64[ra + imm]
+    LDL,    ///< rc = sext32(mem32[ra + imm])
+    LDBU,   ///< rc = zext8(mem8[ra + imm])
+    STQ,    ///< mem64[ra + imm] = rc
+    STL,    ///< mem32[ra + imm] = low32(rc)
+    STB,    ///< mem8[ra + imm] = low8(rc)
+    LDT,    ///< fc = mem64[ra + imm] (fp load)
+    STT,    ///< mem64[ra + imm] = fc (fp store)
+
+    // Control. Conditional branches test intreg[ra] against zero; the
+    // target is an absolute byte address in imm.
+    BEQ,    ///< taken iff ra == 0
+    BNE,    ///< taken iff ra != 0
+    BLT,    ///< taken iff ra <  0 signed
+    BGE,    ///< taken iff ra >= 0 signed
+    BLE,    ///< taken iff ra <= 0 signed
+    BGT,    ///< taken iff ra >  0 signed
+    FBEQ,   ///< taken iff fpreg[ra] == 0.0
+    FBNE,   ///< taken iff fpreg[ra] != 0.0
+    BR,     ///< unconditional, pc = imm
+    BSR,    ///< rc = pc + 4, pc = imm (call direct)
+    JMP,    ///< pc = ra (indirect jump)
+    JSR,    ///< rc = pc + 4, pc = ra (call indirect)
+    RET,    ///< pc = ra (return; hints the return-address stack)
+
+    NOP,    ///< no operation
+    HALT,   ///< stop the program
+
+    NumOpcodes
+};
+
+/** Functional-unit / scheduler class of an operation. */
+enum class OpClass : uint8_t
+{
+    IntSimple,  ///< 1-cycle integer ALU (4 units)
+    IntComplex, ///< multi-cycle integer (1 unit)
+    Fp,         ///< floating point (2 units)
+    Mem,        ///< loads and stores (2 agen units, 2 cache ports)
+    Control,    ///< branches and jumps (resolve on a simple ALU)
+    None        ///< NOP / HALT
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass cls;
+    uint8_t latency;       ///< execute latency in cycles
+    bool isLoad;
+    bool isStore;
+    uint8_t memSize;       ///< access size in bytes (0 if not memory)
+    bool isBranch;         ///< any control transfer
+    bool isCondBranch;     ///< conditional direction
+    bool isIndirect;       ///< target comes from a register
+    bool isCall;           ///< pushes a return address
+    bool isReturn;         ///< pops the return-address stack
+    bool readsRa;          ///< uses the ra field as a source
+    bool readsRb;          ///< uses the rb field as a source (reg form)
+    bool readsRc;          ///< uses rc as a source (stores)
+    bool writesRc;         ///< produces a result in rc
+    bool raIsFp;           ///< ra names an fp register
+    bool rbIsFp;           ///< rb names an fp register
+    bool rcIsFp;           ///< rc names an fp register
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** A decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex ra = zeroReg;  ///< source 1 (memory base for ld/st)
+    RegIndex rb = zeroReg;  ///< source 2 (ignored when useImm)
+    RegIndex rc = zeroReg;  ///< destination (data source for stores)
+    bool useImm = false;    ///< rb operand replaced by imm
+    int64_t imm = 0;        ///< immediate / displacement / branch target
+
+    bool isLoad() const { return opInfo(op).isLoad; }
+    bool isStore() const { return opInfo(op).isStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return opInfo(op).isBranch; }
+    bool isCondBranch() const { return opInfo(op).isCondBranch; }
+    bool writesReg() const { return opInfo(op).writesRc; }
+};
+
+/** True if the op is a 1-cycle integer/control op the optimizer may
+ *  execute (paper footnote 1: "simple instructions are those that
+ *  require a single cycle to execute"). */
+bool isSimpleOp(Opcode op);
+
+/** Render an instruction as human-readable assembly. */
+std::string disassemble(const Instruction &inst, uint64_t pc = 0);
+
+} // namespace conopt::isa
+
+#endif // CONOPT_ISA_ISA_HH

@@ -1,0 +1,97 @@
+#include "src/pipeline/machine_config.hh"
+
+#include <cstdio>
+
+namespace conopt::pipeline {
+
+MachineConfig
+MachineConfig::baseline()
+{
+    MachineConfig c;
+    c.opt = core::OptimizerConfig::baseline();
+    return c;
+}
+
+MachineConfig
+MachineConfig::optimized()
+{
+    MachineConfig c;
+    c.opt = core::OptimizerConfig::full();
+    return c;
+}
+
+MachineConfig
+MachineConfig::withOptimizer(const core::OptimizerConfig &opt)
+{
+    MachineConfig c;
+    c.opt = opt;
+    return c;
+}
+
+MachineConfig
+MachineConfig::fetchBound(bool with_opt)
+{
+    // Fig. 8: "made fetch-bound by doubling the number of scheduler
+    // entries from four 8-entry schedulers to four 16-entry schedulers."
+    MachineConfig c;
+    c.schedEntries = 16;
+    c.opt = with_opt ? core::OptimizerConfig::full()
+                     : core::OptimizerConfig::baseline();
+    return c;
+}
+
+MachineConfig
+MachineConfig::execBound(bool with_opt)
+{
+    // Fig. 8: "made execution-bound by changing the fetch/decode/rename
+    // from 4-wide to 8-wide."
+    MachineConfig c;
+    c.fetchWidth = 8;
+    c.renameWidth = 8;
+    c.opt = with_opt ? core::OptimizerConfig::full()
+                     : core::OptimizerConfig::baseline();
+    return c;
+}
+
+std::string
+MachineConfig::describe() const
+{
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "Fetch/Decode/Rename    %u insts/cycle\n"
+        "Retire                 %u insts/cycle\n"
+        "BrPred                 %u-bit gshare, %u-entry BTB\n"
+        "Pipeline               %u cycles (min) for BR res\n"
+        "                       (if not executed early)\n"
+        "Scheduler              four %u-entry schedulers\n"
+        "                       (int, complex int, fp, mem)\n"
+        "Inst Window            max. %u in-flight insts\n"
+        "ExeUnits               %u Simple IALUs, %u Complex IALU,\n"
+        "                       %u FPALUs, %u Agen\n"
+        "L1 I Cache             %lluKB, %u-way assoc., %uB line, %u cycle\n"
+        "L1 D Cache             %lluKB, %u-way assoc., %uB line, "
+        "%u ports, %u cycles\n"
+        "L2 Unified Cache       %lluMB, %u-way assoc., %uB line, "
+        "%u cycles\n"
+        "Memory                 %u cycle latency\n"
+        "Optimizer              %s, %u stages, MBC %u entries\n"
+        "Value feedback delay   %u cycles\n",
+        fetchWidth, retireWidth, bp.historyBits, bp.btbEntries,
+        frontEndDepth + renameDepth() + schedMinDelay + regReadDepth + 1 +
+            redirectPenalty,
+        schedEntries, robEntries, numSimpleAlu, numComplexAlu, numFpAlu,
+        numAgen,
+        static_cast<unsigned long long>(hier.l1i.sizeBytes / 1024),
+        hier.l1i.assoc, hier.l1i.lineBytes, hier.l1i.latency,
+        static_cast<unsigned long long>(hier.l1d.sizeBytes / 1024),
+        hier.l1d.assoc, hier.l1d.lineBytes, numDCachePorts,
+        hier.l1d.latency,
+        static_cast<unsigned long long>(hier.l2.sizeBytes / (1024 * 1024)),
+        hier.l2.assoc, hier.l2.lineBytes, hier.l2.latency,
+        hier.memLatency, opt.enabled ? "enabled" : "disabled",
+        opt.enabled ? opt.extraStages : 0, opt.mbc.entries, vfbDelay);
+    return buf;
+}
+
+} // namespace conopt::pipeline

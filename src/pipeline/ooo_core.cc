@@ -1,0 +1,635 @@
+#include "src/pipeline/ooo_core.hh"
+
+#include <algorithm>
+
+#include "src/util/bitops.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::pipeline {
+
+using core::invalidPreg;
+using isa::OpClass;
+using isa::Opcode;
+
+OooCore::OooCore(const MachineConfig &config, arch::Emulator &emu)
+    : cfg_(config),
+      optExtra_(config.opt.enabled ? config.opt.extraStages : 0),
+      renameDepth_(config.renameDepth()),
+      ilineShift_(log2Exact(config.hier.l1i.lineBytes)),
+      emu_(emu),
+      intPrf_(config.intPhysRegs),
+      fpPrf_(config.fpPhysRegs),
+      rename_(config.opt, intPrf_, fpPrf_),
+      bp_(config.bp),
+      hier_(config.hier),
+      frontPipe_(config.frontEndDepth),
+      dispatchPipe_(renameDepth_)
+{
+    frontCap_ = size_t(config.frontEndDepth + 2) * config.fetchWidth;
+    dispatchCap_ = size_t(config.dispatchQueueEntries) +
+                   size_t(renameDepth_) * config.renameWidth;
+
+    // Install the initial architectural register state.
+    std::array<uint64_t, isa::numIntRegs> int_init{};
+    std::array<uint64_t, isa::numFpRegs> fp_init{};
+    for (unsigned r = 0; r < isa::numIntRegs; ++r)
+        int_init[r] = emu_.state().readInt(isa::RegIndex(r));
+    for (unsigned r = 0; r < isa::numFpRegs; ++r)
+        fp_init[r] = emu_.state().fpRegs[r];
+    rename_.reset(int_init, fp_init);
+
+    // Initial register values are known from cycle 0 (they are
+    // architectural state, not in-flight results).
+    // reset() already recorded them as constants; mark the physical
+    // registers ready for issue as well.
+    for (unsigned r = 0; r < isa::numIntRegs; ++r) {
+        if (r == isa::zeroReg)
+            continue;
+        const core::PhysRegId p = rename_.rat().read(isa::RegIndex(r)).mapping;
+        intPrf_.setReadyAt(p, 0);
+        intPrf_.setVfbAt(p, 0);
+    }
+    for (unsigned r = 0; r < isa::numFpRegs; ++r) {
+        const core::PhysRegId p = rename_.fpRat().read(isa::RegIndex(r));
+        fpPrf_.setReadyAt(p, 0);
+        fpPrf_.setVfbAt(p, 0);
+    }
+}
+
+OooCore::RobEntry &
+OooCore::entryOf(uint64_t seq)
+{
+    conopt_assert(!rob_.empty());
+    const uint64_t head = rob_.front().dyn.seq;
+    conopt_assert(seq >= head && seq - head < rob_.size());
+    return rob_[seq - head];
+}
+
+unsigned
+OooCore::schedIndex(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntSimple:
+        return 0;
+      case OpClass::IntComplex:
+        return 1;
+      case OpClass::Fp:
+        return 2;
+      case OpClass::Mem:
+        return 3;
+      default:
+        conopt_panic("no scheduler for this op class");
+    }
+}
+
+bool
+OooCore::depsReady(const RobEntry &e) const
+{
+    for (unsigned i = 0; i < e.opt.numDeps; ++i) {
+        const core::SrcDep &d = e.opt.deps[i];
+        const PhysRegFile &prf = d.isFp ? fpPrf_ : intPrf_;
+        if (!prf.readyBy(d.reg, cycle_))
+            return false;
+    }
+    return true;
+}
+
+void
+OooCore::completeAt(uint64_t cycle, uint64_t seq)
+{
+    completions_.emplace(cycle, seq);
+}
+
+void
+OooCore::resolveMispredict(const RobEntry &e, uint64_t resolve_cycle)
+{
+    conopt_assert(mispredictPending_);
+    conopt_assert(pendingMispredictSeq_ == e.dyn.seq);
+    mispredictPending_ = false;
+    fetchResumeCycle_ = std::max(fetchResumeCycle_,
+                                 resolve_cycle + cfg_.redirectPenalty);
+    // Refetch from the corrected target: force an I-cache re-access.
+    lastFetchLine_ = neverCycle;
+}
+
+const SimStats &
+OooCore::run()
+{
+    while (!halted_) {
+        tick();
+        if (cycle_ >= cfg_.maxCycles)
+            conopt_fatal("simulation exceeded maxCycles");
+    }
+    finalizeStats();
+    return stats_;
+}
+
+void
+OooCore::tick()
+{
+    ++cycle_;
+    portsUsedThisCycle_ = 0;
+    agenUsedThisCycle_ = 0;
+
+    retireStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    renameStage();
+    fetchStage();
+
+    // A program that ends by exhausting the emulator's instruction limit
+    // (no HALT) finishes when the pipeline drains.
+    if (!halted_ && emu_.done() && frontPipe_.empty() &&
+        dispatchPipe_.empty() && rob_.empty()) {
+        halted_ = true;
+    }
+
+    if (cycle_ - lastRetireCycle_ > 500000 && !rob_.empty()) {
+        const RobEntry &h = rob_.front();
+        conopt_panic("pipeline deadlock at cycle %llu: head seq %llu "
+                     "pc 0x%llx op %s done=%d issued=%d",
+                     static_cast<unsigned long long>(cycle_),
+                     static_cast<unsigned long long>(h.dyn.seq),
+                     static_cast<unsigned long long>(h.dyn.pc),
+                     isa::opInfo(h.dyn.inst.op).mnemonic, int(h.done),
+                     int(h.issued));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------------
+
+void
+OooCore::retireStage()
+{
+    for (unsigned n = 0; n < cfg_.retireWidth && !rob_.empty(); ++n) {
+        RobEntry &e = rob_.front();
+
+        if (e.isStore) {
+            // A store commits when its address is generated and its data
+            // is ready, and a cache port is free this cycle.
+            const bool addr_ok = e.addrReadyCycle <= cycle_;
+            const core::SrcDep &d = e.opt.storeDataDep;
+            const bool data_ok =
+                d.reg == invalidPreg || prfFor(d.isFp).readyBy(d.reg, cycle_);
+            if (!addr_ok || !data_ok)
+                break;
+            if (portsUsedThisCycle_ >= cfg_.numDCachePorts)
+                break;
+            ++portsUsedThisCycle_;
+            const unsigned lat = hier_.accessData(e.dyn.memAddr);
+            if (lat <= cfg_.hier.l1d.latency)
+                ++stats_.dl1Hits;
+            else
+                ++stats_.dl1Misses;
+        } else if (!e.done || e.doneCycle > cycle_) {
+            break;
+        }
+
+        // Train the branch predictor in retirement order.
+        if (e.isBranch) {
+            bp_.update(e.dyn.pc, e.dyn.inst, e.pred, e.dyn.taken,
+                       e.dyn.nextPc);
+            ++stats_.branches;
+            if (e.dyn.inst.isCondBranch())
+                ++stats_.condBranches;
+            if (e.mispredicted)
+                ++stats_.mispredicted;
+            if (e.earlyRecovered)
+                ++stats_.earlyRecoveredMispredicts;
+            if (e.opt.branchResolved)
+                ++stats_.earlyResolvedBranches;
+        }
+        if (e.isLoad) {
+            ++stats_.loads;
+            if (e.forwardedFromStore)
+                ++stats_.loadsForwardedFromStoreQ;
+        }
+        if (e.isStore) {
+            ++stats_.stores;
+            conopt_assert(!storeQueue_.empty() &&
+                          storeQueue_.front() == e.dyn.seq);
+            storeQueue_.pop_front();
+        }
+
+        // Release the references this instruction held.
+        if (e.opt.destPreg != invalidPreg)
+            prfFor(e.opt.destIsFp).release(e.opt.destPreg);
+        for (unsigned i = 0; i < e.opt.numDeps; ++i)
+            prfFor(e.opt.deps[i].isFp).release(e.opt.deps[i].reg);
+        if (e.opt.storeDataDep.reg != invalidPreg)
+            prfFor(e.opt.storeDataDep.isFp).release(e.opt.storeDataDep.reg);
+
+        if (e.dyn.inst.op == Opcode::HALT)
+            halted_ = true;
+
+        ++stats_.retired;
+        ++retiredCount_;
+        lastRetireCycle_ = cycle_;
+        rob_.pop_front();
+        if (halted_)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writeback (execution completions)
+// ---------------------------------------------------------------------------
+
+void
+OooCore::writebackStage()
+{
+    while (!completions_.empty() && completions_.top().first <= cycle_) {
+        const uint64_t seq = completions_.top().second;
+        completions_.pop();
+        RobEntry &e = entryOf(seq);
+        e.done = true;
+        e.doneCycle = cycle_;
+
+        if (e.isStore) {
+            e.addrReadyCycle = cycle_;
+            if (e.storeAddrWasUnknown) {
+                // Speculative-MBC consistency (paper section 3.2).
+                rename_.onStoreExecuted(e.dyn.memAddr, e.dyn.memSize,
+                                        e.dyn.seq);
+            }
+        }
+
+        if (e.isBranch && e.mispredicted && !e.earlyRecovered)
+            resolveMispredict(e, cycle_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+bool
+OooCore::tryIssueAlu(RobEntry &e, unsigned &budget)
+{
+    if (budget == 0)
+        return false;
+    if (cycle_ < e.dispatchCycle + cfg_.schedMinDelay)
+        return false;
+    if (!depsReady(e))
+        return false;
+
+    --budget;
+    e.issued = true;
+    e.issueCycle = cycle_;
+    const unsigned lat = e.opt.execLatency;
+    if (e.opt.destPreg != invalidPreg && !e.opt.destAliased) {
+        PhysRegFile &prf = prfFor(e.opt.destIsFp);
+        prf.setReadyAt(e.opt.destPreg, cycle_ + lat);
+        prf.setVfbAt(e.opt.destPreg,
+                     cycle_ + cfg_.regReadDepth + lat + cfg_.vfbDelay);
+    }
+    completeAt(cycle_ + cfg_.regReadDepth + lat, e.dyn.seq);
+    return true;
+}
+
+bool
+OooCore::tryIssueMem(RobEntry &e)
+{
+    if (cycle_ < e.dispatchCycle + cfg_.schedMinDelay)
+        return false;
+
+    if (e.isStore) {
+        // Stores in the mem scheduler only need address generation.
+        if (agenUsedThisCycle_ >= cfg_.numAgen)
+            return false;
+        if (!depsReady(e))
+            return false;
+        ++agenUsedThisCycle_;
+        e.issued = true;
+        e.issueCycle = cycle_;
+        completeAt(cycle_ + cfg_.regReadDepth + 1, e.dyn.seq);
+        return true;
+    }
+
+    // Loads: agen (if the optimizer did not pre-generate the address),
+    // a cache port, and memory ordering against older stores.
+    const unsigned agen_lat = e.opt.needsAgen ? 1 : 0;
+    if (e.opt.needsAgen && agenUsedThisCycle_ >= cfg_.numAgen)
+        return false;
+    if (portsUsedThisCycle_ >= cfg_.numDCachePorts)
+        return false;
+    if (!depsReady(e))
+        return false;
+
+    // Perfect (oracle) memory disambiguation: only truly overlapping
+    // older stores constrain this load.
+    const uint64_t lo = e.dyn.memAddr;
+    const uint64_t hi = lo + e.dyn.memSize;
+    bool forwarded = false;
+    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
+        if (*it >= e.dyn.seq)
+            continue;
+        RobEntry &s = entryOf(*it);
+        const uint64_t s_lo = s.dyn.memAddr;
+        const uint64_t s_hi = s_lo + s.dyn.memSize;
+        if (s_hi <= lo || hi <= s_lo)
+            continue; // disjoint
+        if (s_lo <= lo && hi <= s_hi) {
+            // Fully covering store: forward when its address is known
+            // and its data is ready.
+            const core::SrcDep &d = s.opt.storeDataDep;
+            const bool data_ok =
+                d.reg == invalidPreg ||
+                prfFor(d.isFp).readyBy(d.reg, cycle_);
+            if (s.addrReadyCycle <= cycle_ && data_ok) {
+                forwarded = true;
+                break;
+            }
+            return false; // must wait for the store
+        }
+        return false; // partial overlap: wait until the store retires
+    }
+
+    unsigned mem_lat;
+    if (forwarded) {
+        mem_lat = cfg_.hier.l1d.latency;
+        e.forwardedFromStore = true;
+    } else {
+        mem_lat = hier_.accessData(e.dyn.memAddr);
+        if (mem_lat <= cfg_.hier.l1d.latency)
+            ++stats_.dl1Hits;
+        else
+            ++stats_.dl1Misses;
+    }
+
+    ++portsUsedThisCycle_;
+    if (e.opt.needsAgen)
+        ++agenUsedThisCycle_;
+    e.issued = true;
+    e.issueCycle = cycle_;
+    if (e.opt.destPreg != invalidPreg && !e.opt.destAliased) {
+        PhysRegFile &prf = prfFor(e.opt.destIsFp);
+        prf.setReadyAt(e.opt.destPreg, cycle_ + agen_lat + mem_lat);
+        prf.setVfbAt(e.opt.destPreg, cycle_ + cfg_.regReadDepth + agen_lat +
+                                         mem_lat + cfg_.vfbDelay);
+    }
+    completeAt(cycle_ + cfg_.regReadDepth + agen_lat + mem_lat, e.dyn.seq);
+    return true;
+}
+
+void
+OooCore::issueStage()
+{
+    // ALU-style schedulers: int-simple, int-complex, fp.
+    unsigned budgets[3] = {cfg_.numSimpleAlu, cfg_.numComplexAlu,
+                           cfg_.numFpAlu};
+    for (unsigned k = 0; k < 3; ++k) {
+        auto &q = sched_[k];
+        for (auto it = q.begin(); it != q.end() && budgets[k] > 0;) {
+            RobEntry &e = entryOf(*it);
+            if (tryIssueAlu(e, budgets[k]))
+                it = q.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    // Memory scheduler.
+    auto &mq = sched_[3];
+    for (auto it = mq.begin(); it != mq.end();) {
+        if (agenUsedThisCycle_ >= cfg_.numAgen &&
+            portsUsedThisCycle_ >= cfg_.numDCachePorts) {
+            break;
+        }
+        RobEntry &e = entryOf(*it);
+        if (tryIssueMem(e))
+            it = mq.erase(it);
+        else
+            ++it;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (exit of the extended rename stage into the schedulers)
+// ---------------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    unsigned dispatched = 0;
+    while (dispatched < cfg_.renameWidth && dispatchPipe_.ready(cycle_)) {
+        const uint64_t seq = dispatchPipe_.front();
+        RobEntry &e = entryOf(seq);
+        auto &q = sched_[schedIndex(e.opt.schedClass)];
+        if (q.size() >= cfg_.schedEntries) {
+            ++stats_.dispatchStallSched;
+            break;
+        }
+        q.push_back(seq);
+        e.dispatchCycle = cycle_;
+        dispatchPipe_.pop();
+        ++dispatched;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rename + continuous optimization
+// ---------------------------------------------------------------------------
+
+void
+OooCore::renameStage()
+{
+    unsigned renamed = 0;
+    while (renamed < cfg_.renameWidth && frontPipe_.ready(cycle_)) {
+        if (rob_.size() >= cfg_.robEntries) {
+            ++stats_.renameStallRob;
+            break;
+        }
+        if (intPrf_.freeCount() < 2 || fpPrf_.freeCount() < 2) {
+            ++stats_.renameStallPregs;
+            break;
+        }
+        if (dispatchPipe_.size() >= dispatchCap_) {
+            ++stats_.renameStallDispatchQ;
+            break;
+        }
+
+        FetchedInst fi = frontPipe_.front();
+        frontPipe_.pop();
+        if (renamed == 0)
+            rename_.beginBundle();
+
+        const uint64_t opt_cycle = cycle_ + optExtra_;
+        const core::OptResult opt = rename_.renameInst(fi.dyn, opt_cycle);
+
+        RobEntry e;
+        e.dyn = fi.dyn;
+        e.opt = opt;
+        e.pred = fi.pred;
+        e.isBranch = fi.isBranch;
+        e.mispredicted = fi.mispredicted;
+        e.misfetch = fi.misfetch;
+        e.fetchCycle = fi.fetchCycle;
+        e.renameCycle = cycle_;
+        e.isLoad = fi.dyn.inst.isLoad() && !opt.loadRemoved &&
+                   !opt.loadSynthesized;
+        e.isStore = fi.dyn.inst.isStore();
+
+        // References for the in-flight window were taken by the rename
+        // unit (see RenameUnit docs); this entry releases them at retire.
+
+        if (opt.schedClass == OpClass::None) {
+            // Executed in the optimizer (or nothing to execute): ready at
+            // the end of the optimization stage, retires from the ROB.
+            e.done = true;
+            e.doneCycle = opt_cycle;
+            if (opt.destPreg != invalidPreg && !opt.destAliased) {
+                PhysRegFile &prf = prfFor(opt.destIsFp);
+                prf.setReadyAt(opt.destPreg, opt_cycle);
+                prf.setVfbAt(opt.destPreg, opt_cycle);
+            }
+        } else if (e.isStore && !opt.needsAgen) {
+            // Store with a rename-generated address: nothing to execute;
+            // it waits at the ROB head for its data, then commits.
+            e.done = true;
+            e.doneCycle = opt_cycle;
+            e.addrReadyCycle = opt_cycle;
+        } else {
+            dispatchPipe_.push(cycle_, fi.dyn.seq);
+        }
+
+        if (e.isStore) {
+            storeQueue_.push_back(fi.dyn.seq);
+            if (opt.addrKnown && e.addrReadyCycle == neverCycle)
+                e.addrReadyCycle = opt_cycle;
+            e.storeAddrWasUnknown = !opt.addrKnown;
+        }
+        if (e.isLoad && opt.addrKnown)
+            e.addrReadyCycle = opt_cycle;
+
+        // Early branch recovery (paper section 2.5.1): a mispredicted
+        // branch resolved by the optimizer redirects fetch right after
+        // the extended rename stage.
+        if (fi.mispredicted && opt.branchResolved) {
+            e.earlyRecovered = true;
+            resolveMispredict(e, cycle_ + renameDepth_);
+        }
+
+        // Stale-MBC recovery: charge a front-end flush.
+        if (opt.mbcMisspec) {
+            ++stats_.mbcMisspecFlushes;
+            fetchResumeCycle_ = std::max(
+                fetchResumeCycle_, cycle_ + cfg_.mbcMisspecPenalty);
+        }
+
+        rob_.push_back(std::move(e));
+        ++renamed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    if (emu_.done())
+        return;
+    if (mispredictPending_) {
+        ++stats_.fetchStallMispredict;
+        return;
+    }
+    if (cycle_ < fetchResumeCycle_) {
+        ++stats_.fetchStallMispredict;
+        return;
+    }
+    if (cycle_ < icacheReadyCycle_) {
+        ++stats_.fetchStallIcache;
+        return;
+    }
+    if (frontPipe_.size() + cfg_.fetchWidth > frontCap_) {
+        ++stats_.fetchStallQueueFull;
+        return;
+    }
+
+    for (unsigned n = 0; n < cfg_.fetchWidth && !emu_.done(); ++n) {
+        const uint64_t pc = emu_.state().pc;
+        const uint64_t line = pc >> ilineShift_;
+        if (n == 0) {
+            if (line != lastFetchLine_) {
+                const unsigned lat = hier_.accessInst(pc);
+                lastFetchLine_ = line;
+                if (lat > cfg_.hier.l1i.latency) {
+                    ++stats_.il1Misses;
+                    icacheReadyCycle_ = cycle_ + lat;
+                    return;
+                }
+            }
+        } else if (line != lastFetchLine_) {
+            break; // fetch packets do not cross I-cache lines
+        }
+
+        FetchedInst fi;
+        fi.dyn = emu_.step();
+        fi.fetchCycle = cycle_;
+        const auto &info = isa::opInfo(fi.dyn.inst.op);
+        fi.isBranch = info.isBranch;
+
+        if (info.isBranch) {
+            fi.pred = bp_.predict(fi.dyn.pc, fi.dyn.inst,
+                                  fi.dyn.pc + isa::instBytes);
+            const bool dir_wrong =
+                info.isCondBranch && fi.pred.taken != fi.dyn.taken;
+            bool target_wrong = false;
+            bool resteer = false;
+            if (!dir_wrong && fi.dyn.taken &&
+                (!fi.pred.targetValid ||
+                 fi.pred.target != fi.dyn.nextPc)) {
+                if (info.isIndirect)
+                    target_wrong = true;
+                else
+                    resteer = true; // decode computes direct targets
+            }
+
+            if (dir_wrong || target_wrong) {
+                fi.mispredicted = true;
+                if (info.isCondBranch)
+                    bp_.recover(fi.pred, fi.dyn.taken);
+                mispredictPending_ = true;
+                pendingMispredictSeq_ = fi.dyn.seq;
+                frontPipe_.push(cycle_, fi);
+                return;
+            }
+            if (resteer) {
+                fi.misfetch = true;
+                ++stats_.btbResteers;
+                fetchResumeCycle_ = std::max(
+                    fetchResumeCycle_, cycle_ + cfg_.resteerPenalty);
+                lastFetchLine_ = neverCycle;
+                frontPipe_.push(cycle_, fi);
+                return;
+            }
+            frontPipe_.push(cycle_, fi);
+            if (fi.dyn.taken) {
+                // A correctly predicted taken branch ends the packet.
+                lastFetchLine_ = neverCycle;
+                return;
+            }
+            continue;
+        }
+
+        frontPipe_.push(cycle_, fi);
+        if (fi.dyn.inst.op == Opcode::HALT)
+            return;
+    }
+}
+
+void
+OooCore::finalizeStats()
+{
+    stats_.cycles = cycle_;
+    stats_.halted = emu_.halted();
+    stats_.opt = rename_.stats();
+    stats_.mbc = rename_.mbc().stats();
+}
+
+} // namespace conopt::pipeline

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The cycle-level out-of-order core (paper section 4.2): a P4-like deep
+ * pipeline with a 4-wide front end, the continuous optimizer embedded in
+ * rename, four small schedulers, a pool of execution units, a 160-entry
+ * instruction window, and a three-level memory hierarchy.
+ *
+ * The model is trace-driven: the functional emulator supplies the
+ * correct-path dynamic instruction stream with oracle values. A
+ * mispredicted branch stalls fetch until the branch resolves (at execute,
+ * or at the end of the extended rename stage when the optimizer resolves
+ * it early), then fetch resumes after a redirect penalty. Wrong-path
+ * instructions are never renamed, which matches the paper's recovery
+ * model (wrong-path optimizer state is discarded).
+ */
+
+#ifndef CONOPT_PIPELINE_OOO_CORE_HH
+#define CONOPT_PIPELINE_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "src/arch/emulator.hh"
+#include "src/branch/branch_predictor.hh"
+#include "src/cache/cache.hh"
+#include "src/core/optimizer.hh"
+#include "src/pipeline/machine_config.hh"
+#include "src/pipeline/phys_reg_file.hh"
+#include "src/pipeline/sim_stats.hh"
+#include "src/util/delay_pipe.hh"
+
+namespace conopt::pipeline {
+
+/** One cycle value meaning "not scheduled yet". */
+constexpr uint64_t neverCycle = ~uint64_t(0);
+
+/** The simulated processor. */
+class OooCore
+{
+  public:
+    /**
+     * @param config machine parameters
+     * @param emu functional emulator positioned at the program entry
+     */
+    OooCore(const MachineConfig &config, arch::Emulator &emu);
+
+    /** Simulate until the program's HALT retires (or maxCycles). */
+    const SimStats &run();
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    bool halted() const { return halted_; }
+    uint64_t cycle() const { return cycle_; }
+    const SimStats &stats() const { return stats_; }
+    const PhysRegFile &intPrf() const { return intPrf_; }
+    const PhysRegFile &fpPrf() const { return fpPrf_; }
+    const core::RenameUnit &renameUnit() const { return rename_; }
+
+  private:
+    /** An instruction travelling through the front end. */
+    struct FetchedInst
+    {
+        arch::DynInst dyn;
+        branch::Prediction pred{};
+        uint64_t fetchCycle = 0;
+        bool isBranch = false;
+        bool mispredicted = false; ///< direction or indirect target wrong
+        bool misfetch = false;     ///< direct-target fixed up at decode
+    };
+
+    /** A reorder-buffer entry. */
+    struct RobEntry
+    {
+        arch::DynInst dyn;
+        core::OptResult opt;
+        branch::Prediction pred{};
+        bool isBranch = false;
+        bool mispredicted = false;
+        bool misfetch = false;
+        bool earlyRecovered = false;
+        bool isLoad = false;
+        bool isStore = false;
+        bool storeAddrWasUnknown = false;
+        bool forwardedFromStore = false;
+
+        bool done = false;
+        bool issued = false;
+        uint64_t fetchCycle = 0;
+        uint64_t renameCycle = 0;
+        uint64_t dispatchCycle = neverCycle;
+        uint64_t issueCycle = neverCycle;
+        uint64_t doneCycle = neverCycle;
+        uint64_t addrReadyCycle = neverCycle;
+    };
+
+    // --- stages (called in reverse order each tick) ----------------------
+    void retireStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void renameStage();
+    void fetchStage();
+
+    // --- helpers -----------------------------------------------------------
+    RobEntry &entryOf(uint64_t seq);
+    PhysRegFile &prfFor(bool fp) { return fp ? fpPrf_ : intPrf_; }
+    bool depsReady(const RobEntry &e) const;
+    unsigned schedIndex(isa::OpClass cls) const;
+    bool tryIssueMem(RobEntry &e);
+    bool tryIssueAlu(RobEntry &e, unsigned &budget);
+    void completeAt(uint64_t cycle, uint64_t seq);
+    void resolveMispredict(const RobEntry &e, uint64_t resolve_cycle);
+    void finalizeStats();
+
+    // --- configuration -----------------------------------------------------
+    MachineConfig cfg_;
+    unsigned optExtra_;
+    unsigned renameDepth_;
+    unsigned ilineShift_;
+
+    // --- components ----------------------------------------------------------
+    arch::Emulator &emu_;
+    PhysRegFile intPrf_;
+    PhysRegFile fpPrf_;
+    core::RenameUnit rename_;
+    branch::BranchPredictor bp_;
+    cache::Hierarchy hier_;
+
+    // --- pipeline state -------------------------------------------------------
+    uint64_t cycle_ = 0;
+    bool halted_ = false;
+    SimStats stats_;
+
+    DelayPipe<FetchedInst> frontPipe_;
+    size_t frontCap_;
+    DelayPipe<uint64_t> dispatchPipe_; ///< seqs in rename/optimize stages
+    size_t dispatchCap_;
+
+    std::deque<RobEntry> rob_;
+    uint64_t retiredCount_ = 0;
+
+    /** Four schedulers: int-simple, int-complex, fp, mem (Table 2). */
+    std::array<std::deque<uint64_t>, 4> sched_;
+
+    /** In-flight stores (seqs), oldest first, for load ordering. */
+    std::deque<uint64_t> storeQueue_;
+
+    /** Completion events: (cycle, seq). */
+    std::priority_queue<std::pair<uint64_t, uint64_t>,
+                        std::vector<std::pair<uint64_t, uint64_t>>,
+                        std::greater<>>
+        completions_;
+
+    // --- fetch state ---------------------------------------------------------
+    bool mispredictPending_ = false;
+    uint64_t pendingMispredictSeq_ = 0;
+    uint64_t fetchResumeCycle_ = 0;   ///< fetch blocked before this cycle
+    uint64_t icacheReadyCycle_ = 0;
+    uint64_t lastFetchLine_ = neverCycle;
+
+    // --- per-cycle FU accounting ------------------------------------------
+    unsigned portsUsedThisCycle_ = 0;
+    unsigned agenUsedThisCycle_ = 0;
+
+    uint64_t lastRetireCycle_ = 0;
+};
+
+} // namespace conopt::pipeline
+
+#endif // CONOPT_PIPELINE_OOO_CORE_HH

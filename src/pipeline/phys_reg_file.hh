@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reference-counted physical register file with the timing state the
+ * pipeline and the optimizer need:
+ *
+ *  - oracle value (set at rename; used for strict checking and as the
+ *    value delivered by value feedback)
+ *  - readyAt: the cycle from which dependents may issue (set at producer
+ *    issue time, models full bypassing)
+ *  - vfbAt: the cycle from which the optimizer sees the value (execute
+ *    completion + transmission delay; paper sections 2.2/3.3/6.4)
+ *
+ * Registers are freed when their reference count reaches zero (the
+ * scheme of Jourdan et al. [15] that the paper depends on, since RAT
+ * symbolic entries and MBC entries extend lifetimes).
+ */
+
+#ifndef CONOPT_PIPELINE_PHYS_REG_FILE_HH
+#define CONOPT_PIPELINE_PHYS_REG_FILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/phys_reg.hh"
+
+namespace conopt::pipeline {
+
+/** Concrete physical register file. */
+class PhysRegFile final : public core::PhysRegInterface
+{
+  public:
+    /** A cycle value meaning "not yet". */
+    static constexpr uint64_t never = ~uint64_t(0);
+
+    explicit PhysRegFile(unsigned num_regs);
+
+    // PhysRegInterface ---------------------------------------------------
+    core::PhysRegId alloc() override;
+    unsigned freeCount() const override { return unsigned(freeList_.size()); }
+    void addRef(core::PhysRegId reg) override;
+    void release(core::PhysRegId reg) override;
+    bool valueKnown(core::PhysRegId reg, uint64_t cycle,
+                    uint64_t &value) const override;
+    uint64_t oracleValue(core::PhysRegId reg) const override;
+    void setOracle(core::PhysRegId reg, uint64_t value) override;
+
+    // Timing -------------------------------------------------------------
+    /** Dependents of @p reg may issue from @p cycle on. */
+    void setReadyAt(core::PhysRegId reg, uint64_t cycle);
+    uint64_t readyAt(core::PhysRegId reg) const;
+    bool readyBy(core::PhysRegId reg, uint64_t cycle) const
+    {
+        return readyAt(reg) <= cycle;
+    }
+
+    /** The optimizer sees the value from @p cycle on (value feedback). */
+    void setVfbAt(core::PhysRegId reg, uint64_t cycle);
+
+    // Introspection --------------------------------------------------------
+    unsigned size() const { return unsigned(entries_.size()); }
+    unsigned allocatedCount() const { return size() - freeCount(); }
+    bool isAllocated(core::PhysRegId reg) const;
+    uint32_t refCount(core::PhysRegId reg) const;
+    uint64_t totalAllocs() const { return totalAllocs_; }
+
+  private:
+    struct Entry
+    {
+        uint32_t refs = 0;
+        bool allocated = false;
+        uint64_t oracle = 0;
+        uint64_t readyAt = never;
+        uint64_t vfbAt = never;
+    };
+
+    std::vector<Entry> entries_;
+    std::vector<core::PhysRegId> freeList_;
+    uint64_t totalAllocs_ = 0;
+};
+
+} // namespace conopt::pipeline
+
+#endif // CONOPT_PIPELINE_PHYS_REG_FILE_HH

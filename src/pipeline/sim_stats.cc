@@ -1,0 +1,22 @@
+#include "src/pipeline/sim_stats.hh"
+
+#include <cstdio>
+
+namespace conopt::pipeline {
+
+std::string
+SimStats::summary() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu retired=%llu ipc=%.3f "
+                  "early=%.1f%% recov-mispred=%.1f%% addr-gen=%.1f%% "
+                  "lds-removed=%.1f%%",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(retired), ipc(),
+                  100.0 * execEarlyFrac(), 100.0 * recoveredMispredFrac(),
+                  100.0 * addrGenFrac(), 100.0 * loadsRemovedFrac());
+    return buf;
+}
+
+} // namespace conopt::pipeline

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation statistics collected by the timing model. The derived
+ * percentages feed Table 3 of the paper; cycles/IPC feed every speedup
+ * figure.
+ */
+
+#ifndef CONOPT_PIPELINE_SIM_STATS_HH
+#define CONOPT_PIPELINE_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/mbc.hh"
+#include "src/core/optimizer.hh"
+
+namespace conopt::pipeline {
+
+/** All counters for one simulation run. */
+struct SimStats
+{
+    // --- headline -------------------------------------------------------
+    uint64_t cycles = 0;
+    uint64_t retired = 0;
+    bool halted = false;
+
+    // --- branches ---------------------------------------------------------
+    uint64_t branches = 0;             ///< retired control instructions
+    uint64_t condBranches = 0;
+    uint64_t mispredicted = 0;         ///< direction/indirect-target wrong
+    uint64_t earlyResolvedBranches = 0;///< resolved in the optimizer
+    uint64_t earlyRecoveredMispredicts = 0; ///< mispredicts fixed at rename
+    uint64_t btbResteers = 0;          ///< direct-target fixups at decode
+
+    // --- memory -----------------------------------------------------------
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t loadsForwardedFromStoreQ = 0;
+    uint64_t mbcMisspecFlushes = 0;
+    uint64_t dl1Hits = 0;
+    uint64_t dl1Misses = 0;
+    uint64_t il1Misses = 0;
+
+    // --- stalls (cycles in which the stage made no progress) -------------
+    uint64_t fetchStallMispredict = 0;
+    uint64_t fetchStallIcache = 0;
+    uint64_t fetchStallQueueFull = 0;
+    uint64_t renameStallRob = 0;
+    uint64_t renameStallDispatchQ = 0;
+    uint64_t renameStallPregs = 0;
+    uint64_t dispatchStallSched = 0;
+
+    // --- optimizer activity (copied from the RenameUnit at the end) ------
+    core::OptStats opt;
+    core::MbcStats mbc;
+
+    // --- derived metrics --------------------------------------------------
+    double
+    ipc() const
+    {
+        return cycles ? double(retired) / double(cycles) : 0.0;
+    }
+
+    /** Fraction of the instruction stream executed in the optimizer
+     *  (Table 3, "exec. early"). */
+    double
+    execEarlyFrac() const
+    {
+        return retired ? double(opt.earlyExecuted) / double(retired) : 0.0;
+    }
+
+    /** Fraction of mispredicted branches recovered at rename (Table 3,
+     *  "recov. mispred. brs."). */
+    double
+    recoveredMispredFrac() const
+    {
+        return mispredicted ? double(earlyRecoveredMispredicts) /
+                                  double(mispredicted)
+                            : 0.0;
+    }
+
+    /** Fraction of loads+stores with rename-generated addresses
+     *  (Table 3, "ld/st addr. gen"). */
+    double
+    addrGenFrac() const
+    {
+        return opt.memOps ? double(opt.addrKnown) / double(opt.memOps)
+                          : 0.0;
+    }
+
+    /** Fraction of loads converted to moves (Table 3, "lds removed"). */
+    double
+    loadsRemovedFrac() const
+    {
+        return opt.loads ? double(opt.loadsRemoved) / double(opt.loads)
+                         : 0.0;
+    }
+
+    /** One-line summary. */
+    std::string summary() const;
+};
+
+} // namespace conopt::pipeline
+
+#endif // CONOPT_PIPELINE_SIM_STATS_HH

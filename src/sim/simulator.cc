@@ -1,0 +1,33 @@
+#include "src/sim/simulator.hh"
+
+#include "src/arch/emulator.hh"
+#include "src/pipeline/ooo_core.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::sim {
+
+SimResult
+simulate(const assembler::Program &program,
+         const pipeline::MachineConfig &config, uint64_t max_insts)
+{
+    arch::Emulator emu(program, max_insts);
+    pipeline::OooCore core(config, emu);
+    SimResult result;
+    result.stats = core.run();
+    result.instructions = emu.instCount();
+    result.halted = emu.halted();
+    return result;
+}
+
+double
+speedup(const assembler::Program &program,
+        const pipeline::MachineConfig &baseline,
+        const pipeline::MachineConfig &config, uint64_t max_insts)
+{
+    const SimResult base = simulate(program, baseline, max_insts);
+    const SimResult opt = simulate(program, config, max_insts);
+    conopt_assert(base.instructions == opt.instructions);
+    return double(base.stats.cycles) / double(opt.stats.cycles);
+}
+
+} // namespace conopt::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Top-level simulation driver: runs a Program on the timing model under a
+ * MachineConfig and returns the statistics. Also validates the run by
+ * re-executing the program functionally and comparing final register
+ * state (end-to-end strict checking).
+ */
+
+#ifndef CONOPT_SIM_SIMULATOR_HH
+#define CONOPT_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "src/asm/program.hh"
+#include "src/pipeline/machine_config.hh"
+#include "src/pipeline/sim_stats.hh"
+
+namespace conopt::sim {
+
+/** Outcome of a timing simulation. */
+struct SimResult
+{
+    pipeline::SimStats stats;
+    uint64_t instructions = 0; ///< dynamic instructions retired
+    bool halted = false;       ///< program ended via HALT
+
+    double ipc() const { return stats.ipc(); }
+};
+
+/**
+ * Run @p program to completion on the machine described by @p config.
+ *
+ * @param max_insts safety limit on dynamic instruction count
+ */
+SimResult simulate(const assembler::Program &program,
+                   const pipeline::MachineConfig &config,
+                   uint64_t max_insts = uint64_t(1) << 32);
+
+/** Speedup of @p config over @p baseline on the same program. */
+double speedup(const assembler::Program &program,
+               const pipeline::MachineConfig &baseline,
+               const pipeline::MachineConfig &config,
+               uint64_t max_insts = uint64_t(1) << 32);
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_SIMULATOR_HH

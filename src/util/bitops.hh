@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef CONOPT_UTIL_BITOPS_HH
+#define CONOPT_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace conopt {
+
+/** True if @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two (undefined for non-powers). */
+constexpr unsigned
+log2Exact(uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Smallest power of two >= v (v must be nonzero). */
+constexpr uint64_t
+ceilPowerOfTwo(uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+/** Sign-extend the low @p bits bits of @p v to 64 bits. */
+constexpr int64_t
+sext64(uint64_t v, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<int64_t>(v << shift) >> shift;
+}
+
+/** Extract bits [lo, lo+len) of v. */
+constexpr uint64_t
+bits64(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 64) ? ~uint64_t(0) : ((uint64_t(1) << len) - 1));
+}
+
+/** Wrapping add/sub on uint64_t used for well-defined overflow semantics. */
+constexpr uint64_t
+wrappingAdd(uint64_t a, uint64_t b)
+{
+    return a + b;
+}
+
+constexpr uint64_t
+wrappingSub(uint64_t a, uint64_t b)
+{
+    return a - b;
+}
+
+constexpr uint64_t
+wrappingMul(uint64_t a, uint64_t b)
+{
+    return a * b;
+}
+
+} // namespace conopt
+
+#endif // CONOPT_UTIL_BITOPS_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-latency pipeline latch used to model multi-stage sections of the
+ * processor front end (decode stages, the extra optimizer stages, value
+ * feedback transmission). Items pushed at cycle C become visible at cycle
+ * C + depth.
+ */
+
+#ifndef CONOPT_UTIL_DELAY_PIPE_HH
+#define CONOPT_UTIL_DELAY_PIPE_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace conopt {
+
+/**
+ * A latency pipe: a queue whose entries carry the cycle at which they
+ * become visible at the tail. Supports arbitrary (even zero) latency.
+ */
+template <typename T>
+class DelayPipe
+{
+  public:
+    explicit DelayPipe(uint32_t depth = 1) : depth_(depth) {}
+
+    /** Change the pipe depth (only before use / after clear()). */
+    void setDepth(uint32_t depth) { depth_ = depth; }
+    uint32_t depth() const { return depth_; }
+
+    /** Insert an item at cycle @p now; it matures at now + depth. */
+    void
+    push(uint64_t now, T item)
+    {
+        entries_.push_back(Entry{now + depth_, std::move(item)});
+    }
+
+    /** True if an item is available at cycle @p now. */
+    bool
+    ready(uint64_t now) const
+    {
+        return !entries_.empty() && entries_.front().readyCycle <= now;
+    }
+
+    /** Access the oldest matured item (ready(now) must hold). */
+    T &front() { return entries_.front().item; }
+    const T &front() const { return entries_.front().item; }
+
+    /** Remove the oldest item. */
+    void pop() { entries_.pop_front(); }
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    void clear() { entries_.clear(); }
+
+    /** Drop every entry for which pred(item) returns true. */
+    template <typename Pred>
+    void
+    removeIf(Pred pred)
+    {
+        std::deque<Entry> kept;
+        for (auto &e : entries_) {
+            if (!pred(e.item))
+                kept.push_back(std::move(e));
+        }
+        entries_.swap(kept);
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t readyCycle;
+        T item;
+    };
+
+    uint32_t depth_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace conopt
+
+#endif // CONOPT_UTIL_DELAY_PIPE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by workload generators
+ * and property tests. xoshiro256** -- fast, reproducible across platforms,
+ * independent of the C++ standard library's unspecified distributions.
+ */
+
+#ifndef CONOPT_UTIL_RNG_HH
+#define CONOPT_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace conopt {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed always yields the same stream. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) (bound must be nonzero). */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace conopt
+
+#endif // CONOPT_UTIL_RNG_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared code-generation helpers for the synthetic workloads.
+ */
+
+#ifndef CONOPT_WORKLOADS_COMMON_HH
+#define CONOPT_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asm/assembler.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/workload.hh"
+
+namespace conopt::workloads {
+
+// Workload sources are assembly-dense; pull in the register names and
+// assembler vocabulary wholesale. This header is only included by the
+// kernel translation units, never by library headers.
+using namespace conopt::assembler;
+
+/**
+ * Emit an in-ISA xorshift64 step on @p x (uses @p tmp as scratch):
+ * x ^= x << 13; x ^= x >> 7; x ^= x << 17.
+ * All simple ops; the result is data-dependent, so downstream branches
+ * on it are unpredictable.
+ */
+inline void
+emitXorshift(Assembler &a, Reg x, Reg tmp)
+{
+    a.sll(x, 13, tmp);
+    a.xor_(x, tmp, x);
+    a.srl(x, 7, tmp);
+    a.xor_(x, tmp, x);
+    a.sll(x, 17, tmp);
+    a.xor_(x, tmp, x);
+}
+
+/** Store the checksum register and halt. */
+inline void
+emitChecksumAndHalt(Assembler &a, Reg checksum, Reg addr_tmp)
+{
+    a.li(addr_tmp, int64_t(checksumAddr));
+    a.stq(checksum, 0, addr_tmp);
+    a.halt();
+}
+
+/** Build a vector of pseudo-random quads (deterministic). */
+inline std::vector<uint64_t>
+randomQuads(size_t count, uint64_t seed, uint64_t mask = ~uint64_t(0))
+{
+    Rng rng(seed);
+    std::vector<uint64_t> v(count);
+    for (auto &q : v)
+        q = rng.next() & mask;
+    return v;
+}
+
+/** Build a vector of pseudo-random doubles in [0,1). */
+inline std::vector<double>
+randomDoubles(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(count);
+    for (auto &d : v)
+        d = rng.nextDouble();
+    return v;
+}
+
+} // namespace conopt::workloads
+
+#endif // CONOPT_WORKLOADS_COMMON_HH

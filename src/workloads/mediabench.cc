@@ -1,0 +1,485 @@
+/**
+ * @file
+ * mediabench synthetic kernels: g721 decode/encode, mpeg2 decode/encode,
+ * untoast (GSM decode), toast (GSM encode).
+ *
+ * These kernels work on the small fixed-size state arrays that make
+ * mediabench the paper's best suite for the Memory Bypass Cache: ADPCM
+ * predictor state, 8x8 IDCT blocks, and the GSM short-term synthesis
+ * filter's two 8-entry arrays (the paper's untoast case study, section
+ * 5.2: "after the first iteration, all of the array accesses for this
+ * function are eliminated").
+ */
+
+#include <string>
+
+#include "src/workloads/common.hh"
+
+namespace conopt::workloads {
+
+namespace {
+
+/**
+ * Shared ADPCM-flavoured kernel. Decode reconstructs samples; encode
+ * additionally quantizes the prediction error (extra compare ladder).
+ */
+Program
+buildG721(unsigned scale, bool encode, uint64_t seed, unsigned samples)
+{
+    Assembler a;
+    // Quantizer table (8 entries) and predictor history (6 entries):
+    // together under 128 bytes, permanently resident in the MBC.
+    const uint64_t qtab =
+        a.dataQuads({0, 5, 11, 17, 24, 32, 41, 52});
+    const uint64_t hist = a.allocQuads(6);
+    const uint64_t coef = a.dataQuads({3, 5, 2, 7, 1, 4});
+    std::vector<uint64_t> input(samples);
+    {
+        Rng rng(seed);
+        uint64_t s = 0;
+        for (auto &v : input) {
+            s = (s + rng.nextBelow(17)) & 0x3f; // smooth-ish waveform
+            v = s;
+        }
+    }
+    const uint64_t in_addr = a.dataQuads(input);
+
+    const Reg ip = R1, sample = R2, pred = R3, err = R4, lvl = R5;
+    const Reg qb = R6, hb = R7, hv = R8, cnt = R9, sum = R10;
+    const Reg i = R11, slot = R12, tmp = R13, step = R14, iter = R15;
+    const Reg cmp = R16;
+
+    a.li(qb, int64_t(qtab));
+    a.li(hb, int64_t(hist));
+    a.li(sum, 0);
+    a.li(iter, int64_t(encode ? 3 : 6) * scale);
+
+    a.label("stream");
+    a.li(ip, int64_t(in_addr));
+    a.li(cnt, int64_t(samples));
+    a.label("sample_loop");
+    a.ldq(sample, 0, ip);           // input stream: sequential
+
+    // Prediction: multiply the history by the adaptive coefficients.
+    // The multiplies are complex-ALU work and the coefficients change
+    // every sample, so this filter does not constant-fold.
+    a.li(pred, 0);
+    a.li(i, 0);
+    a.label("taps");
+    a.sll(i, 3, slot);
+    a.addq(hb, slot, slot);
+    a.ldq(hv, 0, slot);             // tiny arrays: RLE after warmup
+    a.li(R21, int64_t(coef));
+    a.sll(i, 3, R22);
+    a.addq(R21, R22, R21);
+    a.ldq(R22, 0, R21);
+    a.mulq(hv, R22, hv);
+    a.sra(hv, 2, hv);
+    a.addq(pred, hv, pred);
+    a.addq(i, 1, i);
+    a.cmplt(i, 6, cmp);
+    a.bne(cmp, "taps");
+
+    a.sra(pred, 2, pred);
+    a.subq(sample, pred, err);
+
+    // Adaptive predictor update: sign-driven coefficient nudges on the
+    // loaded values (data-dependent, not foldable).
+    a.sra(err, 63, tmp);
+    a.xor_(err, tmp, R17);
+    a.subq(R17, tmp, R17);          // |err|
+    a.srl(R17, 2, R17);
+    a.xor_(R17, sample, R18);
+    a.and_(R18, 31, R18);
+    a.addq(R17, R18, R17);
+    a.sra(R17, 1, R17);
+    a.subq(sample, R17, R19);
+    a.xor_(R19, pred, R19);
+    a.addq(sum, R19, sum);
+    // Adapt every coefficient by the correlation of the error sign
+    // with the corresponding history sample (the real ADPCM predictor
+    // update): data-dependent work the optimizer cannot fold.
+    a.sra(err, 63, tmp);
+    a.bis(tmp, 1, tmp);             // sign(err): +1 or -1
+    a.li(i, 0);
+    a.label("adapt");
+    a.sll(i, 3, R23);
+    a.addq(hb, R23, R24);
+    a.ldq(hv, 0, R24);              // history sample
+    a.sra(hv, 63, R24);
+    a.bis(R24, 1, R24);             // sign(hist)
+    a.mulq(R24, tmp, R24);          // correlation direction
+    a.li(R21, int64_t(coef));
+    a.addq(R21, R23, R21);
+    a.ldq(R22, 0, R21);
+    a.addq(R22, R24, R22);
+    a.and_(R22, 15, R22);
+    a.stq(R22, 0, R21);
+    a.addq(i, 1, i);
+    a.cmplt(i, 6, cmp);
+    a.bne(cmp, "adapt");
+
+    if (encode) {
+        // Quantize |err| against the table: a short compare ladder.
+        a.sra(err, 63, tmp);
+        a.xor_(err, tmp, lvl);
+        a.subq(lvl, tmp, lvl);      // lvl = |err|
+        a.li(step, 0);
+        a.label("quant");
+        a.sll(step, 3, slot);
+        a.addq(qb, slot, slot);
+        a.ldq(tmp, 0, slot);        // qtab: always an MBC hit
+        a.cmple(tmp, lvl, cmp);
+        a.beq(cmp, "quant_done");
+        a.addq(step, 1, step);
+        a.cmplt(step, 8, cmp);
+        a.bne(cmp, "quant");
+        a.label("quant_done");
+        a.addq(sum, step, sum);
+    } else {
+        // Reconstruct: pred + dequantized level.
+        a.and_(err, 7, lvl);
+        a.sll(lvl, 3, slot);
+        a.addq(qb, slot, slot);
+        a.ldq(tmp, 0, slot);
+        a.addq(pred, tmp, err);
+        a.addq(sum, err, sum);
+    }
+
+    // Insert the sample into the circular history (one store; the taps
+    // loop above re-reads the same six slots every sample, which is the
+    // store-forwarding/RLE traffic the MBC captures).
+    a.and_(cnt, 7, R23);
+    a.cmplt(R23, 6, cmp);
+    a.bne(cmp, "hist_ok");
+    a.li(R23, 0);
+    a.label("hist_ok");
+    a.sll(R23, 3, R23);
+    a.addq(hb, R23, R23);
+    a.stq(sample, 0, R23);
+
+    a.addq(ip, 8, ip);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "sample_loop");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "stream");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+} // namespace
+
+Program
+buildG721Decode(unsigned scale)
+{
+    return buildG721(scale, /*encode=*/false, 0x6721d, 320);
+}
+
+Program
+buildG721Encode(unsigned scale)
+{
+    return buildG721(scale, /*encode=*/true, 0x6721e, 320);
+}
+
+Program
+buildMpeg2Decode(unsigned scale)
+{
+    Assembler a;
+    // 8x8 blocks of coefficients; the 512-byte block fits in the MBC,
+    // so the column pass's loads forward from the row pass's stores.
+    const unsigned nblocks = 16;
+    const uint64_t blocks =
+        a.dataQuads(randomQuads(nblocks * 64, 0x3292d, 0x7ff));
+    const uint64_t work = a.allocQuads(64);
+    const uint64_t out = a.allocQuads(64);
+
+    const Reg bp = R1, wp = R2, op = R3, blk = R4, i = R5, v0 = R6;
+    const Reg v1 = R7, t0 = R8, t1 = R9, sum = R10, iter = R11;
+    const Reg wb = R12, ob = R13, cmp = R14, clip = R15;
+
+    a.li(wb, int64_t(work));
+    a.li(ob, int64_t(out));
+    a.li(sum, 0);
+    a.li(iter, int64_t(14) * scale);
+
+    a.label("frame");
+    a.li(bp, int64_t(blocks));
+    a.li(blk, int64_t(nblocks));
+    a.label("block");
+
+    // Row pass: butterfly pairs (k, k+4) for each of 8 rows.
+    a.mov(bp, R16);
+    a.mov(wb, wp);
+    a.li(i, 8);
+    a.label("rowpass");
+    for (int k = 0; k < 4; ++k) {
+        a.ldq(v0, int64_t(k * 8), R16);
+        a.ldq(v1, int64_t((k + 4) * 8), R16);
+        a.addq(v0, v1, t0);
+        a.subq(v0, v1, t1);
+        a.sra(t0, 1, t0);
+        a.sra(t1, 1, t1);
+        a.stq(t0, int64_t(k * 8), wp);
+        a.stq(t1, int64_t((k + 4) * 8), wp);
+    }
+    a.addq(R16, 64, R16);
+    a.addq(wp, 64, wp);
+    a.subq(i, 1, i);
+    a.bne(i, "rowpass");
+
+    // Column pass: reads what the row pass just stored (pure SF).
+    a.mov(wb, wp);
+    a.mov(ob, op);
+    a.li(i, 8);
+    a.label("colpass");
+    for (int k = 0; k < 4; ++k) {
+        a.ldq(v0, int64_t(k * 64), wp);
+        a.ldq(v1, int64_t((k + 4) * 64), wp);
+        a.addq(v0, v1, t0);
+        a.subq(v0, v1, t1);
+        // Saturate to [0, 255]: clamp branches, mostly not taken.
+        const std::string pos = "pos" + std::to_string(k);
+        const std::string inr = "inrange" + std::to_string(k);
+        a.cmplt(t0, 0, cmp);
+        a.beq(cmp, pos);
+        a.li(t0, 0);
+        a.label(pos);
+        a.cmple(t0, 255, cmp);
+        a.bne(cmp, inr);
+        a.li(t0, 255);
+        a.label(inr);
+        a.stq(t0, int64_t(k * 64), op);
+        a.stq(t1, int64_t((k + 4) * 64), op);
+    }
+    a.addq(wp, 8, wp);
+    a.addq(op, 8, op);
+    a.subq(i, 1, i);
+    a.bne(i, "colpass");
+
+    a.ldq(clip, 0, ob);
+    a.addq(sum, clip, sum);
+    a.addq(bp, int64_t(64 * 8), bp);
+    a.subq(blk, 1, blk);
+    a.bne(blk, "block");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "frame");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildMpeg2Encode(unsigned scale)
+{
+    Assembler a;
+    // Motion estimation: SAD of a 64-pixel block against 16 candidate
+    // positions in a search window.
+    const unsigned win_sz = 1024;
+    const uint64_t window =
+        a.dataQuads(randomQuads(win_sz, 0x3292e, 0xff));
+    const uint64_t refblk = a.dataQuads(randomQuads(160, 0x3292f, 0xff));
+    // Candidate offsets follow the predicted motion vectors (loaded).
+    std::vector<uint64_t> cand_offs(16);
+    {
+        Rng rng(0x32930);
+        for (auto &c : cand_offs)
+            c = rng.nextBelow(win_sz - 64);
+    }
+    const uint64_t cand_addr = a.dataQuads(cand_offs);
+
+    const Reg rp = R1, cp = R2, i = R3, rv = R4, cv = R5, d = R6;
+    const Reg s = R7, sad = R8, cand = R9, sum = R10, best = R11;
+    const Reg wb = R12, iter = R13, cmp = R14, coff = R15;
+
+    a.li(wb, int64_t(window));
+    a.li(sum, 0);
+    a.li(iter, int64_t(17) * scale);
+
+    a.label("mb");
+    a.li(cand, 16);
+    a.li(best, 0x7fffffff);
+    a.li(coff, int64_t(cand_addr));
+    a.label("candidate");
+    // Alternate between two reference macroblocks (together larger than
+    // the MBC, so reference reuse is only partial).
+    a.and_(cand, 1, s);
+    a.sll(s, 9, s);                 // 0 or 512 bytes
+    a.li(rp, int64_t(refblk));
+    a.addq(rp, s, rp);
+    a.ldq(s, 0, coff);              // loaded motion-vector offset
+    a.sll(s, 3, s);
+    a.addq(wb, s, cp);
+    a.li(i, 64);
+    a.li(sad, 0);
+    a.label("sadloop");
+    a.ldq(rv, 0, rp);               // the reference block re-reads every
+    a.ldq(cv, 0, cp);               // candidate: RLE captures it
+    // Pixels are packed 16-bit lanes: unpack four per quad (real SAD
+    // kernels do far more ALU work per load than one subtract).
+    for (int lane = 0; lane < 4; ++lane) {
+        a.srl(rv, int64_t(lane * 16), d);
+        a.and_(d, 0xffff, d);
+        a.srl(cv, int64_t(lane * 16), s);
+        a.and_(s, 0xffff, s);
+        a.subq(d, s, d);
+        a.sra(d, 63, s);            // branch-free |d|
+        a.xor_(d, s, d);
+        a.subq(d, s, d);
+        a.addq(sad, d, sad);
+    }
+    a.addq(rp, 8, rp);
+    a.addq(cp, 8, cp);
+    a.subq(i, 1, i);
+    a.bne(i, "sadloop");
+    a.cmplt(sad, best, cmp);
+    a.beq(cmp, "not_better");
+    a.mov(sad, best);
+    a.label("not_better");
+    a.addq(coff, 8, coff);
+    a.subq(cand, 1, cand);
+    a.bne(cand, "candidate");
+    a.addq(sum, best, sum);
+    a.subq(iter, 1, iter);
+    a.bne(iter, "mb");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildUntoast(unsigned scale)
+{
+    Assembler a;
+    // Short_term_synthesis_filtering (paper section 5.2): two small
+    // arrays, rrp[8] and v[9], with loop counts varying from 13 to 120.
+    const uint64_t rrp =
+        a.dataQuads(randomQuads(8, 0x6570a, 0x7fff));
+    const uint64_t v = a.allocQuads(9);
+    const unsigned nwt = 256;
+    const uint64_t wt =
+        a.dataQuads(randomQuads(nwt, 0x6570b, 0x7fff));
+    // Segment lengths cycling through the 13..120 range.
+    const uint64_t lens = a.dataQuads({13, 14, 120, 40, 26, 120, 13, 87});
+
+    const Reg wp = R1, k = R2, sri = R3, rv = R4, vv = R5, t = R6;
+    const Reg rb = R7, vb = R8, sum = R10, seg = R11, lp = R12;
+    const Reg iter = R13, wi = R14;
+
+    a.li(rb, int64_t(rrp));
+    a.li(vb, int64_t(v));
+    a.li(sum, 0);
+    a.li(iter, int64_t(28) * scale);
+
+    a.label("frame");
+    a.and_(iter, 7, seg);
+    a.sll(seg, 3, seg);
+    a.li(lp, int64_t(lens));
+    a.addq(lp, seg, lp);
+    a.ldq(k, 0, lp);                // this segment's sample count
+    a.and_(iter, int64_t(nwt - 1), wi);
+    a.sll(wi, 3, wi);
+    a.li(wp, int64_t(wt));
+    a.addq(wp, wi, wp);
+
+    a.label("sample");
+    a.ldq(sri, 0, wp);
+    // The i = 7..0 filter loop, unrolled as in the real GSM code. All
+    // rrp and v accesses hit the MBC after the first sample.
+    for (int fi = 7; fi >= 0; --fi) {
+        a.ldq(rv, int64_t(fi * 8), rb);     // rrp[i]
+        a.ldq(vv, int64_t(fi * 8), vb);     // v[i]
+        a.mulq(rv, vv, t);
+        a.sra(t, 15, t);
+        a.subq(sri, t, sri);
+        a.mulq(rv, sri, t);
+        a.sra(t, 15, t);
+        a.ldq(vv, int64_t(fi * 8), vb);
+        a.addq(vv, t, vv);
+        a.stq(vv, int64_t((fi + 1) * 8), vb); // v[i+1] = v[i] + tmp
+    }
+    a.stq(sri, 0, vb);              // v[0] = sri
+    a.addq(sum, sri, sum);
+    a.and_(sum, 0xffffffff, sum);
+    a.addq(wp, 8, wp);
+    a.subq(k, 1, k);
+    a.bne(k, "sample");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "frame");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildToast(unsigned scale)
+{
+    Assembler a;
+    // LPC autocorrelation over a 160-sample window (GSM frame): the
+    // window is larger than the MBC, so reuse is only partial.
+    const unsigned n = 160;
+    const uint64_t s_addr = a.dataQuads(randomQuads(n, 0x705a, 0x7fff));
+    const uint64_t acf_addr = a.allocQuads(9);
+
+    const Reg sp = R1, sp2 = R2, i = R3, k = R4, sv = R5, sv2 = R6;
+    const Reg p = R7, acc = R8, ab = R9, sum = R10, iter = R11;
+    const Reg slot = R12, scaled = R13;
+
+    a.li(ab, int64_t(acf_addr));
+    a.li(sum, 0);
+    a.li(iter, int64_t(10) * scale);
+
+    a.label("frame");
+    a.li(k, 8);
+    a.label("lag");
+    // acf[k] = sum s[i] * s[i-k], i = k..n-1.
+    a.li(acc, 0);
+    a.sll(k, 3, slot);
+    a.li(sp, int64_t(s_addr));
+    a.addq(sp, slot, sp);           // &s[k]
+    a.li(sp2, int64_t(s_addr));    // &s[0]
+    a.li(i, int64_t(n));
+    a.subq(i, k, i);
+    a.label("corr");
+    a.ldq(sv, 0, sp);
+    a.ldq(sv2, 0, sp2);
+    // Two packed 32-bit samples per quad.
+    a.and_(sv, 0xffffffff, p);
+    a.and_(sv2, 0xffffffff, scaled);
+    a.mulq(p, scaled, p);
+    a.sra(p, 3, p);
+    a.addq(acc, p, acc);
+    a.srl(sv, 32, p);
+    a.srl(sv2, 32, scaled);
+    a.mulq(p, scaled, p);
+    a.sra(p, 3, p);
+    a.addq(acc, p, acc);
+    a.addq(sp, 8, sp);
+    a.addq(sp2, 8, sp2);
+    a.subq(i, 1, i);
+    a.bne(i, "corr");
+    a.sll(k, 3, slot);
+    a.addq(ab, slot, slot);
+    a.stq(acc, 0, slot);
+    a.addq(sum, acc, sum);
+    a.subq(k, 1, k);
+    a.bne(k, "lag");
+    // Scaling pass: multiply the window by 2 (strength-reduced mulq).
+    a.li(sp, int64_t(s_addr));
+    a.li(i, int64_t(n));
+    a.label("scalepass");
+    a.ldq(sv, 0, sp);
+    a.mulq(sv, 2, scaled);          // becomes a shift in the optimizer
+    a.and_(scaled, 0x7fff, scaled);
+    a.stq(scaled, 0, sp);
+    a.addq(sp, 8, sp);
+    a.subq(i, 1, i);
+    a.bne(i, "scalepass");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "frame");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+} // namespace conopt::workloads

@@ -1,0 +1,86 @@
+#include "src/workloads/workload.hh"
+
+#include "src/util/logging.hh"
+
+namespace conopt::workloads {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    // Table 1 of the paper, in order. paperInstsM is the simulated
+    // instruction count the paper reports (millions).
+    static const std::vector<Workload> table = {
+        {"bzp", "bzip2 (histogram + run-length)", "SPECint", 293, 1,
+         &buildBzip2},
+        {"cra", "crafty (bitboards + popcount)", "SPECint", 625, 1,
+         &buildCrafty},
+        {"eon", "eon (shader dispatch)", "SPECint", 132, 1, &buildEon},
+        {"gap", "gap (multiword arithmetic)", "SPECint", 474, 1,
+         &buildGap},
+        {"gcc", "gcc (token dispatch + hashing)", "SPECint", 284, 1,
+         &buildGcc},
+        {"mcf", "mcf (simplex chase + sort_basket)", "SPECint", 410, 1,
+         &buildMcf},
+        {"prl", "perlbmk (interpreter + hashing)", "SPECint", 1000, 1,
+         &buildPerlbmk},
+        {"twf", "twolf (simulated annealing)", "SPECint", 596, 1,
+         &buildTwolf},
+        {"vor", "vortex (object database)", "SPECint", 272, 1,
+         &buildVortex},
+        {"vpr", "vpr (maze routing)", "SPECint", 1000, 1, &buildVpr},
+        {"amp", "ammp (pairwise forces)", "SPECfp", 500, 1, &buildAmmp},
+        {"app", "applu (5-point stencil)", "SPECfp", 382, 1,
+         &buildApplu},
+        {"art", "art (neural network)", "SPECfp", 1000, 1, &buildArt},
+        {"eqk", "equake (sparse matvec)", "SPECfp", 1000, 1,
+         &buildEquake},
+        {"msa", "mesa (vertex transform)", "SPECfp", 1000, 1,
+         &buildMesa},
+        {"mgd", "mgrid (7-point stencil)", "SPECfp", 1000, 1,
+         &buildMgrid},
+        {"g721d", "g721 decode (ADPCM)", "mediabench", 662, 1,
+         &buildG721Decode},
+        {"g721e", "g721 encode (ADPCM)", "mediabench", 358, 1,
+         &buildG721Encode},
+        {"mpg2d", "mpeg2 decode (IDCT)", "mediabench", 220, 1,
+         &buildMpeg2Decode},
+        {"mpg2e", "mpeg2 encode (motion SAD)", "mediabench", 1000, 1,
+         &buildMpeg2Encode},
+        {"untst", "untoast (GSM synthesis filter)", "mediabench", 96, 1,
+         &buildUntoast},
+        {"tst", "toast (GSM autocorrelation)", "mediabench", 287, 1,
+         &buildToast},
+    };
+    return table;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    conopt_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<const Workload *>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.suite == suite)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {"SPECint", "SPECfp",
+                                                   "mediabench"};
+    return names;
+}
+
+} // namespace conopt::workloads

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * SPECfp synthetic kernels: ammp, applu, art, equake, mesa, mgrid.
+ *
+ * ammp is dominated by long floating-point dependence chains (pairwise
+ * force evaluation with divides), so the integer-only optimizer gains
+ * essentially nothing -- the paper reports a 1.00 speedup for it. The
+ * others mix regular fp arithmetic with rich integer address arithmetic
+ * (stencils, sparse matvec, vertex transforms), which is where address
+ * generation and early execution pay off.
+ */
+
+#include "src/workloads/common.hh"
+
+namespace conopt::workloads {
+
+Program
+buildAmmp(unsigned scale)
+{
+    Assembler a;
+    const unsigned atoms = 256;
+    const unsigned pairs = 1024;
+    const uint64_t xs = a.dataDoubles(randomDoubles(atoms, 0xa301));
+    const uint64_t ys = a.dataDoubles(randomDoubles(atoms, 0xa302));
+    const uint64_t zs = a.dataDoubles(randomDoubles(atoms, 0xa303));
+    std::vector<uint64_t> pair_idx(pairs);
+    {
+        Rng rng(0xa304);
+        for (auto &p : pair_idx) {
+            const uint64_t i = rng.nextBelow(atoms);
+            uint64_t j = rng.nextBelow(atoms);
+            if (j == i)
+                j = (j + 1) % atoms;
+            p = (i << 32) | j;
+        }
+    }
+    const uint64_t pairs_addr = a.dataQuads(pair_idx);
+
+    const Reg pb = R1, pk = R2, i = R3, j = R4, off = R5, slot = R6;
+    const Reg xb = R7, yb = R8, zb = R9, cnt = R11, iter = R12, s = R13;
+    const FReg xi = F1, xj = F2, yi = F3, yj = F4, zi = F5, zj = F6;
+    const FReg dx = F7, dy = F8, dz = F9, r2 = F10, t = F11, f = F12;
+    const FReg acc = F13, one = F14, fx = F15, fy = F16, fz = F17;
+
+    a.li(xb, int64_t(xs));
+    a.li(yb, int64_t(ys));
+    a.li(zb, int64_t(zs));
+    a.li(s, 1);
+    a.cvtqt(s, one);                // 1.0
+    a.li(iter, int64_t(7) * scale);
+
+    a.label("outer");
+    a.li(pb, int64_t(pairs_addr));
+    a.li(cnt, int64_t(pairs));
+    a.label("pair");
+    a.ldq(pk, 0, pb);               // packed (i, j): sequential
+    a.srl(pk, 32, i);
+    a.and_(pk, 0xffffffff, j);
+    // Gather the six coordinates: data-dependent addresses.
+    a.sll(i, 3, off);
+    a.addq(xb, off, slot);
+    a.ldt(xi, 0, slot);
+    a.addq(yb, off, slot);
+    a.ldt(yi, 0, slot);
+    a.addq(zb, off, slot);
+    a.ldt(zi, 0, slot);
+    a.sll(j, 3, off);
+    a.addq(xb, off, slot);
+    a.ldt(xj, 0, slot);
+    a.addq(yb, off, slot);
+    a.ldt(yj, 0, slot);
+    a.addq(zb, off, slot);
+    a.ldt(zj, 0, slot);
+    // The long fp chain: dx^2+dy^2+dz^2, a divide, and three force
+    // components -- fp-unit bound, which the integer-only optimizer
+    // cannot touch (the paper reports a 1.00 speedup for ammp).
+    a.subt(xi, xj, dx);
+    a.subt(yi, yj, dy);
+    a.subt(zi, zj, dz);
+    a.mult(dx, dx, r2);
+    a.mult(dy, dy, t);
+    a.addt(r2, t, r2);
+    a.mult(dz, dz, t);
+    a.addt(r2, t, r2);
+    a.addt(r2, one, r2);            // avoid div-by-zero
+    a.divt(one, r2, f);
+    a.divt(f, r2, t);               // r^-4 via a second divide
+    a.mult(t, f, t);                // r^-6 flavor
+    a.mult(f, dx, fx);
+    a.mult(f, dy, fy);
+    a.mult(f, dz, fz);
+    a.addt(fx, fy, fx);
+    a.addt(fx, fz, fx);
+    a.addt(t, fx, t);
+    a.addt(acc, t, acc);
+    a.addq(pb, 8, pb);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "pair");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+
+    a.cvttq(acc, R10);
+    emitChecksumAndHalt(a, R10, R20);
+    return a.finish();
+}
+
+Program
+buildApplu(unsigned scale)
+{
+    Assembler a;
+    const unsigned n = 64; // n x n grid
+    const uint64_t src = a.dataDoubles(randomDoubles(n * n, 0xab1));
+    const uint64_t dst = a.allocQuads(n * n);
+
+    const Reg rowp = R1, dstp = R2, i = R3, jj = R4, iter = R5;
+    const Reg sum = R10;
+    const FReg c = F1, up = F2, dn = F3, lf = F4, rt = F5, mid = F6;
+    const FReg acc = F7, t = F8;
+
+    a.li(sum, 0);
+    a.li(iter, int64_t(4) * scale);
+    // Stencil coefficient 0.25 via 1/4.
+    a.li(R6, 4);
+    a.cvtqt(R6, t);
+    a.li(R6, 1);
+    a.cvtqt(R6, c);
+    a.divt(c, t, c);
+
+    a.label("sweep");
+    // Interior rows 1..n-2; incremental row pointers keep every address
+    // a rename-time constant chain.
+    a.li(rowp, int64_t(src + n * 8));     // row 1
+    a.li(dstp, int64_t(dst + n * 8));
+    a.li(i, int64_t(n - 2));
+    a.label("row");
+    a.li(jj, int64_t(n - 2));
+    a.label("col");
+    // 5-point stencil: up, down, left, right, middle.
+    a.ldt(mid, 8, rowp);
+    a.ldt(lf, 0, rowp);
+    a.ldt(rt, 16, rowp);
+    a.ldt(up, int64_t(8 - 8 * int64_t(n)), rowp);
+    a.ldt(dn, int64_t(8 + 8 * int64_t(n)), rowp);
+    a.addt(lf, rt, acc);
+    a.addt(up, dn, t);
+    a.addt(acc, t, acc);
+    a.mult(acc, c, acc);
+    a.addt(acc, mid, acc);
+    a.stt(acc, 8, dstp);
+    a.addq(rowp, 8, rowp);
+    a.addq(dstp, 8, dstp);
+    a.subq(jj, 1, jj);
+    a.bne(jj, "col");
+    a.addq(rowp, 16, rowp);         // skip the boundary columns
+    a.addq(dstp, 16, dstp);
+    a.subq(i, 1, i);
+    a.bne(i, "row");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "sweep");
+
+    a.li(R7, int64_t(dst + (n + 5) * 8));
+    a.ldq(sum, 0, R7);
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildArt(unsigned scale)
+{
+    Assembler a;
+    const unsigned inputs = 64;   // the input vector fits in the MBC
+    const unsigned neurons = 16;
+    const uint64_t win =
+        a.dataDoubles(randomDoubles(inputs * neurons, 0xa57));
+    const uint64_t vin = a.dataDoubles(randomDoubles(inputs, 0xa58));
+
+    const Reg wp = R1, xp = R2, i = R3, nrn = R4, iter = R5, best_n = R6;
+    const Reg sum = R10, tmpi = R7;
+    const FReg w = F1, xv = F2, acc = F3, best = F4, p = F5, cmp = F6;
+
+    a.li(sum, 0);
+    a.li(iter, int64_t(55) * scale);
+
+    a.label("pass");
+    a.li(wp, int64_t(win));
+    a.li(nrn, int64_t(neurons));
+    a.li(best_n, 0);
+    a.li(tmpi, 0);
+    a.cvtqt(tmpi, best);
+    a.label("neuron");
+    a.li(xp, int64_t(vin));
+    a.li(i, int64_t(inputs));
+    a.li(tmpi, 0);
+    a.cvtqt(tmpi, acc);
+    a.label("dot");
+    a.ldt(w, 0, wp);                // weights stream once
+    a.ldt(xv, 0, xp);               // the input vector is re-read for
+    a.mult(w, xv, p);               // every neuron: pure RLE fodder
+    a.addt(acc, p, acc);
+    a.addq(wp, 8, wp);
+    a.addq(xp, 8, xp);
+    a.subq(i, 1, i);
+    a.bne(i, "dot");
+    // Winner-take-all compare: fp branch.
+    a.cmptlt(best, acc, cmp);
+    a.fbeq(cmp, "not_best");
+    a.fmov(acc, best);
+    a.mov(nrn, best_n);
+    a.label("not_best");
+    a.subq(nrn, 1, nrn);
+    a.bne(nrn, "neuron");
+    a.addq(sum, best_n, sum);
+    a.subq(iter, 1, iter);
+    a.bne(iter, "pass");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildEquake(unsigned scale)
+{
+    Assembler a;
+    const unsigned rows = 256;
+    const unsigned nnz_per_row = 8;
+    const unsigned cols = 256;
+    std::vector<uint64_t> colidx(rows * nnz_per_row);
+    {
+        Rng rng(0xe93);
+        for (auto &c : colidx)
+            c = rng.nextBelow(cols);
+    }
+    const uint64_t col_addr = a.dataQuads(colidx);
+    const uint64_t val_addr =
+        a.dataDoubles(randomDoubles(rows * nnz_per_row, 0xe94));
+    const uint64_t x_addr = a.dataDoubles(randomDoubles(cols, 0xe95));
+    const uint64_t y_addr = a.allocQuads(rows);
+
+    const Reg cp = R1, vp = R2, yp = R3, row = R4, k = R5, col = R6;
+    const Reg off = R7, slot = R8, xb = R9, iter = R11;
+    const FReg av = F1, xv = F2, p = F3, acc = F4;
+
+    a.li(xb, int64_t(x_addr));
+    a.li(iter, int64_t(20) * scale);
+
+    a.label("mv");
+    a.li(cp, int64_t(col_addr));
+    a.li(vp, int64_t(val_addr));
+    a.li(yp, int64_t(y_addr));
+    a.li(row, int64_t(rows));
+    a.label("rowloop");
+    a.li(k, int64_t(nnz_per_row));
+    a.li(R12, 0);
+    a.cvtqt(R12, acc);
+    a.label("nz");
+    a.ldq(col, 0, cp);              // column index: sequential
+    a.ldt(av, 0, vp);               // matrix value: sequential
+    a.sll(col, 3, off);
+    a.addq(xb, off, slot);
+    a.ldt(xv, 0, slot);             // x[col]: indirect (index-dependent)
+    a.mult(av, xv, p);
+    a.addt(acc, p, acc);
+    a.addq(cp, 8, cp);
+    a.addq(vp, 8, vp);
+    a.subq(k, 1, k);
+    a.bne(k, "nz");
+    a.stt(acc, 0, yp);
+    a.addq(yp, 8, yp);
+    a.subq(row, 1, row);
+    a.bne(row, "rowloop");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "mv");
+
+    a.li(R13, int64_t(y_addr + 8 * 17));
+    a.ldq(R10, 0, R13);
+    emitChecksumAndHalt(a, R10, R20);
+    return a.finish();
+}
+
+Program
+buildMesa(unsigned scale)
+{
+    Assembler a;
+    const unsigned verts = 512;
+    const uint64_t vx = a.dataDoubles(randomDoubles(verts, 0x3e5a));
+    const uint64_t vy = a.dataDoubles(randomDoubles(verts, 0x3e5b));
+    const uint64_t vz = a.dataDoubles(randomDoubles(verts, 0x3e5c));
+    const uint64_t mat = a.dataDoubles(randomDoubles(12, 0x3e5d));
+    const uint64_t fb = a.allocQuads(verts);
+
+    const Reg xp = R1, yp = R2, zp = R3, op = R4, cnt = R5, iter = R6;
+    const Reg r = R7, g = R8, b = R9, pix = R11, mb = R12;
+    const FReg x = F1, y = F2, z = F3, tx = F4, ty = F5, tz = F6;
+    const FReg t = F8;
+    const FReg m00 = F16, m01 = F17, m02 = F18, m10 = F19, m11 = F20;
+    const FReg m12 = F21, m20 = F22, m21 = F23, m22 = F24;
+
+    a.li(mb, int64_t(mat));
+    a.li(iter, int64_t(22) * scale);
+    // The transform matrix lives in registers across the frame, as a
+    // real compiler would keep it.
+    a.ldt(m00, 0, mb);
+    a.ldt(m01, 8, mb);
+    a.ldt(m02, 16, mb);
+    a.ldt(m10, 24, mb);
+    a.ldt(m11, 32, mb);
+    a.ldt(m12, 40, mb);
+    a.ldt(m20, 48, mb);
+    a.ldt(m21, 56, mb);
+    a.ldt(m22, 64, mb);
+
+    a.label("frame");
+    a.li(xp, int64_t(vx));
+    a.li(yp, int64_t(vy));
+    a.li(zp, int64_t(vz));
+    a.li(op, int64_t(fb));
+    a.li(cnt, int64_t(verts));
+    a.label("vert");
+    a.ldt(x, 0, xp);
+    a.ldt(y, 0, yp);
+    a.ldt(z, 0, zp);
+    a.mult(x, m00, tx);
+    a.mult(y, m01, t);
+    a.addt(tx, t, tx);
+    a.mult(z, m02, t);
+    a.addt(tx, t, tx);
+    a.mult(x, m10, ty);
+    a.mult(y, m11, t);
+    a.addt(ty, t, ty);
+    a.mult(z, m12, t);
+    a.addt(ty, t, ty);
+    a.mult(x, m20, tz);
+    a.mult(y, m21, t);
+    a.addt(tz, t, tz);
+    a.mult(z, m22, t);
+    a.addt(tz, t, tz);
+    // Perspective divide: w = z + 2 (never zero for our inputs).
+    a.addt(tz, m22, t);
+    a.addt(t, m22, t);
+    a.divt(tx, t, tx);
+    a.divt(ty, t, ty);
+    // Pack to 8:8:8 rgb with integer shifts (pixel write).
+    a.cvttq(tx, r);
+    a.cvttq(ty, g);
+    a.cvttq(tz, b);
+    a.and_(r, 255, r);
+    a.and_(g, 255, g);
+    a.and_(b, 255, b);
+    a.sll(r, 16, pix);
+    a.sll(g, 8, g);
+    a.bis(pix, g, pix);
+    a.bis(pix, b, pix);
+    a.stq(pix, 0, op);
+    a.addq(xp, 8, xp);
+    a.addq(yp, 8, yp);
+    a.addq(zp, 8, zp);
+    a.addq(op, 8, op);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "vert");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "frame");
+
+    a.li(R13, int64_t(fb + 8 * 100));
+    a.ldq(R10, 0, R13);
+    emitChecksumAndHalt(a, R10, R20);
+    return a.finish();
+}
+
+Program
+buildMgrid(unsigned scale)
+{
+    Assembler a;
+    const unsigned n = 16; // n^3 grid
+    const uint64_t src = a.dataDoubles(randomDoubles(n * n * n, 0x316d));
+    const uint64_t dst = a.allocQuads(n * n * n);
+
+    const Reg sp = R1, dp = R2, i = R3, j = R4, k = R5, iter = R6;
+    const Reg plane = R7, rowb = R8, sum = R10;
+    const FReg c0 = F1, c1 = F2, v = F3, acc = F4, t = F5;
+
+    a.li(iter, int64_t(9) * scale);
+    a.li(R9, 6);
+    a.cvtqt(R9, c1);
+    a.li(R9, 1);
+    a.cvtqt(R9, c0);
+    a.divt(c0, c1, c1);             // 1/6
+
+    const int64_t nb = 8;           // bytes per element
+    const int64_t row = nb * n;
+    const int64_t pl = nb * n * n;
+
+    a.label("cycle");
+    a.li(i, int64_t(n - 2));
+    a.li(plane, int64_t(src + pl + row + nb));
+    a.li(rowb, int64_t(dst + pl + row + nb));
+    a.label("iplane");
+    a.li(j, int64_t(n - 2));
+    a.label("jrow");
+    a.mov(plane, sp);
+    a.mov(rowb, dp);
+    a.li(k, int64_t(n - 2));
+    a.label("kcol");
+    // 7-point stencil around sp.
+    a.ldt(acc, int64_t(-pl), sp);
+    a.ldt(t, int64_t(pl), sp);
+    a.addt(acc, t, acc);
+    a.ldt(t, int64_t(-row), sp);
+    a.addt(acc, t, acc);
+    a.ldt(t, int64_t(row), sp);
+    a.addt(acc, t, acc);
+    a.ldt(t, int64_t(-nb), sp);
+    a.addt(acc, t, acc);
+    a.ldt(t, int64_t(nb), sp);
+    a.addt(acc, t, acc);
+    a.mult(acc, c1, acc);
+    a.ldt(v, 0, sp);
+    a.addt(acc, v, acc);
+    a.stt(acc, 0, dp);
+    a.addq(sp, nb, sp);
+    a.addq(dp, nb, dp);
+    a.subq(k, 1, k);
+    a.bne(k, "kcol");
+    a.addq(plane, row, plane);
+    a.addq(rowb, row, rowb);
+    a.subq(j, 1, j);
+    a.bne(j, "jrow");
+    a.addq(plane, 2 * row, plane); // hop the plane boundary rows
+    a.addq(rowb, 2 * row, rowb);
+    a.subq(i, 1, i);
+    a.bne(i, "iplane");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "cycle");
+
+    a.li(R13, int64_t(dst + pl + row + 5 * 8));
+    a.ldq(sum, 0, R13);
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+} // namespace conopt::workloads

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * SPECint synthetic kernels, part A: bzip2, crafty, eon, gap, gcc.
+ *
+ * Each kernel reproduces the dominant behaviour of its namesake (see
+ * DESIGN.md): bzip2 is byte-stream compression (histogram + run-length),
+ * crafty is bitboard chess (logic ops, popcounts, small attack tables),
+ * eon is a C++ ray tracer (indirect calls + fp shading), gap is computer
+ * algebra (multiword arithmetic on small bignums), and gcc is a compiler
+ * front end (indirect dispatch over unpredictable token streams).
+ */
+
+#include <cstdio>
+
+#include "src/workloads/common.hh"
+
+namespace conopt::workloads {
+
+Program
+buildBzip2(unsigned scale)
+{
+    Assembler a;
+    const unsigned buf_bytes = 12 * 1024;
+    std::vector<uint8_t> buf(buf_bytes);
+    {
+        // Compressible-ish data: runs of repeated bytes with noise.
+        Rng rng(0xb21b2);
+        uint8_t cur = 0;
+        for (auto &b : buf) {
+            if (rng.nextBool(0.25))
+                cur = uint8_t(rng.nextBelow(32));
+            b = cur;
+        }
+    }
+    const uint64_t buf_addr = a.dataBytes(buf);
+    const uint64_t hist_addr = a.allocQuads(256);
+
+    const Reg ptr = R1, count = R2, byte = R3, off = R4, slot = R5;
+    const Reg hval = R6, prev = R7, eq = R8, run = R9, sum = R10;
+    const Reg hbase = R11;
+
+    a.li(ptr, int64_t(buf_addr));
+    a.li(hbase, int64_t(hist_addr));
+    a.li(count, int64_t(uint64_t(buf_bytes) * scale));
+    a.li(prev, -1);
+    a.li(run, 0);
+    a.li(sum, 0);
+
+    a.label("loop");
+    a.ldbu(byte, 0, ptr);          // sequential: address known at rename
+    a.sll(byte, 3, off);           // histogram slot (data-dependent)
+    a.addq(hbase, off, slot);
+    a.ldq(hval, 0, slot);          // data-dependent address: no addr-gen
+    a.addq(hval, 1, hval);
+    a.stq(hval, 0, slot);
+    // Run-length detection: branch depends on the data.
+    a.cmpeq(byte, prev, eq);
+    a.beq(eq, "run_ends");
+    a.addq(run, 1, run);
+    a.br("next");
+    a.label("run_ends");
+    a.addq(sum, run, sum);
+    a.li(run, 0);
+    a.label("next");
+    a.mov(byte, prev);             // eliminated by move elimination
+    a.addq(ptr, 1, ptr);
+    a.subq(count, 1, count);
+    a.bne(count, "loop");
+
+    a.addq(sum, run, sum);
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildCrafty(unsigned scale)
+{
+    Assembler a;
+    // Real crafty's attack tables are many KB: 1024 entries thrash the
+    // 1 KB Memory Bypass Cache, so RLE gains little here.
+    const uint64_t attacks = a.dataQuads(randomQuads(1024, 0xc4af7));
+    const uint64_t mobility = a.dataQuads(randomQuads(1024, 0x30b17));
+    // Position buffer: the bitboards being searched come from memory,
+    // so their values are unknown to the optimizer at rename.
+    const unsigned npos = 1024;
+    const uint64_t positions = a.dataQuads(randomQuads(npos, 0xc4af8));
+
+    const Reg x = R1, tmp = R2, bits = R3, cnt = R4, t = R5;
+    const Reg idx = R6, off = R7, slot = R8, val = R9, sum = R10;
+    const Reg abase = R11, mbase = R12, iter = R13, mval = R14;
+    const Reg pp = R15, occ = R16, atk = R17;
+
+    a.li(abase, int64_t(attacks));
+    a.li(mbase, int64_t(mobility));
+    a.li(pp, int64_t(positions));
+    a.li(sum, 0);
+    a.li(iter, int64_t(4200) * scale);
+
+    a.label("outer");
+    // Load the bitboard under evaluation: value unknown at rename.
+    a.and_(iter, int64_t(npos - 1), tmp);
+    a.sll(tmp, 3, tmp);
+    a.addq(pp, tmp, slot);
+    a.ldq(x, 0, slot);
+    emitXorshift(a, x, tmp);       // move generation mixing (unknown)
+    // Population count of a 16-bit slice: a data-dependent loop, the
+    // bread and butter of bitboard engines.
+    a.and_(x, 0xffff, bits);
+    a.li(cnt, 0);
+    a.label("pop");
+    a.beq(bits, "pop_done");
+    a.subq(bits, 1, t);
+    a.and_(bits, t, bits);         // clear lowest set bit
+    a.addq(cnt, 1, cnt);
+    a.br("pop");
+    a.label("pop_done");
+
+    // Attack/mobility lookups indexed by the (unknown) bitboard: the
+    // addresses are data-dependent, as in the real engine.
+    a.and_(x, 1023, idx);
+    a.sll(idx, 3, off);
+    a.addq(abase, off, slot);
+    a.ldq(val, 0, slot);
+    a.addq(mbase, off, slot);
+    a.ldq(mval, 0, slot);
+    a.xor_(val, mval, occ);
+    a.and_(occ, bits, atk);
+    a.addq(atk, cnt, val);
+    a.addq(sum, val, sum);
+
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildEon(unsigned scale)
+{
+    Assembler a;
+    const unsigned verts = 512;
+    const uint64_t vx = a.dataDoubles(randomDoubles(verts, 0xe01));
+    const uint64_t vy = a.dataDoubles(randomDoubles(verts, 0xe02));
+    const uint64_t vz = a.dataDoubles(randomDoubles(verts, 0xe03));
+    const uint64_t out = a.allocQuads(verts);
+    // Per-vertex material selector (0..2), from the scene description.
+    std::vector<uint64_t> mats(verts);
+    {
+        Rng rng(0xe04);
+        for (auto &m : mats)
+            m = rng.nextBelow(3);
+    }
+    const uint64_t mat_addr = a.dataQuads(mats);
+    // Jump table filled in after the shaders are emitted.
+    const uint64_t jt = a.allocQuads(4);
+
+    const Reg x = R1, tmp = R2, sel = R3, off = R4, slot = R5;
+    const Reg target = R6, i = R7, voff = R8, sum = R10;
+    const Reg xb = R11, yb = R12, zb = R13, ob = R14, jb = R15;
+    const Reg iter = R16, acc = R17, mb_sel = R18;
+
+    a.li(x, 0x0ddba11);
+    a.li(mb_sel, int64_t(mat_addr));
+    a.li(xb, int64_t(vx));
+    a.li(yb, int64_t(vy));
+    a.li(zb, int64_t(vz));
+    a.li(ob, int64_t(out));
+    a.li(jb, int64_t(jt));
+    a.li(sum, 0);
+    a.li(i, 0);
+    a.li(iter, int64_t(5000) * scale);
+
+    a.label("outer");
+    // The material id comes from the scene (a load), so the dispatch
+    // target is data-dependent as in real virtual calls.
+    a.and_(i, int64_t(verts - 1), tmp);
+    a.sll(tmp, 3, tmp);
+    a.addq(mb_sel, tmp, slot);
+    a.ldq(sel, 0, slot);
+    a.sll(sel, 3, off);
+    a.addq(jb, off, slot);
+    a.ldq(target, 0, slot);        // function pointer load
+    // Vertex offset for this iteration.
+    a.and_(i, int64_t(verts - 1), voff);
+    a.sll(voff, 3, voff);
+    a.jsr(assembler::RA, target);  // virtual dispatch
+
+    a.label("shader_ret");
+    a.addq(i, 1, i);
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+    a.addq(sum, acc, sum);
+    emitChecksumAndHalt(a, sum, R20);
+
+    // --- three shader bodies (diffuse / specular / ambient) -----------
+    const FReg fa = F1, fb = F2, fc = F3, facc = F4;
+    a.label("shader0");
+    a.addq(xb, voff, slot);
+    a.ldt(fa, 0, slot);
+    a.addq(yb, voff, slot);
+    a.ldt(fb, 0, slot);
+    a.mult(fa, fb, fc);
+    a.cvttq(fc, tmp);
+    a.addq(acc, tmp, acc);
+    a.ret();
+
+    a.label("shader1");
+    a.addq(yb, voff, slot);
+    a.ldt(fa, 0, slot);
+    a.addq(zb, voff, slot);
+    a.ldt(fb, 0, slot);
+    a.addt(fa, fb, fc);
+    a.mult(fc, fc, facc);
+    a.cvttq(facc, tmp);
+    a.addq(acc, tmp, acc);
+    a.ret();
+
+    a.label("shader2");
+    a.addq(zb, voff, slot);
+    a.ldt(fa, 0, slot);
+    a.addq(xb, voff, slot);
+    a.ldt(fb, 0, slot);
+    a.subt(fa, fb, fc);
+    a.cvttq(fc, tmp);
+    a.addq(acc, tmp, acc);
+    a.addq(ob, voff, slot);
+    a.stq(acc, 0, slot);
+    a.ret();
+
+    a.dataLabel(jt + 0, "shader0");
+    a.dataLabel(jt + 8, "shader1");
+    a.dataLabel(jt + 16, "shader2");
+    a.dataLabel(jt + 24, "shader0");
+    return a.finish();
+}
+
+Program
+buildGap(unsigned scale)
+{
+    Assembler a;
+    const unsigned words = 48;   // 3072-bit bignums
+    const unsigned npairs = 8;   // rotating operand pool (> MBC capacity)
+    const uint64_t na = a.dataQuads(randomQuads(words * npairs, 0x9a91));
+    const uint64_t nb = a.dataQuads(randomQuads(words * npairs, 0x9a92));
+    const uint64_t nc = a.allocQuads(words);
+
+    const Reg pa = R1, pb = R2, pc = R3, i = R4, av = R5, bv = R6;
+    const Reg s = R7, s2 = R8, carry = R9, c1 = R10, c2 = R11;
+    const Reg sum = R12, iter = R13, off = R14, slot = R15;
+
+    a.li(sum, 0);
+    a.li(iter, int64_t(520) * scale);
+
+    a.label("outer");
+    // Rotate through the operand pool so the working set exceeds the
+    // MBC, as real gap bignums do.
+    a.and_(iter, int64_t(npairs - 1), off);
+    a.mulq(off, int64_t(words * 8), off);
+    a.li(pa, int64_t(na));
+    a.addq(pa, off, pa);
+    a.li(pb, int64_t(nb));
+    a.addq(pb, off, pb);
+    a.li(pc, int64_t(nc));
+    a.li(carry, 0);
+    a.li(i, int64_t(words));
+    a.label("addloop");
+    // Two independent multiply-accumulate lanes per iteration (unrolled
+    // as a compiler would): the multiplies are 7-cycle complex-ALU ops
+    // the optimizer cannot execute or fold.
+    a.ldq(av, 0, pa);
+    a.ldq(bv, 0, pb);
+    a.addq(av, bv, s);
+    a.cmpult(s, av, c1);
+    a.addq(s, carry, s2);
+    a.cmpult(s2, s, c2);
+    a.bis(c1, c2, carry);
+    a.stq(s2, 0, pc);
+    a.ldq(av, 8, pa);
+    a.ldq(bv, 8, pb);
+    a.addq(av, bv, s);
+    a.cmpult(s, av, c1);
+    a.addq(s, carry, s2);
+    a.cmpult(s2, s, c2);
+    a.bis(c1, c2, carry);
+    a.stq(s2, 8, pc);
+    a.addq(pa, 16, pa);
+    a.addq(pb, 16, pb);
+    a.addq(pc, 16, pc);
+    a.subq(i, 2, i);
+    a.bne(i, "addloop");
+    // Fold one result word into the checksum.
+    a.li(slot, int64_t(nc));
+    a.ldq(off, 0, slot);
+    a.xor_(sum, off, sum);
+    a.addq(sum, carry, sum);
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildGcc(unsigned scale)
+{
+    Assembler a;
+    const unsigned ntokens = 2048;
+    // Token stream: 16 token kinds, unpredictable sequence.
+    std::vector<uint64_t> tokens(ntokens);
+    {
+        Rng rng(0x6cc);
+        for (auto &t : tokens)
+            t = rng.nextBelow(16);
+    }
+    const uint64_t tok_addr = a.dataQuads(tokens);
+    const uint64_t hash_addr = a.allocQuads(1024);
+    const uint64_t jt = a.allocQuads(16);
+
+    const Reg ptr = R1, tok = R2, off = R3, slot = R4, target = R5;
+    const Reg h = R6, idx = R7, hv = R8, sum = R9, jb = R10;
+    const Reg hb = R11, iter = R12, cnt = R13, tmp = R14;
+
+    a.li(jb, int64_t(jt));
+    a.li(hb, int64_t(hash_addr));
+    a.li(sum, 0);
+    a.li(h, 5381);
+    a.li(iter, int64_t(6) * scale);
+
+    a.label("pass");
+    a.li(ptr, int64_t(tok_addr));
+    a.li(cnt, int64_t(ntokens));
+    a.label("tok_loop");
+    a.ldq(tok, 0, ptr);            // sequential token fetch
+    a.sll(tok, 3, off);
+    a.addq(jb, off, slot);
+    a.ldq(target, 0, slot);        // handler address
+    a.jmp(target);                 // computed goto: the gcc signature
+
+    // 16 handlers, each a short distinct basic block.
+    for (unsigned k = 0; k < 16; ++k) {
+        char lbl[16];
+        std::snprintf(lbl, sizeof(lbl), "h%u", k);
+        a.label(lbl);
+        switch (k % 4) {
+          case 0: // identifier: hash-table probe
+            a.sll(h, 5, tmp);
+            a.addq(tmp, h, h);     // h = h*33
+            a.addq(h, tok, h);
+            a.and_(h, 1023, idx);
+            a.sll(idx, 3, idx);
+            a.addq(hb, idx, slot);
+            a.ldq(hv, 0, slot);
+            a.addq(hv, 1, hv);
+            a.stq(hv, 0, slot);
+            break;
+          case 1: // operator: fold into the checksum
+            a.xor_(sum, tok, sum);
+            a.addq(sum, int64_t(k), sum);
+            break;
+          case 2: // literal: small arithmetic
+            a.sll(tok, 2, tmp);
+            a.addq(sum, tmp, sum);
+            break;
+          case 3: // punctuation: counter only
+            a.addq(sum, 1, sum);
+            break;
+        }
+        a.br("tok_next");
+    }
+
+    a.label("tok_next");
+    a.addq(ptr, 8, ptr);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "tok_loop");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "pass");
+
+    emitChecksumAndHalt(a, sum, R20);
+
+    for (unsigned k = 0; k < 16; ++k) {
+        char lbl[16];
+        std::snprintf(lbl, sizeof(lbl), "h%u", k);
+        a.dataLabel(jt + uint64_t(k) * 8, lbl);
+    }
+    return a.finish();
+}
+
+} // namespace conopt::workloads

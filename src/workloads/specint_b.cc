@@ -1,0 +1,496 @@
+/**
+ * @file
+ * SPECint synthetic kernels, part B: mcf, perlbmk, twolf, vortex, vpr.
+ *
+ * mcf reproduces the two behaviours section 5.2 of the paper analyzes:
+ * pointer-chasing network-simplex arc scans and the sort_basket
+ * quicksort whose recursion eventually fits the Memory Bypass Cache.
+ * perlbmk is an interpreter dispatch loop with string hashing, twolf is
+ * simulated annealing (unpredictable accept/reject), vortex is an OO
+ * database (pointer chains + record copies), and vpr is maze routing
+ * over a grid with a small frontier ring.
+ */
+
+#include <cstdio>
+
+#include "src/workloads/common.hh"
+
+namespace conopt::workloads {
+
+Program
+buildMcf(unsigned scale)
+{
+    Assembler a;
+    const unsigned arcs = 512;
+    const unsigned basket = 192; // > MBC at first, fits after one split
+
+    // Arc array: cost quads; "next" chain as a random permutation.
+    const uint64_t costs = a.dataQuads(randomQuads(arcs, 0x3cf1, 0xffff));
+    std::vector<uint64_t> next_idx(arcs);
+    {
+        for (unsigned i = 0; i < arcs; ++i)
+            next_idx[i] = i;
+        Rng rng(0x3cf2);
+        for (unsigned i = arcs - 1; i > 0; --i) {
+            const unsigned j = unsigned(rng.nextBelow(i + 1));
+            std::swap(next_idx[i], next_idx[j]);
+        }
+        // Make it a single cycle so the chase visits every arc.
+        std::vector<uint64_t> pos(arcs);
+        for (unsigned i = 0; i < arcs; ++i)
+            pos[next_idx[i]] = i;
+        (void)pos;
+    }
+    const uint64_t nexts = a.dataQuads(next_idx);
+    const uint64_t basket_seed =
+        a.dataQuads(randomQuads(basket, 0x3cf3, 0xffffff));
+    const uint64_t basket_arr = a.allocQuads(basket);
+    // Explicit recursion stack for the iterative quicksort: (lo, hi).
+    const uint64_t qstack = a.allocQuads(512);
+
+    const Reg sum = R10, iter = R16;
+
+    a.li(sum, 0);
+    a.li(iter, int64_t(7) * scale);
+
+    a.label("outer");
+
+    // ---- phase A: network simplex flavored pointer chase --------------
+    {
+        const Reg cb = R1, nb = R2, cur = R3, off = R4, slot = R5;
+        const Reg cost = R6, best = R7, cnt = R8, cmp = R9;
+        a.li(cb, int64_t(costs));
+        a.li(nb, int64_t(nexts));
+        a.li(cur, 0);
+        a.li(best, 0x7fffffff);
+        a.li(cnt, int64_t(arcs));
+        a.label("chase");
+        a.sll(cur, 3, off);
+        a.addq(cb, off, slot);
+        a.ldq(cost, 0, slot);       // cost[cur]: data-dependent address
+        a.cmplt(cost, best, cmp);
+        a.beq(cmp, "no_improve");
+        a.mov(cost, best);          // new cheapest arc
+        a.label("no_improve");
+        a.addq(nb, off, slot);
+        a.ldq(cur, 0, slot);        // cur = next[cur]: pointer chase
+        a.subq(cnt, 1, cnt);
+        a.bne(cnt, "chase");
+        a.addq(sum, best, sum);
+    }
+
+    // ---- phase B: sort_basket (iterative quicksort) --------------------
+    {
+        const Reg src = R1, dst = R2, i = R3, v = R4, sp = R5;
+        const Reg lo = R6, hi = R7, piv = R8, jj = R9, ii = R11;
+        const Reg pj = R12, vj = R13, vi = R14, t1 = R15, t2 = R17;
+        const Reg cmp = R18, slot = R19, seedmix = R20;
+
+        // Refill the basket with a permuted copy of the seed data so
+        // every outer iteration sorts fresh (unsorted) input.
+        a.li(src, int64_t(basket_seed));
+        a.li(dst, int64_t(basket_arr));
+        a.li(i, int64_t(basket));
+        a.xor_(sum, 0x5a5a, seedmix);
+        a.label("refill");
+        a.ldq(v, 0, src);
+        a.xor_(v, seedmix, v);
+        a.and_(v, 0xffffff, v);
+        a.stq(v, 0, dst);
+        a.addq(src, 8, src);
+        a.addq(dst, 8, dst);
+        a.subq(i, 1, i);
+        a.bne(i, "refill");
+
+        // Stack: push (0, basket-1).
+        a.li(sp, int64_t(qstack));
+        a.li(lo, 0);
+        a.li(hi, int64_t(basket - 1));
+        a.stq(lo, 0, sp);
+        a.stq(hi, 8, sp);
+        a.addq(sp, 16, sp);
+
+        a.label("qs_loop");
+        // if (sp == stack base) done
+        a.li(t1, int64_t(qstack));
+        a.cmpeq(sp, t1, cmp);
+        a.bne(cmp, "qs_done");
+        // pop (lo, hi)
+        a.subq(sp, 16, sp);
+        a.ldq(lo, 0, sp);           // store-forwarded from the push
+        a.ldq(hi, 8, sp);
+        a.cmplt(lo, hi, cmp);
+        a.beq(cmp, "qs_loop");      // empty/single range
+
+        // partition: pivot = arr[hi]; i = lo-1; scan j = lo..hi-1
+        a.li(t1, int64_t(basket_arr));
+        a.sll(hi, 3, t2);
+        a.addq(t1, t2, slot);
+        a.ldq(piv, 0, slot);        // pivot value
+        a.subq(lo, 1, ii);
+        a.mov(lo, jj);
+        a.label("part_loop");
+        a.cmplt(jj, hi, cmp);
+        a.beq(cmp, "part_done");
+        a.li(t1, int64_t(basket_arr));
+        a.sll(jj, 3, t2);
+        a.addq(t1, t2, pj);
+        a.ldq(vj, 0, pj);           // arr[j]; re-read across passes: RLE
+        a.cmple(vj, piv, cmp);      // ~50/50 data-dependent branch
+        a.beq(cmp, "part_next");
+        a.addq(ii, 1, ii);
+        a.li(t1, int64_t(basket_arr));
+        a.sll(ii, 3, t2);
+        a.addq(t1, t2, t2);
+        a.ldq(vi, 0, t2);           // swap arr[i] <-> arr[j]
+        a.stq(vj, 0, t2);
+        a.stq(vi, 0, pj);
+        a.label("part_next");
+        a.addq(jj, 1, jj);
+        a.br("part_loop");
+        a.label("part_done");
+        // place pivot: swap arr[i+1] <-> arr[hi]
+        a.addq(ii, 1, ii);
+        a.li(t1, int64_t(basket_arr));
+        a.sll(ii, 3, t2);
+        a.addq(t1, t2, t2);
+        a.ldq(vi, 0, t2);
+        a.stq(piv, 0, t2);
+        a.sll(hi, 3, piv);
+        a.addq(t1, piv, piv);
+        a.stq(vi, 0, piv);
+
+        // push (lo, i-1) and (i+1, hi)
+        a.subq(ii, 1, t1);
+        a.stq(lo, 0, sp);
+        a.stq(t1, 8, sp);
+        a.addq(sp, 16, sp);
+        a.addq(ii, 1, t1);
+        a.stq(t1, 0, sp);
+        a.stq(hi, 8, sp);
+        a.addq(sp, 16, sp);
+        a.br("qs_loop");
+        a.label("qs_done");
+
+        // Checksum: median element after sorting.
+        a.li(t1, int64_t(basket_arr + (basket / 2) * 8));
+        a.ldq(t2, 0, t1);
+        a.addq(sum, t2, sum);
+    }
+
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+    emitChecksumAndHalt(a, R10, R20);
+    return a.finish();
+}
+
+Program
+buildPerlbmk(unsigned scale)
+{
+    Assembler a;
+    const unsigned nops = 1536;
+    // Bytecode: opcodes 0..7, biased toward push/arith.
+    std::vector<uint64_t> code(nops);
+    {
+        Rng rng(0x9e51);
+        for (auto &c : code) {
+            const uint64_t r = rng.nextBelow(100);
+            c = r < 30 ? 0 : r < 55 ? 1 : r < 70 ? 2 : r < 80 ? 3
+                : r < 88 ? 4 : r < 94 ? 5 : r < 98 ? 6 : 7;
+        }
+    }
+    const uint64_t code_addr = a.dataQuads(code);
+    const uint64_t jt = a.allocQuads(8);
+    const uint64_t vstack = a.allocQuads(1024);
+    std::vector<uint8_t> strbytes(256);
+    {
+        Rng rng(0x9e52);
+        for (auto &b : strbytes)
+            b = uint8_t('a' + rng.nextBelow(26));
+    }
+    const uint64_t str_addr = a.dataBytes(strbytes);
+
+    const Reg pc = R1, op = R2, off = R3, slot = R4, target = R5;
+    const Reg vsp = R6, v1 = R7, v2 = R8, h = R9, sum = R10;
+    const Reg jb = R11, cnt = R12, tmp = R13, sp2 = R14, iter = R15;
+    const Reg sb = R17, ch = R18;
+
+    a.li(jb, int64_t(jt));
+    a.li(sb, int64_t(str_addr));
+    a.li(sum, 0);
+    a.li(h, 5381);
+    a.li(iter, int64_t(26) * scale);
+
+    a.label("run");
+    a.li(pc, int64_t(code_addr));
+    a.li(vsp, int64_t(vstack + 512 * 8)); // value stack middle
+    a.li(cnt, int64_t(nops));
+    a.label("dispatch");
+    a.ldq(op, 0, pc);
+    a.sll(op, 3, off);
+    a.addq(jb, off, slot);
+    a.ldq(target, 0, slot);
+    a.jmp(target);                 // interpreter dispatch
+
+    a.label("op0"); // push constant
+    a.addq(vsp, 8, vsp);
+    a.stq(cnt, 0, vsp);
+    a.br("advance");
+
+    a.label("op1"); // add top two (pop/pop/push)
+    a.ldq(v1, 0, vsp);             // store-forwarded from recent pushes
+    a.subq(vsp, 8, vsp);
+    a.ldq(v2, 0, vsp);
+    a.addq(v1, v2, v1);
+    a.stq(v1, 0, vsp);
+    a.br("advance");
+
+    a.label("op2"); // xor top with hash
+    a.ldq(v1, 0, vsp);
+    a.xor_(v1, h, v1);
+    a.stq(v1, 0, vsp);
+    a.br("advance");
+
+    a.label("op3"); // hash one string character (h = h*33 + c)
+    a.and_(cnt, 255, tmp);
+    a.addq(sb, tmp, tmp);
+    a.ldbu(ch, 0, tmp);
+    a.sll(h, 5, tmp);
+    a.addq(tmp, h, h);
+    a.addq(h, ch, h);
+    a.br("advance");
+
+    a.label("op4"); // dup
+    a.ldq(v1, 0, vsp);
+    a.addq(vsp, 8, vsp);
+    a.stq(v1, 0, vsp);
+    a.br("advance");
+
+    a.label("op5"); // pop into checksum
+    a.ldq(v1, 0, vsp);
+    a.subq(vsp, 8, vsp);
+    a.addq(sum, v1, sum);
+    a.br("advance");
+
+    a.label("op6"); // swap top two
+    a.ldq(v1, 0, vsp);
+    a.subq(vsp, 8, sp2);
+    a.ldq(v2, 0, sp2);
+    a.stq(v1, 0, sp2);
+    a.stq(v2, 0, vsp);
+    a.br("advance");
+
+    a.label("op7"); // fold hash into checksum
+    a.xor_(sum, h, sum);
+    a.br("advance");
+
+    a.label("advance");
+    a.addq(pc, 8, pc);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "dispatch");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "run");
+
+    emitChecksumAndHalt(a, sum, R20);
+    for (unsigned k = 0; k < 8; ++k) {
+        char lbl[8];
+        std::snprintf(lbl, sizeof(lbl), "op%u", k);
+        a.dataLabel(jt + uint64_t(k) * 8, lbl);
+    }
+    return a.finish();
+}
+
+Program
+buildTwolf(unsigned scale)
+{
+    Assembler a;
+    const unsigned cells = 512;
+    const uint64_t cell_addr =
+        a.dataQuads(randomQuads(cells, 0x2e0f, 0xffff));
+
+    const unsigned nnoise = 2048;
+    const uint64_t noise =
+        a.dataQuads(randomQuads(nnoise, 0x2e020));
+
+    const Reg x = R1, tmp = R2, i = R3, j = R4, pi = R5, pj = R6;
+    const Reg vi = R7, vj = R8, delta = R9, sum = R10, base = R11;
+    const Reg iter = R12, acc = R13, cmp = R14, np = R15, rnd = R16;
+
+    a.li(base, int64_t(cell_addr));
+    a.li(np, int64_t(noise));
+    a.li(sum, 0);
+    a.li(iter, int64_t(10000) * scale);
+
+    a.label("anneal");
+    // The move generator's randomness is loaded (unknown at rename),
+    // like twolf's RNG state in memory.
+    a.and_(iter, int64_t(nnoise - 1), tmp);
+    a.sll(tmp, 3, tmp);
+    a.addq(np, tmp, tmp);
+    a.ldq(rnd, 0, tmp);
+    a.and_(rnd, int64_t(cells - 1), i);
+    a.srl(rnd, 20, j);
+    a.and_(j, int64_t(cells - 1), j);
+    // Cell addresses depend on the loaded randomness.
+    a.sll(i, 3, pi);
+    a.addq(base, pi, pi);
+    a.sll(j, 3, pj);
+    a.addq(base, pj, pj);
+    a.ldq(vi, 0, pi);
+    a.ldq(vj, 0, pj);
+    a.subq(vi, vj, delta);
+    // Accept if the move improves the cost, or randomly ~25% otherwise:
+    // the classic unpredictable annealing branch.
+    a.blt(delta, "accept");
+    a.and_(rnd, 3, tmp);
+    a.beq(tmp, "accept");
+    a.br("reject");
+    a.label("accept");
+    a.stq(vj, 0, pi);               // swap the two cells
+    a.stq(vi, 0, pj);
+    a.addq(sum, delta, sum);
+    a.label("reject");
+    a.addq(acc, 1, acc);
+    a.xor_(x, rnd, x);
+    a.subq(iter, 1, iter);
+    a.bne(iter, "anneal");
+
+    a.addq(sum, acc, sum);
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildVortex(unsigned scale)
+{
+    Assembler a;
+    const unsigned recs = 448;
+    const unsigned rec_quads = 8;
+    // Records: [0]=next index, [1..5]=payload, [6]=valid flag, [7]=pad.
+    std::vector<uint64_t> arena(recs * rec_quads);
+    {
+        // Random permutation cycle for the next pointers.
+        std::vector<uint64_t> perm(recs);
+        for (unsigned i = 0; i < recs; ++i)
+            perm[i] = i;
+        Rng rng(0x70e7);
+        for (unsigned i = recs - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.nextBelow(i + 1)]);
+        Rng rng2(0x70e8);
+        for (unsigned i = 0; i < recs; ++i) {
+            arena[i * rec_quads + 0] = perm[i];
+            for (unsigned f = 1; f <= 5; ++f)
+                arena[i * rec_quads + f] = rng2.next() & 0xffffff;
+            arena[i * rec_quads + 6] = (i % 37 == 0) ? 0 : 1;
+        }
+    }
+    const uint64_t arena_addr = a.dataQuads(arena);
+    const uint64_t outbuf = a.allocQuads(recs * 4);
+
+    const Reg cur = R1, rec = R2, base = R3, nxt = R4, f = R5;
+    const Reg ob = R6, valid = R7, sum = R10, cnt = R11, iter = R12;
+
+    a.li(base, int64_t(arena_addr));
+    a.li(ob, int64_t(outbuf));
+    a.li(sum, 0);
+    a.li(iter, int64_t(18) * scale);
+
+    a.label("outer");
+    a.li(cur, 0);
+    a.li(cnt, int64_t(recs));
+    a.label("walk");
+    a.sll(cur, 6, rec);             // rec = cur * 64 bytes
+    a.addq(base, rec, rec);
+    a.ldq(nxt, 0, rec);             // chase the chain (cache-hostile)
+    // Copy the payload into the per-record output slot: the destination
+    // address depends on the chased pointer, as in the real database.
+    a.sll(cur, 5, R13);             // out slot = cur * 32 bytes
+    a.addq(ob, R13, R13);
+    a.ldq(f, 8, rec);
+    a.stq(f, 0, R13);
+    a.addq(sum, f, sum);
+    a.ldq(f, 16, rec);
+    a.stq(f, 8, R13);
+    a.ldq(f, 24, rec);
+    a.stq(f, 16, R13);
+    a.ldq(f, 32, rec);
+    a.stq(f, 24, R13);
+    // Validation branch: rarely taken.
+    a.ldq(valid, 48, rec);
+    a.bne(valid, "rec_ok");
+    a.xor_(sum, 0xdead, sum);
+    a.label("rec_ok");
+    a.mov(nxt, cur);
+    a.subq(cnt, 1, cnt);
+    a.bne(cnt, "walk");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "outer");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+Program
+buildVpr(unsigned scale)
+{
+    Assembler a;
+    const unsigned n = 128; // grid is n x n (128 KB: a real routing grid)
+    const uint64_t grid =
+        a.dataQuads(randomQuads(n * n, 0x1f9a, 0xfff));
+    const uint64_t cost = a.allocQuads(n * n);
+
+    const Reg gp = R1, cp = R2, i = R3, j = R4, c0 = R5, c1 = R6;
+    const Reg c2 = R7, c3 = R8, c4 = R9, sum = R10, best = R11;
+    const Reg cmp = R12, iter = R13, acc = R14;
+
+    a.li(sum, 0);
+    a.li(iter, int64_t(5) * scale);
+
+    a.label("pass");
+    // Wavefront expansion sweep: visit the grid interior and relax each
+    // cell from its four neighbors (loads stream through the 128 KB
+    // grid, far beyond the MBC; branches depend on the loaded costs).
+    a.li(gp, int64_t(grid + (n + 1) * 8));
+    a.li(cp, int64_t(cost + (n + 1) * 8));
+    a.li(i, int64_t(n - 2));
+    a.label("rowloop");
+    a.li(j, int64_t(n - 2));
+    a.label("cell");
+    a.ldq(c0, 0, gp);               // the cell itself
+    a.ldq(c1, -8, gp);              // west
+    a.ldq(c2, 8, gp);               // east
+    a.ldq(c3, int64_t(-8 * int64_t(n)), gp); // north
+    a.ldq(c4, int64_t(8 * int64_t(n)), gp);  // south
+    // best = min(neighbors): data-dependent compare ladder.
+    a.mov(c1, best);
+    a.cmplt(c2, best, cmp);
+    a.beq(cmp, "skip_e");
+    a.mov(c2, best);
+    a.label("skip_e");
+    a.cmplt(c3, best, cmp);
+    a.beq(cmp, "skip_n");
+    a.mov(c3, best);
+    a.label("skip_n");
+    a.cmplt(c4, best, cmp);
+    a.beq(cmp, "skip_s");
+    a.mov(c4, best);
+    a.label("skip_s");
+    a.addq(best, c0, acc);          // relaxed cost through this cell
+    a.stq(acc, 0, cp);
+    a.addq(sum, acc, sum);
+    a.addq(gp, 8, gp);
+    a.addq(cp, 8, cp);
+    a.subq(j, 1, j);
+    a.bne(j, "cell");
+    a.addq(gp, 16, gp);
+    a.addq(cp, 16, cp);
+    a.subq(i, 1, i);
+    a.bne(i, "rowloop");
+    a.subq(iter, 1, iter);
+    a.bne(iter, "pass");
+
+    emitChecksumAndHalt(a, sum, R20);
+    return a.finish();
+}
+
+} // namespace conopt::workloads

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The experimental workload (paper Table 1): 22 synthetic kernels, one
+ * per benchmark the paper evaluates, each built to exhibit the behaviour
+ * the paper attributes to that benchmark (see DESIGN.md for the
+ * substitution rationale).
+ *
+ * Every kernel is a deterministic program in the simulated ISA that ends
+ * with HALT and stores a checksum to a known location so functional
+ * correctness can be asserted.
+ */
+
+#ifndef CONOPT_WORKLOADS_WORKLOAD_HH
+#define CONOPT_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/asm/program.hh"
+
+namespace conopt::workloads {
+
+/** Address where every kernel stores its final checksum. */
+constexpr uint64_t checksumAddr = 0xf00000;
+
+/** One benchmark from Table 1. */
+struct Workload
+{
+    std::string name;        ///< the paper's short name, e.g. "mcf"
+    std::string fullName;    ///< e.g. "mcf (network simplex + quicksort)"
+    std::string suite;       ///< "SPECint" | "SPECfp" | "mediabench"
+    unsigned paperInstsM;    ///< Table 1 simulated count, millions
+    unsigned defaultScale;   ///< default iteration scale
+
+    /** Build the program at the given scale (1 = smallest sensible). */
+    assembler::Program (*build)(unsigned scale);
+};
+
+/** All 22 workloads in Table 1 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one workload; fatal if the name is unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** The workloads of one suite. */
+std::vector<const Workload *> suiteWorkloads(const std::string &suite);
+
+/** The three suite names in paper order. */
+const std::vector<std::string> &suiteNames();
+
+// Builders (one per benchmark; defined in the per-suite source files).
+assembler::Program buildBzip2(unsigned scale);
+assembler::Program buildCrafty(unsigned scale);
+assembler::Program buildEon(unsigned scale);
+assembler::Program buildGap(unsigned scale);
+assembler::Program buildGcc(unsigned scale);
+assembler::Program buildMcf(unsigned scale);
+assembler::Program buildPerlbmk(unsigned scale);
+assembler::Program buildTwolf(unsigned scale);
+assembler::Program buildVortex(unsigned scale);
+assembler::Program buildVpr(unsigned scale);
+assembler::Program buildAmmp(unsigned scale);
+assembler::Program buildApplu(unsigned scale);
+assembler::Program buildArt(unsigned scale);
+assembler::Program buildEquake(unsigned scale);
+assembler::Program buildMesa(unsigned scale);
+assembler::Program buildMgrid(unsigned scale);
+assembler::Program buildG721Decode(unsigned scale);
+assembler::Program buildG721Encode(unsigned scale);
+assembler::Program buildMpeg2Decode(unsigned scale);
+assembler::Program buildMpeg2Encode(unsigned scale);
+assembler::Program buildUntoast(unsigned scale);
+assembler::Program buildToast(unsigned scale);
+
+} // namespace conopt::workloads
+
+#endif // CONOPT_WORKLOADS_WORKLOAD_HH

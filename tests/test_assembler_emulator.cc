@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the assembler (labels, fixups, data layout) and the
+ * functional emulator (instruction semantics end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/emulator.hh"
+#include "src/asm/assembler.hh"
+
+using namespace conopt;
+using namespace conopt::assembler;
+
+namespace {
+
+arch::Emulator
+runProgram(Program &&p, uint64_t max_insts = 1u << 20)
+{
+    static std::vector<Program> keep_alive;
+    keep_alive.push_back(std::move(p));
+    arch::Emulator emu(keep_alive.back(), max_insts);
+    emu.run();
+    return emu;
+}
+
+} // namespace
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Assembler a;
+    a.li(R1, 3);
+    a.li(R2, 0);
+    a.label("loop");
+    a.addq(R2, 10, R2);
+    a.subq(R1, 1, R1);
+    a.bne(R1, "loop");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.code.size(), 6u);
+    // The bne target must resolve to the loop label's address.
+    EXPECT_EQ(uint64_t(p.code[4].imm), p.pcOf(2));
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_EXIT(a.label("x"), ::testing::ExitedWithCode(1),
+                "duplicate label");
+}
+
+TEST(Assembler, DataSegmentsLayout)
+{
+    Assembler a;
+    const uint64_t q = a.dataQuads({1, 2, 3});
+    const uint64_t r = a.allocQuads(4);
+    EXPECT_GE(r, q + 24);
+    a.pokeQuad(r + 8, 77);
+    a.halt();
+    Program p = a.finish();
+    arch::Emulator emu(p);
+    EXPECT_EQ(emu.memory().readQuad(q + 8), 2u);
+    EXPECT_EQ(emu.memory().readQuad(r + 8), 77u);
+    EXPECT_EQ(emu.memory().readQuad(r), 0u);
+}
+
+TEST(Assembler, DataLabelBuildsJumpTables)
+{
+    Assembler a;
+    const uint64_t jt = a.allocQuads(1);
+    a.li(R1, int64_t(jt));
+    a.ldq(R2, 0, R1);
+    a.jmp(R2);
+    a.li(R3, 111); // skipped
+    a.label("target");
+    a.li(R3, 222);
+    a.halt();
+    a.dataLabel(jt, "target");
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R3), 222u);
+}
+
+TEST(Emulator, ZeroRegisterSemantics)
+{
+    Assembler a;
+    a.li(ZERO, 42);       // write discarded
+    a.addq(ZERO, 5, R1);  // reads as zero
+    a.halt();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R1), 5u);
+    EXPECT_EQ(emu.state().readInt(ZERO), 0u);
+}
+
+TEST(Emulator, MemoryAccessSizes)
+{
+    Assembler a;
+    const uint64_t buf = a.allocQuads(2);
+    a.li(R1, int64_t(buf));
+    a.li(R2, -1);
+    a.stq(R2, 0, R1);
+    a.li(R3, 0x1234);
+    a.stl(R3, 0, R1);     // overwrite low 4 bytes
+    a.ldq(R4, 0, R1);     // 0xffffffff00001234
+    a.ldl(R5, 0, R1);     // sext32 -> 0x1234
+    a.ldbu(R6, 4, R1);    // 0xff
+    a.li(R7, 0xab);
+    a.stb(R7, 7, R1);
+    a.ldbu(R8, 7, R1);
+    a.halt();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R4), 0xffffffff00001234ull);
+    EXPECT_EQ(emu.state().readInt(R5), 0x1234u);
+    EXPECT_EQ(emu.state().readInt(R6), 0xffu);
+    EXPECT_EQ(emu.state().readInt(R8), 0xabu);
+}
+
+TEST(Emulator, SignExtendingLoad)
+{
+    Assembler a;
+    const uint64_t buf = a.allocQuads(1);
+    a.li(R1, int64_t(buf));
+    a.li(R2, int64_t(0x80000000));
+    a.stl(R2, 0, R1);
+    a.ldl(R3, 0, R1);
+    a.halt();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R3),
+              uint64_t(int64_t(int32_t(0x80000000))));
+}
+
+TEST(Emulator, CallAndReturn)
+{
+    Assembler a;
+    a.li(R1, 5);
+    a.bsr(RA, "double_it");
+    a.addq(R1, 100, R1);  // executes after return
+    a.halt();
+    a.label("double_it");
+    a.addq(R1, R1, R1);
+    a.ret();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R1), 110u);
+}
+
+TEST(Emulator, IndirectCall)
+{
+    Assembler b;
+    const uint64_t cell = b.allocQuads(1);
+    b.dataLabel(cell, "fn");
+    b.li(R3, int64_t(cell));
+    b.ldq(R4, 0, R3);
+    b.jsr(RA, R4);
+    b.addq(R2, 1, R2);
+    b.halt();
+    b.label("fn");
+    b.li(R2, 40);
+    b.ret();
+    arch::Emulator emu = runProgram(b.finish());
+    EXPECT_EQ(emu.state().readInt(R2), 41u);
+}
+
+TEST(Emulator, FactorialViaLoop)
+{
+    Assembler a;
+    a.li(R1, 10);  // n
+    a.li(R2, 1);   // acc
+    a.label("loop");
+    a.mulq(R2, R1, R2);
+    a.subq(R1, 1, R1);
+    a.bgt(R1, "loop");
+    a.halt();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R2), 3628800u);
+}
+
+TEST(Emulator, FloatingPointFlow)
+{
+    Assembler a;
+    const uint64_t buf = a.dataDoubles({2.0, 8.0});
+    a.li(R1, int64_t(buf));
+    a.ldt(F1, 0, R1);
+    a.ldt(F2, 8, R1);
+    a.addt(F1, F2, F3);   // 10.0
+    a.mult(F3, F3, F4);   // 100.0
+    a.sqrtt(F4, F5);      // 10.0
+    a.cvttq(F5, R2);
+    a.cmpteq(F5, F3, F6);
+    a.fbne(F6, "same");
+    a.li(R3, 0);
+    a.br("end");
+    a.label("same");
+    a.li(R3, 1);
+    a.label("end");
+    a.halt();
+    arch::Emulator emu = runProgram(a.finish());
+    EXPECT_EQ(emu.state().readInt(R2), 10u);
+    EXPECT_EQ(emu.state().readInt(R3), 1u);
+}
+
+TEST(Emulator, InstructionLimitStopsRunaway)
+{
+    Assembler a;
+    a.label("spin");
+    a.br("spin");
+    arch::Emulator emu = runProgram(a.finish(), 1000);
+    EXPECT_TRUE(emu.done());
+    EXPECT_FALSE(emu.halted());
+    EXPECT_EQ(emu.instCount(), 1000u);
+}
+
+TEST(Emulator, DynInstOracleFields)
+{
+    Assembler a;
+    const uint64_t buf = a.dataQuads({123});
+    a.li(R1, int64_t(buf));
+    a.ldq(R2, 0, R1);
+    a.beq(R2, "nope");
+    a.addq(R2, 1, R3);
+    a.label("nope");
+    a.halt();
+    Program p = a.finish();
+    arch::Emulator emu(p);
+    auto li = emu.step();
+    EXPECT_EQ(li.result, buf);
+    auto ld = emu.step();
+    EXPECT_TRUE(ld.inst.isLoad());
+    EXPECT_EQ(ld.memAddr, buf);
+    EXPECT_EQ(ld.memSize, 8);
+    EXPECT_EQ(ld.result, 123u);
+    auto br = emu.step();
+    EXPECT_FALSE(br.taken);
+    EXPECT_EQ(br.nextPc, br.pc + isa::instBytes);
+    auto add = emu.step();
+    EXPECT_EQ(add.result, 124u);
+}
+
+TEST(Memory, PageStraddlingAccess)
+{
+    arch::Memory mem;
+    const uint64_t addr = arch::Memory::pageBytes - 4;
+    mem.write(addr, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(addr + 4, 4), 0x11223344u);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(Memory, UnwrittenReadsZero)
+{
+    arch::Memory mem;
+    EXPECT_EQ(mem.read(0x123456, 8), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the branch predictor (gshare + BTB + RAS) and the cache
+ * hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/branch/branch_predictor.hh"
+#include "src/cache/cache.hh"
+
+using namespace conopt;
+
+namespace {
+
+isa::Instruction
+condBranch()
+{
+    isa::Instruction i;
+    i.op = isa::Opcode::BNE;
+    return i;
+}
+
+} // namespace
+
+TEST(Gshare, LearnsABiasedBranch)
+{
+    branch::BranchPredictor bp(branch::PredictorConfig{});
+    const uint64_t pc = 0x10040;
+    const auto inst = condBranch();
+    // Warm up: always taken; repair history on mispredicts exactly as
+    // the pipeline front end does.
+    for (int i = 0; i < 64; ++i) {
+        auto pred = bp.predict(pc, inst, pc + 4);
+        if (pred.taken != true)
+            bp.recover(pred, true);
+        bp.update(pc, inst, pred, true, pc + 64);
+    }
+    auto pred = bp.predict(pc, inst, pc + 4);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.targetValid);
+    EXPECT_EQ(pred.target, pc + 64);
+    bp.update(pc, inst, pred, true, pc + 64);
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory)
+{
+    branch::BranchPredictor bp(branch::PredictorConfig{});
+    const uint64_t pc = 0x10080;
+    const auto inst = condBranch();
+    int correct = 0;
+    bool dir = false;
+    for (int i = 0; i < 400; ++i) {
+        auto pred = bp.predict(pc, inst, pc + 4);
+        if (i >= 200 && pred.taken == dir)
+            ++correct;
+        if (pred.taken != dir)
+            bp.recover(pred, dir);
+        bp.update(pc, inst, pred, dir, pc + 32);
+        dir = !dir;
+    }
+    // With history, an alternating branch becomes ~perfectly predictable.
+    EXPECT_GT(correct, 190);
+}
+
+TEST(Btb, TaggedNoAliasingFalseHits)
+{
+    branch::PredictorConfig cfg;
+    cfg.btbEntries = 16;
+    branch::BranchPredictor bp(cfg);
+    const auto inst = condBranch();
+    const uint64_t pc_a = 0x10000;
+    const uint64_t pc_b = pc_a + 16 * isa::instBytes; // same BTB set
+    auto pa = bp.predict(pc_a, inst, pc_a + 4);
+    bp.update(pc_a, inst, pa, true, 0x20000);
+    // pc_b aliases pc_a's entry but the tag must reject it.
+    for (int i = 0; i < 8; ++i) {
+        auto pb = bp.predict(pc_b, inst, pc_b + 4);
+        bp.update(pc_b, inst, pb, true, 0x30000);
+        if (pb.taken && pb.targetValid)
+            EXPECT_EQ(pb.target, 0x30000u);
+    }
+}
+
+TEST(Ras, PredictsReturns)
+{
+    branch::BranchPredictor bp(branch::PredictorConfig{});
+    isa::Instruction call;
+    call.op = isa::Opcode::BSR;
+    isa::Instruction ret;
+    ret.op = isa::Opcode::RET;
+
+    auto pc_call = 0x10000u;
+    auto pred_call = bp.predict(pc_call, call, pc_call + 4);
+    (void)pred_call;
+    auto pred_ret = bp.predict(0x20000, ret, 0x20004);
+    EXPECT_TRUE(pred_ret.targetValid);
+    EXPECT_EQ(pred_ret.target, pc_call + 4);
+}
+
+TEST(Ras, NestedCalls)
+{
+    branch::BranchPredictor bp(branch::PredictorConfig{});
+    isa::Instruction call;
+    call.op = isa::Opcode::JSR;
+    isa::Instruction ret;
+    ret.op = isa::Opcode::RET;
+    bp.predict(0x1000, call, 0x1004);
+    bp.predict(0x2000, call, 0x2004);
+    auto r1 = bp.predict(0x3000, ret, 0x3004);
+    EXPECT_EQ(r1.target, 0x2004u);
+    auto r2 = bp.predict(0x3004, ret, 0x3008);
+    EXPECT_EQ(r2.target, 0x1004u);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    cache::Cache c({1024, 2, 64, 1});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103f)); // same line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets x 2 ways, 64B lines: lines 0,2,4 map to set 0.
+    cache::Cache c({256, 2, 64, 1});
+    EXPECT_FALSE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64));
+    EXPECT_TRUE(c.access(0 * 64));  // touch line 0: line 2 becomes LRU
+    EXPECT_FALSE(c.access(4 * 64)); // evicts line 2
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64)); // line 2 was evicted
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    cache::Cache c({1024, 2, 64, 1});
+    c.access(0x0);
+    c.access(0x40);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Hierarchy, LatencyComposition)
+{
+    cache::Hierarchy h{};
+    const cache::HierarchyConfig cfg{};
+    // Cold access: L1 miss + L2 miss + memory.
+    const unsigned cold = h.accessData(0x5000);
+    EXPECT_EQ(cold, cfg.l1d.latency + cfg.l2.latency + cfg.memLatency);
+    // Warm: L1 hit.
+    EXPECT_EQ(h.accessData(0x5000), cfg.l1d.latency);
+    // L1-evicted but L2-resident lines cost L1+L2.
+    // Fill enough distinct lines mapping to the same L1 set to evict.
+    const uint64_t l1_span = cfg.l1d.sizeBytes / cfg.l1d.assoc;
+    h.accessData(0x5000 + l1_span);
+    h.accessData(0x5000 + 2 * l1_span);
+    const unsigned warm_l2 = h.accessData(0x5000);
+    EXPECT_EQ(warm_l2, cfg.l1d.latency + cfg.l2.latency);
+}
+
+TEST(Hierarchy, InstAndDataSidesAreSeparateL1s)
+{
+    cache::Hierarchy h{};
+    const cache::HierarchyConfig cfg{};
+    h.accessInst(0x9000);
+    // The data side must still miss L1 but hit the (unified) L2.
+    EXPECT_EQ(h.accessData(0x9000), cfg.l1d.latency + cfg.l2.latency);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Parameterized machine-configuration sweeps: the sensitivity claims of
+ * paper sections 6.2-6.4 expressed as testable properties on a fixed
+ * workload, plus robustness of the timing model across extreme
+ * configurations (tiny schedulers, huge widths, minimal register files).
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+namespace {
+
+uint64_t
+cyclesFor(const char *workload, const pipeline::MachineConfig &cfg)
+{
+    const auto &w = workloads::workloadByName(workload);
+    const auto r = sim::simulate(w.build(1), cfg);
+    EXPECT_TRUE(r.halted);
+    return r.stats.cycles;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Optimizer latency: more stages never help (fig. 11 monotonicity).
+// ---------------------------------------------------------------------------
+
+class OptLatencySweep
+    : public ::testing::TestWithParam<std::tuple<const char *, unsigned>>
+{
+};
+
+TEST_P(OptLatencySweep, CompletesAndStaysCorrect)
+{
+    const auto [name, stages] = GetParam();
+    auto oc = core::OptimizerConfig::full();
+    oc.extraStages = stages;
+    const auto cycles =
+        cyclesFor(name, pipeline::MachineConfig::withOptimizer(oc));
+    EXPECT_GT(cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stages, OptLatencySweep,
+    ::testing::Combine(::testing::Values("mcf", "untst", "gcc"),
+                       ::testing::Values(0u, 1u, 2u, 4u, 6u, 8u)));
+
+TEST(OptLatency, MoreStagesNeverFaster)
+{
+    uint64_t prev = 0;
+    for (unsigned stages : {0u, 4u, 8u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.extraStages = stages;
+        const uint64_t c =
+            cyclesFor("gcc", pipeline::MachineConfig::withOptimizer(oc));
+        if (prev)
+            EXPECT_GE(c + c / 50, prev)
+                << "adding rename stages should not speed gcc up";
+        prev = c;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Depth: deeper intra-bundle chains never hurt by more than noise and
+// never break correctness (fig. 10).
+// ---------------------------------------------------------------------------
+
+class DepthSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>>
+{
+};
+
+TEST_P(DepthSweep, Completes)
+{
+    const auto [depth, mem] = GetParam();
+    auto oc = core::OptimizerConfig::full();
+    oc.addChainDepth = depth;
+    oc.allowChainedMem = mem;
+    const auto c =
+        cyclesFor("g721d", pipeline::MachineConfig::withOptimizer(oc));
+    EXPECT_GT(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep,
+                         ::testing::Combine(::testing::Values(0u, 1u, 2u,
+                                                              3u, 4u),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Feedback delay: near-insensitive (fig. 12).
+// ---------------------------------------------------------------------------
+
+TEST(FeedbackDelay, WithinTwoPercentAcrossTenCycles)
+{
+    auto cfg0 = pipeline::MachineConfig::optimized();
+    cfg0.vfbDelay = 0;
+    auto cfg10 = pipeline::MachineConfig::optimized();
+    cfg10.vfbDelay = 10;
+    const uint64_t c0 = cyclesFor("mcf", cfg0);
+    const uint64_t c10 = cyclesFor("mcf", cfg10);
+    EXPECT_LT(double(c10), 1.02 * double(c0))
+        << "paper fig. 12: value feedback delay is immaterial";
+}
+
+// ---------------------------------------------------------------------------
+// Robustness across extreme machine shapes.
+// ---------------------------------------------------------------------------
+
+TEST(ExtremeConfigs, TinySchedulers)
+{
+    auto cfg = pipeline::MachineConfig::optimized();
+    cfg.schedEntries = 2;
+    EXPECT_GT(cyclesFor("eon", cfg), 0u);
+}
+
+TEST(ExtremeConfigs, SingleWideMachine)
+{
+    auto cfg = pipeline::MachineConfig::baseline();
+    cfg.fetchWidth = 1;
+    cfg.renameWidth = 1;
+    cfg.retireWidth = 1;
+    const auto &w = workloads::workloadByName("untst");
+    const auto r = sim::simulate(w.build(1), cfg);
+    EXPECT_TRUE(r.halted);
+    EXPECT_LE(r.stats.ipc(), 1.0);
+}
+
+TEST(ExtremeConfigs, EightWideMachine)
+{
+    auto cfg = pipeline::MachineConfig::execBound(true);
+    EXPECT_GT(cyclesFor("msa", cfg), 0u);
+}
+
+TEST(ExtremeConfigs, MinimalRegisterFileForcesRenameStalls)
+{
+    auto cfg = pipeline::MachineConfig::optimized();
+    // Enough for arch state + MBC pins + a small in-flight window.
+    cfg.intPhysRegs = 260;
+    cfg.fpPhysRegs = 80;
+    const auto &w = workloads::workloadByName("g721e");
+    const auto r = sim::simulate(w.build(1), cfg);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(r.stats.renameStallPregs, 0u)
+        << "a small PRF must backpressure rename, not break";
+}
+
+TEST(ExtremeConfigs, TinyMbcStillCorrect)
+{
+    auto oc = core::OptimizerConfig::full();
+    oc.mbc.entries = 8;
+    oc.mbc.assoc = 2;
+    EXPECT_GT(cyclesFor("untst",
+                        pipeline::MachineConfig::withOptimizer(oc)),
+              0u);
+}
+
+TEST(ExtremeConfigs, SlowMemoryHierarchy)
+{
+    auto cfg = pipeline::MachineConfig::optimized();
+    cfg.hier.memLatency = 400;
+    cfg.hier.l2.latency = 40;
+    EXPECT_GT(cyclesFor("vor", cfg), 0u);
+}
+
+TEST(ExtremeConfigs, FlushOnUnknownStoreMatchesSpeculateClosely)
+{
+    // Paper section 3.2: "we have evaluated both scenarios and have
+    // found little difference in the overall performance."
+    auto spec = core::OptimizerConfig::full();
+    auto flush = core::OptimizerConfig::full();
+    flush.mbcFlushOnUnknownStore = true;
+    const uint64_t c_spec =
+        cyclesFor("mcf", pipeline::MachineConfig::withOptimizer(spec));
+    const uint64_t c_flush =
+        cyclesFor("mcf", pipeline::MachineConfig::withOptimizer(flush));
+    const double ratio = double(c_flush) / double(c_spec);
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.15);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the ISA: opcode metadata, shared ALU/branch semantics,
+ * and the disassembler.
+ */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "src/isa/exec.hh"
+#include "src/isa/isa.hh"
+
+using namespace conopt;
+using isa::Opcode;
+
+TEST(OpInfo, ClassesAndLatencies)
+{
+    EXPECT_EQ(isa::opInfo(Opcode::ADDQ).cls, isa::OpClass::IntSimple);
+    EXPECT_EQ(isa::opInfo(Opcode::ADDQ).latency, 1);
+    EXPECT_EQ(isa::opInfo(Opcode::MULQ).cls, isa::OpClass::IntComplex);
+    EXPECT_EQ(isa::opInfo(Opcode::MULQ).latency, 7);
+    EXPECT_EQ(isa::opInfo(Opcode::DIVQ).latency, 20);
+    EXPECT_EQ(isa::opInfo(Opcode::ADDT).cls, isa::OpClass::Fp);
+    EXPECT_EQ(isa::opInfo(Opcode::LDQ).cls, isa::OpClass::Mem);
+    EXPECT_EQ(isa::opInfo(Opcode::BEQ).cls, isa::OpClass::Control);
+}
+
+TEST(OpInfo, MemoryAttributes)
+{
+    EXPECT_TRUE(isa::opInfo(Opcode::LDQ).isLoad);
+    EXPECT_EQ(isa::opInfo(Opcode::LDQ).memSize, 8);
+    EXPECT_EQ(isa::opInfo(Opcode::LDL).memSize, 4);
+    EXPECT_EQ(isa::opInfo(Opcode::LDBU).memSize, 1);
+    EXPECT_TRUE(isa::opInfo(Opcode::STQ).isStore);
+    EXPECT_TRUE(isa::opInfo(Opcode::STQ).readsRc);
+    EXPECT_FALSE(isa::opInfo(Opcode::STQ).writesRc);
+    EXPECT_TRUE(isa::opInfo(Opcode::LDT).rcIsFp);
+    EXPECT_TRUE(isa::opInfo(Opcode::STT).rcIsFp);
+}
+
+TEST(OpInfo, ControlAttributes)
+{
+    EXPECT_TRUE(isa::opInfo(Opcode::BEQ).isCondBranch);
+    EXPECT_FALSE(isa::opInfo(Opcode::BR).isCondBranch);
+    EXPECT_TRUE(isa::opInfo(Opcode::JSR).isIndirect);
+    EXPECT_TRUE(isa::opInfo(Opcode::JSR).isCall);
+    EXPECT_TRUE(isa::opInfo(Opcode::JSR).writesRc);
+    EXPECT_TRUE(isa::opInfo(Opcode::RET).isReturn);
+    EXPECT_TRUE(isa::opInfo(Opcode::BSR).isCall);
+    EXPECT_FALSE(isa::opInfo(Opcode::BSR).isIndirect);
+}
+
+TEST(OpInfo, SimpleOpsAreOneCycleInteger)
+{
+    EXPECT_TRUE(isa::isSimpleOp(Opcode::ADDQ));
+    EXPECT_TRUE(isa::isSimpleOp(Opcode::SLL));
+    EXPECT_TRUE(isa::isSimpleOp(Opcode::CMPULE));
+    EXPECT_TRUE(isa::isSimpleOp(Opcode::BEQ));
+    EXPECT_FALSE(isa::isSimpleOp(Opcode::MULQ));
+    EXPECT_FALSE(isa::isSimpleOp(Opcode::DIVQ));
+    EXPECT_FALSE(isa::isSimpleOp(Opcode::ADDT));
+    EXPECT_FALSE(isa::isSimpleOp(Opcode::FMOV));
+    EXPECT_FALSE(isa::isSimpleOp(Opcode::LDQ));
+}
+
+TEST(AluCompute, IntegerArithmetic)
+{
+    EXPECT_EQ(isa::aluCompute(Opcode::ADDQ, 3, 4), 7u);
+    EXPECT_EQ(isa::aluCompute(Opcode::SUBQ, 3, 4), ~uint64_t(0));
+    EXPECT_EQ(isa::aluCompute(Opcode::AND, 0xf0, 0x3c), 0x30u);
+    EXPECT_EQ(isa::aluCompute(Opcode::BIS, 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(isa::aluCompute(Opcode::XOR, 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(isa::aluCompute(Opcode::SLL, 1, 63), uint64_t(1) << 63);
+    EXPECT_EQ(isa::aluCompute(Opcode::SRL, uint64_t(1) << 63, 63), 1u);
+    EXPECT_EQ(isa::aluCompute(Opcode::SRA, uint64_t(-8), 1),
+              uint64_t(-4));
+}
+
+TEST(AluCompute, Comparisons)
+{
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPEQ, 5, 5), 1u);
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPEQ, 5, 6), 0u);
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPLT, uint64_t(-1), 0), 1u);
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPULT, uint64_t(-1), 0), 0u);
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPLE, 5, 5), 1u);
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPULE, 6, 5), 0u);
+}
+
+TEST(AluCompute, ThirtyTwoBitOps)
+{
+    // addl wraps and sign-extends at 32 bits.
+    EXPECT_EQ(isa::aluCompute(Opcode::ADDL, 0x7fffffff, 1),
+              uint64_t(int64_t(int32_t(0x80000000))));
+    EXPECT_EQ(isa::aluCompute(Opcode::SUBL, 0, 1), ~uint64_t(0));
+    EXPECT_EQ(isa::aluCompute(Opcode::SEXTL, 0, 0x80000000),
+              uint64_t(int64_t(int32_t(0x80000000))));
+}
+
+TEST(AluCompute, MultiplyDivide)
+{
+    EXPECT_EQ(isa::aluCompute(Opcode::MULQ, 7, 6), 42u);
+    EXPECT_EQ(isa::aluCompute(Opcode::DIVQ, 42, 6), 7u);
+    EXPECT_EQ(isa::aluCompute(Opcode::DIVQ, uint64_t(-42), 6),
+              uint64_t(-7));
+    EXPECT_EQ(isa::aluCompute(Opcode::DIVQ, 1, 0), 0u) << "div by zero";
+    EXPECT_EQ(isa::aluCompute(Opcode::REMQ, 43, 6), 1u);
+    EXPECT_EQ(isa::aluCompute(Opcode::REMQ, 1, 0), 0u);
+    // INT64_MIN / -1 must not trap.
+    EXPECT_EQ(isa::aluCompute(Opcode::DIVQ, uint64_t(INT64_MIN),
+                              uint64_t(-1)),
+              uint64_t(INT64_MIN));
+}
+
+TEST(AluCompute, FloatingPoint)
+{
+    auto d = [](double v) { return std::bit_cast<uint64_t>(v); };
+    EXPECT_EQ(isa::aluCompute(Opcode::ADDT, d(1.5), d(2.5)), d(4.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::MULT, d(3.0), d(-2.0)), d(-6.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::DIVT, d(1.0), d(4.0)), d(0.25));
+    EXPECT_EQ(isa::aluCompute(Opcode::SQRTT, 0, d(9.0)), d(3.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPTLT, d(1.0), d(2.0)), d(1.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::CMPTEQ, d(1.0), d(2.0)), d(0.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::CVTQT, uint64_t(-3), 0), d(-3.0));
+    EXPECT_EQ(isa::aluCompute(Opcode::CVTTQ, 0, d(-3.7)), uint64_t(-3));
+}
+
+TEST(BranchCond, AllConditions)
+{
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BEQ, 0));
+    EXPECT_FALSE(isa::branchCondTaken(Opcode::BEQ, 1));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BNE, 1));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BLT, uint64_t(-1)));
+    EXPECT_FALSE(isa::branchCondTaken(Opcode::BLT, 0));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BGE, 0));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BLE, 0));
+    EXPECT_FALSE(isa::branchCondTaken(Opcode::BGT, 0));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::BGT, 5));
+    auto d = [](double v) { return std::bit_cast<uint64_t>(v); };
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::FBEQ, d(0.0)));
+    EXPECT_FALSE(isa::branchCondTaken(Opcode::FBEQ, d(1.0)));
+    EXPECT_TRUE(isa::branchCondTaken(Opcode::FBNE, d(2.0)));
+}
+
+TEST(Disassemble, Readable)
+{
+    isa::Instruction add;
+    add.op = Opcode::ADDQ;
+    add.ra = 3;
+    add.useImm = true;
+    add.imm = 4;
+    add.rc = 4;
+    const std::string s = isa::disassemble(add, 0x10000);
+    EXPECT_NE(s.find("addq"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("r4"), std::string::npos);
+
+    isa::Instruction ld;
+    ld.op = Opcode::LDQ;
+    ld.ra = 29;
+    ld.rc = 1;
+    ld.imm = 16;
+    const std::string t = isa::disassemble(ld, 0);
+    EXPECT_NE(t.find("ldq"), std::string::npos);
+    EXPECT_NE(t.find("16(r29)"), std::string::npos);
+}

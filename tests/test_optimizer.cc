@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Unit tests for the continuous optimizer's rename unit: constant
+ * propagation, reassociation (the paper's SUB r1,1->r1 example),
+ * strength reduction, move elimination, early branch resolution, branch
+ * inference, address generation, and RLE/SF through the MBC -- plus the
+ * intra-bundle dependence-depth limits of section 3.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/dyn_inst.hh"
+#include "src/core/optimizer.hh"
+#include "src/isa/exec.hh"
+#include "src/pipeline/phys_reg_file.hh"
+
+using namespace conopt;
+using core::OptimizerConfig;
+using core::OptResult;
+using core::RenameUnit;
+using isa::Opcode;
+
+namespace {
+
+/** Drives a RenameUnit directly with hand-built dynamic instructions. */
+class OptimizerTest : public ::testing::Test
+{
+  protected:
+    OptimizerTest() { rebuild(OptimizerConfig::full()); }
+
+    void
+    rebuild(const OptimizerConfig &config)
+    {
+        unit.reset(); // the unit references the register files
+        iprf = std::make_unique<pipeline::PhysRegFile>(256);
+        fprf = std::make_unique<pipeline::PhysRegFile>(64);
+        unit = std::make_unique<RenameUnit>(config, *iprf, *fprf);
+        std::array<uint64_t, isa::numIntRegs> ints{};
+        std::array<uint64_t, isa::numFpRegs> fps{};
+        regState = ints; // all zero
+        unit->reset(ints, fps);
+        markInitialReady();
+        seq = 0;
+        cycle = 100;
+        unit->beginBundle();
+    }
+
+    void
+    markInitialReady()
+    {
+        for (unsigned r = 0; r < isa::numIntRegs; ++r) {
+            if (r == isa::zeroReg)
+                continue;
+            const auto p = unit->rat().read(isa::RegIndex(r)).mapping;
+            iprf->setReadyAt(p, 0);
+            iprf->setVfbAt(p, 0);
+        }
+    }
+
+    /** Build + rename an integer reg-imm instruction, computing the
+     *  oracle values from the tracked architectural state. */
+    OptResult
+    alu(Opcode op, unsigned ra, int64_t imm, unsigned rc)
+    {
+        arch::DynInst d;
+        d.seq = seq++;
+        d.pc = 0x10000 + d.seq * 4;
+        d.inst.op = op;
+        d.inst.ra = isa::RegIndex(ra);
+        d.inst.useImm = true;
+        d.inst.imm = imm;
+        d.inst.rc = isa::RegIndex(rc);
+        d.srcA = regState[ra];
+        d.srcB = uint64_t(imm);
+        d.result = isa::aluCompute(op, d.srcA, d.srcB);
+        if (rc != isa::zeroReg)
+            regState[rc] = d.result;
+        return unit->renameInst(d, cycle);
+    }
+
+    OptResult
+    aluRR(Opcode op, unsigned ra, unsigned rb, unsigned rc)
+    {
+        arch::DynInst d;
+        d.seq = seq++;
+        d.pc = 0x10000 + d.seq * 4;
+        d.inst.op = op;
+        d.inst.ra = isa::RegIndex(ra);
+        d.inst.rb = isa::RegIndex(rb);
+        d.inst.rc = isa::RegIndex(rc);
+        d.srcA = regState[ra];
+        d.srcB = regState[rb];
+        d.result = isa::aluCompute(op, d.srcA, d.srcB);
+        if (rc != isa::zeroReg)
+            regState[rc] = d.result;
+        return unit->renameInst(d, cycle);
+    }
+
+    OptResult
+    branch(Opcode op, unsigned ra, bool taken_if, uint64_t target)
+    {
+        arch::DynInst d;
+        d.seq = seq++;
+        d.pc = 0x10000 + d.seq * 4;
+        d.inst.op = op;
+        d.inst.ra = isa::RegIndex(ra);
+        d.inst.imm = int64_t(target);
+        d.srcA = regState[ra];
+        d.taken = taken_if;
+        d.nextPc = taken_if ? target : d.pc + 4;
+        return unit->renameInst(d, cycle);
+    }
+
+    OptResult
+    load(Opcode op, unsigned rc, unsigned base, int64_t off,
+         uint64_t oracle_value)
+    {
+        arch::DynInst d;
+        d.seq = seq++;
+        d.pc = 0x10000 + d.seq * 4;
+        d.inst.op = op;
+        d.inst.ra = isa::RegIndex(base);
+        d.inst.rc = isa::RegIndex(rc);
+        d.inst.imm = off;
+        d.memAddr = regState[base] + uint64_t(off);
+        d.memSize = isa::opInfo(op).memSize;
+        d.result = oracle_value;
+        if (rc != isa::zeroReg && !isa::opInfo(op).rcIsFp)
+            regState[rc] = oracle_value;
+        return unit->renameInst(d, cycle);
+    }
+
+    OptResult
+    store(Opcode op, unsigned rc, unsigned base, int64_t off)
+    {
+        arch::DynInst d;
+        d.seq = seq++;
+        d.pc = 0x10000 + d.seq * 4;
+        d.inst.op = op;
+        d.inst.ra = isa::RegIndex(base);
+        d.inst.rc = isa::RegIndex(rc);
+        d.inst.imm = off;
+        d.memAddr = regState[base] + uint64_t(off);
+        d.memSize = isa::opInfo(op).memSize;
+        d.srcC = regState[rc];
+        d.result = d.srcC;
+        return unit->renameInst(d, cycle);
+    }
+
+    void
+    newBundle()
+    {
+        ++cycle;
+        unit->beginBundle();
+    }
+
+    std::unique_ptr<pipeline::PhysRegFile> iprf;
+    std::unique_ptr<pipeline::PhysRegFile> fprf;
+    std::unique_ptr<RenameUnit> unit;
+    std::array<uint64_t, isa::numIntRegs> regState{};
+    uint64_t seq = 0;
+    uint64_t cycle = 100;
+};
+
+} // namespace
+
+TEST_F(OptimizerTest, ConstantMaterializationExecutesEarly)
+{
+    // li r1, 42 (LDA off the zero register).
+    const auto r = alu(Opcode::LDA, isa::zeroReg, 42, 1);
+    EXPECT_TRUE(r.earlyExecuted);
+    EXPECT_EQ(r.earlyValue, 42u);
+    EXPECT_EQ(r.schedClass, isa::OpClass::None);
+    EXPECT_TRUE(unit->rat().read(1).sym.isConst());
+}
+
+TEST_F(OptimizerTest, ConstantPropagationThroughAdd)
+{
+    alu(Opcode::LDA, isa::zeroReg, 3, 3);
+    newBundle();
+    // The paper's example: addq r3, 4 -> r4 with r3 known to be 3.
+    const auto r = alu(Opcode::ADDQ, 3, 4, 4);
+    EXPECT_TRUE(r.earlyExecuted);
+    EXPECT_EQ(r.earlyValue, 7u);
+}
+
+TEST_F(OptimizerTest, ReassociationCollapsesSubChain)
+{
+    // The paper's section 2.4 walkthrough: r1 starts unknown (a load's
+    // destination); SUB r1,1->r1 twice must leave r1 = (p35) - 2 and the
+    // second SUB executing directly on the original register.
+    const auto ld = load(Opcode::LDQ, 1, isa::zeroReg, 0x2000, 555);
+    const auto p35 = ld.destPreg;
+    newBundle();
+    const auto s1 = alu(Opcode::SUBQ, 1, 1, 1);
+    EXPECT_FALSE(s1.earlyExecuted);
+    ASSERT_EQ(s1.numDeps, 1u);
+    EXPECT_EQ(s1.deps[0].reg, p35) << "rewritten to the original base";
+    newBundle();
+    const auto s2 = alu(Opcode::SUBQ, 1, 1, 1);
+    ASSERT_EQ(s2.numDeps, 1u);
+    EXPECT_EQ(s2.deps[0].reg, p35) << "chain collapsed, not serialized";
+    const auto &sym = unit->rat().read(1).sym;
+    EXPECT_EQ(sym.base, p35);
+    EXPECT_EQ(sym.offset, uint64_t(-2));
+}
+
+TEST_F(OptimizerTest, ShiftFoldsIntoScaleField)
+{
+    const auto ld = load(Opcode::LDQ, 2, isa::zeroReg, 0x3000, 5);
+    newBundle();
+    const auto sh = alu(Opcode::SLL, 2, 3, 3);
+    EXPECT_TRUE(sh.wasOptimized);
+    const auto &sym = unit->rat().read(3).sym;
+    EXPECT_EQ(sym.base, ld.destPreg);
+    EXPECT_EQ(sym.scale, 3);
+    newBundle();
+    // A further shift would exceed the 2-bit scale: not representable.
+    const auto sh2 = alu(Opcode::SLL, 3, 1, 4);
+    EXPECT_TRUE(unit->rat().read(4).sym.isPureAlias());
+    EXPECT_EQ(unit->rat().read(4).sym.base, sh2.destPreg);
+}
+
+TEST_F(OptimizerTest, MoveEliminationAliases)
+{
+    const auto ld = load(Opcode::LDQ, 1, isa::zeroReg, 0x4000, 9);
+    newBundle();
+    const auto mv = alu(Opcode::ADDQ, 1, 0, 2); // mov r1 -> r2
+    EXPECT_TRUE(mv.earlyExecuted);
+    EXPECT_TRUE(mv.moveEliminated);
+    EXPECT_TRUE(mv.destAliased);
+    EXPECT_EQ(mv.destPreg, ld.destPreg);
+    EXPECT_EQ(unit->rat().read(2).mapping, ld.destPreg);
+}
+
+TEST_F(OptimizerTest, StrengthReductionMulByPowerOfTwo)
+{
+    const auto ld = load(Opcode::LDQ, 1, isa::zeroReg, 0x5000, 6);
+    newBundle();
+    // mul r1, 4 -> r2 becomes r1 << 2: folds into the scale field.
+    const auto mul = alu(Opcode::MULQ, 1, 4, 2);
+    EXPECT_TRUE(mul.wasOptimized);
+    EXPECT_EQ(mul.schedClass, isa::OpClass::IntSimple);
+    EXPECT_EQ(mul.execLatency, 1u);
+    const auto &sym = unit->rat().read(2).sym;
+    EXPECT_EQ(sym.base, ld.destPreg);
+    EXPECT_EQ(sym.scale, 2);
+    newBundle();
+    // mul by a non-power stays complex.
+    const auto mul3 = alu(Opcode::MULQ, 1, 3, 3);
+    EXPECT_EQ(mul3.schedClass, isa::OpClass::IntComplex);
+}
+
+TEST_F(OptimizerTest, StrengthReducedMulWithKnownInputExecutesEarly)
+{
+    alu(Opcode::LDA, isa::zeroReg, 10, 1);
+    newBundle();
+    const auto mul = alu(Opcode::MULQ, 1, 8, 2);
+    EXPECT_TRUE(mul.earlyExecuted) << "10*8 folds as a shift";
+    EXPECT_EQ(mul.earlyValue, 80u);
+    newBundle();
+    const auto mul3 = alu(Opcode::MULQ, 1, 3, 3);
+    EXPECT_FALSE(mul3.earlyExecuted)
+        << "complex ops never execute in the optimizer (footnote 1)";
+}
+
+TEST_F(OptimizerTest, BranchWithKnownInputResolves)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0, 1);
+    newBundle();
+    const auto br = branch(Opcode::BEQ, 1, true, 0x10100);
+    EXPECT_TRUE(br.branchResolved);
+    EXPECT_TRUE(br.branchTaken);
+    EXPECT_TRUE(br.earlyExecuted);
+    EXPECT_EQ(br.branchTarget, 0x10100u);
+}
+
+TEST_F(OptimizerTest, BranchInferenceProvesZero)
+{
+    const auto ld = load(Opcode::LDQ, 1, isa::zeroReg, 0x6000, 0);
+    (void)ld;
+    newBundle();
+    regState[1] = 0;
+    const auto br = branch(Opcode::BEQ, 1, true, 0x10200);
+    EXPECT_FALSE(br.branchResolved) << "value unknown at rename";
+    // But a taken beq proves r1 == 0 for everything downstream.
+    EXPECT_TRUE(unit->rat().read(1).sym.isConst());
+    EXPECT_EQ(unit->rat().read(1).sym.value, 0u);
+    newBundle();
+    const auto add = alu(Opcode::ADDQ, 1, 7, 2);
+    EXPECT_TRUE(add.earlyExecuted);
+    EXPECT_EQ(add.earlyValue, 7u);
+}
+
+TEST_F(OptimizerTest, AddressGenerationAtRename)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0x7000, 1);
+    newBundle();
+    const auto ld = load(Opcode::LDQ, 2, 1, 16, 77);
+    EXPECT_TRUE(ld.addrKnown);
+    EXPECT_FALSE(ld.needsAgen);
+    EXPECT_EQ(ld.numDeps, 0u);
+}
+
+TEST_F(OptimizerTest, RedundantLoadElimination)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0x8000, 1);
+    newBundle();
+    const auto first = load(Opcode::LDQ, 2, 1, 0, 123);
+    EXPECT_FALSE(first.loadRemoved) << "first touch misses the MBC";
+    newBundle();
+    const auto second = load(Opcode::LDQ, 3, 1, 0, 123);
+    EXPECT_TRUE(second.loadRemoved);
+    EXPECT_TRUE(second.destAliased);
+    EXPECT_EQ(second.destPreg, first.destPreg)
+        << "converted to a move and unified with the first load";
+    EXPECT_TRUE(second.earlyExecuted);
+}
+
+TEST_F(OptimizerTest, StoreForwardingWithKnownData)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0x9000, 1); // base
+    alu(Opcode::LDA, isa::zeroReg, 42, 2);     // known data
+    newBundle();
+    regState[2] = 42;
+    store(Opcode::STQ, 2, 1, 8);
+    newBundle();
+    const auto ld = load(Opcode::LDQ, 3, 1, 8, 42);
+    EXPECT_TRUE(ld.loadRemoved);
+    EXPECT_TRUE(ld.earlyExecuted);
+    EXPECT_EQ(ld.earlyValue, 42u) << "forwarded constant";
+}
+
+TEST_F(OptimizerTest, StoreForwardingUnknownDataAliases)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0xa000, 1);
+    const auto data = load(Opcode::LDQ, 2, isa::zeroReg, 0xb000, 7);
+    newBundle();
+    store(Opcode::STQ, 2, 1, 0);
+    newBundle();
+    const auto ld = load(Opcode::LDQ, 3, 1, 0, 7);
+    EXPECT_TRUE(ld.loadRemoved);
+    EXPECT_TRUE(ld.destAliased);
+    EXPECT_EQ(ld.destPreg, data.destPreg);
+}
+
+TEST_F(OptimizerTest, SubWordStoreForwardTransformsValue)
+{
+    alu(Opcode::LDA, isa::zeroReg, 0xc000, 1);
+    alu(Opcode::LDA, isa::zeroReg, int64_t(0xfffff234), 2);
+    newBundle();
+    regState[2] = 0xfffff234;
+    store(Opcode::STL, 2, 1, 0);
+    newBundle();
+    const auto ld = load(
+        Opcode::LDL, 3, 1, 0,
+        uint64_t(int64_t(int32_t(0xfffff234))));
+    EXPECT_TRUE(ld.loadRemoved);
+    EXPECT_TRUE(ld.earlyExecuted);
+    EXPECT_EQ(ld.earlyValue, uint64_t(int64_t(int32_t(0xfffff234))));
+}
+
+TEST_F(OptimizerTest, IntraBundleDepthLimitsChainedAdds)
+{
+    // The paper's four-chained-adds example (section 3.1): with the
+    // default depth, only the first add in a bundle is reassociated.
+    const auto ld = load(Opcode::LDQ, 0, isa::zeroReg, 0xd000, 11);
+    newBundle();
+    const auto a1 = alu(Opcode::ADDQ, 0, 1, 2);   // r2 = r0 + 1
+    const auto a2 = alu(Opcode::ADDQ, 2, 1, 3);   // r3 = r2 + 1 (chained)
+    ASSERT_EQ(a1.numDeps, 1u);
+    EXPECT_EQ(a1.deps[0].reg, ld.destPreg);
+    ASSERT_EQ(a2.numDeps, 1u);
+    EXPECT_EQ(a2.deps[0].reg, a1.destPreg)
+        << "second add must depend on the first, not collapse onto r0";
+}
+
+TEST_F(OptimizerTest, DepthOneAllowsOneChainedAdd)
+{
+    auto cfg = OptimizerConfig::full();
+    cfg.addChainDepth = 1;
+    rebuild(cfg);
+    const auto ld = load(Opcode::LDQ, 0, isa::zeroReg, 0xd100, 11);
+    newBundle();
+    const auto a1 = alu(Opcode::ADDQ, 0, 1, 2);
+    const auto a2 = alu(Opcode::ADDQ, 2, 1, 3);
+    const auto a3 = alu(Opcode::ADDQ, 3, 1, 4);
+    EXPECT_EQ(a1.deps[0].reg, ld.destPreg);
+    EXPECT_EQ(a2.deps[0].reg, ld.destPreg) << "one chained level allowed";
+    EXPECT_EQ(a3.deps[0].reg, a2.destPreg) << "second level blocked";
+}
+
+TEST_F(OptimizerTest, ChainResumesAcrossBundles)
+{
+    const auto ld = load(Opcode::LDQ, 0, isa::zeroReg, 0xd200, 11);
+    newBundle();
+    alu(Opcode::ADDQ, 0, 1, 2);
+    newBundle(); // next cycle: the RAT entry is visible again
+    const auto a2 = alu(Opcode::ADDQ, 2, 1, 3);
+    EXPECT_EQ(a2.deps[0].reg, ld.destPreg)
+        << "across bundles the chain collapses onto the base";
+}
+
+TEST_F(OptimizerTest, BaselineModeDoesNothing)
+{
+    rebuild(OptimizerConfig::baseline());
+    const auto li = alu(Opcode::LDA, isa::zeroReg, 42, 1);
+    EXPECT_FALSE(li.earlyExecuted);
+    EXPECT_EQ(li.schedClass, isa::OpClass::IntSimple);
+    newBundle();
+    const auto ld = load(Opcode::LDQ, 2, 1, 0, 5);
+    EXPECT_FALSE(ld.addrKnown);
+    EXPECT_TRUE(ld.needsAgen);
+    EXPECT_FALSE(ld.loadRemoved);
+}
+
+TEST_F(OptimizerTest, FeedbackOnlyModeExecutesButDoesNotReassociate)
+{
+    rebuild(OptimizerConfig::feedbackOnly());
+    // li via the zero register: sources known, executes early even in
+    // feedback-only mode (the zero register is architecturally known).
+    const auto li = alu(Opcode::LDA, isa::zeroReg, 5, 1);
+    EXPECT_TRUE(li.earlyExecuted);
+    newBundle();
+    // But no symbolic propagation: the consumer's value is known only
+    // through the feedback path (vfb was set by the harness at rename).
+    iprf->setVfbAt(li.destPreg, cycle); // simulate the pipeline's update
+    const auto add = alu(Opcode::ADDQ, 1, 2, 2);
+    EXPECT_TRUE(add.earlyExecuted) << "known via feedback";
+    newBundle();
+    const auto mv = alu(Opcode::ADDQ, 2, 0, 3);
+    EXPECT_FALSE(mv.moveEliminated) << "no move elimination";
+}
+
+TEST_F(OptimizerTest, StoreDataDependenceIsSeparate)
+{
+    const auto data = load(Opcode::LDQ, 2, isa::zeroReg, 0xe000, 3);
+    const auto base = load(Opcode::LDQ, 1, isa::zeroReg, 0xe008, 0xf000);
+    newBundle();
+    regState[1] = 0xf000;
+    const auto st = store(Opcode::STQ, 2, 1, 0);
+    EXPECT_EQ(st.schedClass, isa::OpClass::Mem);
+    ASSERT_EQ(st.numDeps, 1u) << "only the agen dependence schedules";
+    EXPECT_EQ(st.deps[0].reg, base.destPreg);
+    EXPECT_EQ(st.storeDataDep.reg, data.destPreg);
+}
+
+TEST_F(OptimizerTest, StatsAccumulate)
+{
+    alu(Opcode::LDA, isa::zeroReg, 1, 1);
+    alu(Opcode::LDA, isa::zeroReg, 0x8000, 2);
+    newBundle();
+    load(Opcode::LDQ, 3, 2, 0, 9);
+    newBundle();
+    load(Opcode::LDQ, 4, 2, 0, 9);
+    const auto &s = unit->stats();
+    EXPECT_EQ(s.instsRenamed, 4u);
+    EXPECT_EQ(s.memOps, 2u);
+    EXPECT_EQ(s.loads, 2u);
+    EXPECT_EQ(s.addrKnown, 2u);
+    EXPECT_EQ(s.loadsRemoved, 1u);
+    EXPECT_GE(s.earlyExecuted, 3u);
+}

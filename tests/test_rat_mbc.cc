@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the symbolic RAT and the Memory Bypass Cache, including the
+ * reference-counting contracts that keep forwarded registers live.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc.hh"
+#include "src/core/opt_rat.hh"
+#include "src/pipeline/phys_reg_file.hh"
+
+using namespace conopt;
+using core::MemoryBypassCache;
+using core::OptRat;
+using core::SymbolicValue;
+
+TEST(OptRat, ZeroRegisterIsConstZero)
+{
+    pipeline::PhysRegFile prf(8);
+    OptRat rat(prf);
+    const auto &e = rat.read(isa::zeroReg);
+    EXPECT_TRUE(e.sym.isConst());
+    EXPECT_EQ(e.sym.value, 0u);
+    EXPECT_EQ(e.mapping, core::invalidPreg);
+}
+
+TEST(OptRat, WriteHoldsReferences)
+{
+    pipeline::PhysRegFile prf(8);
+    OptRat rat(prf);
+    const auto p = prf.alloc();
+    rat.write(1, p, SymbolicValue::expr(p));
+    // Mapping ref + symbolic base ref + the alloc ref.
+    EXPECT_EQ(prf.refCount(p), 3u);
+    prf.release(p); // drop the alloc ref
+    EXPECT_TRUE(prf.isAllocated(p));
+
+    const auto q = prf.alloc();
+    rat.write(1, q, SymbolicValue::expr(q));
+    EXPECT_FALSE(prf.isAllocated(p)) << "overwrite released both refs";
+    rat.clear();
+    prf.release(q);
+    EXPECT_EQ(prf.freeCount(), prf.size());
+}
+
+TEST(OptRat, SymbolicBaseKeptLiveAcrossOverwrite)
+{
+    pipeline::PhysRegFile prf(8);
+    OptRat rat(prf);
+    const auto base = prf.alloc();
+    rat.write(1, base, SymbolicValue::expr(base));
+    prf.release(base);
+    // r2 = r1 + 8 symbolically: entry references base.
+    const auto p2 = prf.alloc();
+    rat.write(2, p2, SymbolicValue::expr(base, 0, 8));
+    prf.release(p2);
+    // Overwrite r1: base must stay alive through r2's symbolic entry.
+    const auto p3 = prf.alloc();
+    rat.write(1, p3, SymbolicValue::expr(p3));
+    prf.release(p3);
+    EXPECT_TRUE(prf.isAllocated(base));
+    // Overwrite r2: now base dies.
+    const auto p4 = prf.alloc();
+    rat.write(2, p4, SymbolicValue::expr(p4));
+    prf.release(p4);
+    EXPECT_FALSE(prf.isAllocated(base));
+    rat.clear();
+}
+
+TEST(OptRat, SetSymReplacesOnlySymbolicPart)
+{
+    pipeline::PhysRegFile prf(8);
+    OptRat rat(prf);
+    const auto p = prf.alloc();
+    rat.write(5, p, SymbolicValue::expr(p, 0, 4));
+    prf.release(p);
+    rat.setSym(5, SymbolicValue::constant(0)); // branch inference
+    EXPECT_EQ(rat.read(5).mapping, p);
+    EXPECT_TRUE(rat.read(5).sym.isConst());
+    EXPECT_TRUE(prf.isAllocated(p)) << "mapping ref remains";
+    rat.clear();
+    EXPECT_FALSE(prf.isAllocated(p));
+}
+
+namespace {
+
+struct MbcFixture : ::testing::Test
+{
+    pipeline::PhysRegFile iprf{32};
+    pipeline::PhysRegFile fprf{8};
+    MemoryBypassCache mbc{{128, 4}, iprf, fprf};
+};
+
+} // namespace
+
+TEST_F(MbcFixture, ExactMatchRequired)
+{
+    const auto p = iprf.alloc();
+    mbc.insert(0x1000, 8, SymbolicValue::expr(p), true, 1);
+    EXPECT_NE(mbc.lookup(0x1000, 8, false), nullptr);
+    EXPECT_EQ(mbc.lookup(0x1000, 4, false), nullptr) << "size mismatch";
+    EXPECT_EQ(mbc.lookup(0x1004, 4, false), nullptr) << "offset mismatch";
+    EXPECT_EQ(mbc.lookup(0x1000, 8, true), nullptr) << "fp mismatch";
+    EXPECT_EQ(mbc.lookup(0x1008, 8, false), nullptr) << "tag mismatch";
+}
+
+TEST_F(MbcFixture, SubWordEntriesMatchOffsetAndSize)
+{
+    mbc.insert(0x1004, 4, SymbolicValue::constant(7), false, 1);
+    const auto *e = mbc.lookup(0x1004, 4, false);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->offset, 4);
+    EXPECT_EQ(e->size, 4);
+    EXPECT_FALSE(e->fromLoad);
+}
+
+TEST_F(MbcFixture, NonConstSubWordStoreOnlyInvalidates)
+{
+    const auto p = iprf.alloc();
+    mbc.insert(0x1000, 8, SymbolicValue::expr(p), true, 1);
+    // A 4-byte store of unknown data can't be forwarded, but it must
+    // still kill the stale 8-byte entry for the same word.
+    mbc.insert(0x1000, 4, SymbolicValue::expr(p), false, 2);
+    EXPECT_EQ(mbc.lookup(0x1000, 8, false), nullptr);
+    EXPECT_EQ(mbc.lookup(0x1000, 4, false), nullptr);
+}
+
+TEST_F(MbcFixture, StoreReplacesSameShapeEntry)
+{
+    const auto p = iprf.alloc();
+    const auto q = iprf.alloc();
+    mbc.insert(0x2000, 8, SymbolicValue::expr(p), true, 1);
+    mbc.insert(0x2000, 8, SymbolicValue::expr(q), false, 2);
+    const auto *e = mbc.lookup(0x2000, 8, false);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->sym.base, q);
+    EXPECT_EQ(e->writerSeq, 2u);
+    EXPECT_EQ(iprf.refCount(q), 2u) << "alloc ref + MBC ref";
+    EXPECT_EQ(iprf.refCount(p), 1u) << "replaced entry released its ref";
+}
+
+TEST_F(MbcFixture, RefCountsFollowEntries)
+{
+    const auto p = iprf.alloc();
+    EXPECT_EQ(iprf.refCount(p), 1u);
+    mbc.insert(0x3000, 8, SymbolicValue::expr(p), true, 1);
+    EXPECT_EQ(iprf.refCount(p), 2u);
+    mbc.invalidateOverlap(0x3000, 8);
+    EXPECT_EQ(iprf.refCount(p), 1u);
+}
+
+TEST_F(MbcFixture, InvalidateOverlapIsRangeBased)
+{
+    mbc.insert(0x4000, 8, SymbolicValue::constant(1), false, 1);
+    mbc.insert(0x4008, 8, SymbolicValue::constant(2), false, 1);
+    // A byte store into the first word kills only the first entry.
+    mbc.invalidateOverlap(0x4003, 1);
+    EXPECT_EQ(mbc.lookup(0x4000, 8, false), nullptr);
+    EXPECT_NE(mbc.lookup(0x4008, 8, false), nullptr);
+}
+
+TEST_F(MbcFixture, StaleInvalidationRespectsAge)
+{
+    mbc.insert(0x5000, 8, SymbolicValue::constant(1), false, /*seq=*/10);
+    // A store with seq 5 (older than the entry's writer) must NOT kill
+    // the younger entry when it finally executes.
+    mbc.invalidateStale(0x5000, 8, /*store_seq=*/5);
+    EXPECT_NE(mbc.lookup(0x5000, 8, false), nullptr);
+    // A store younger than the writer kills it.
+    mbc.invalidateStale(0x5000, 8, /*store_seq=*/20);
+    EXPECT_EQ(mbc.lookup(0x5000, 8, false), nullptr);
+}
+
+TEST_F(MbcFixture, LruEvictionWithinSet)
+{
+    // 32 sets x 4 ways; all these tags map to set 0 (tag % 32 == 0).
+    const uint64_t stride = 32 * 8;
+    for (int i = 0; i < 4; ++i)
+        mbc.insert(i * stride, 8, SymbolicValue::constant(i), false, 1);
+    // Touch entry 0 so entry 1 is LRU.
+    EXPECT_NE(mbc.lookup(0, 8, false), nullptr);
+    mbc.insert(4 * stride, 8, SymbolicValue::constant(4), false, 1);
+    EXPECT_NE(mbc.lookup(0, 8, false), nullptr);
+    EXPECT_EQ(mbc.lookup(1 * stride, 8, false), nullptr) << "LRU victim";
+    EXPECT_EQ(mbc.stats().evictions, 1u);
+}
+
+TEST_F(MbcFixture, FlushReleasesEverything)
+{
+    const auto p = iprf.alloc();
+    const auto f = fprf.alloc();
+    mbc.insert(0x6000, 8, SymbolicValue::expr(p), true, 1);
+    mbc.insert(0x6008, 8, SymbolicValue::expr(f, 0, 0, true), true, 1);
+    mbc.flush();
+    EXPECT_EQ(iprf.refCount(p), 1u);
+    EXPECT_EQ(fprf.refCount(f), 1u);
+    EXPECT_EQ(mbc.lookup(0x6000, 8, false), nullptr);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the symbolic value algebra and the reference-counted
+ * physical register file (including value-feedback timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/symbolic.hh"
+#include "src/pipeline/phys_reg_file.hh"
+
+using namespace conopt;
+using core::SymbolicValue;
+
+TEST(Symbolic, ConstantFolding)
+{
+    auto c = SymbolicValue::constant(40);
+    EXPECT_TRUE(c.isConst());
+    EXPECT_EQ(c.plusConst(2).value, 42u);
+    EXPECT_EQ(c.plusConst(uint64_t(-50)).value, uint64_t(-10));
+    auto s = c.shiftedLeft(4);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->value, 640u);
+}
+
+TEST(Symbolic, ExprOffsetAccumulation)
+{
+    auto e = SymbolicValue::expr(7);
+    EXPECT_TRUE(e.isPureAlias());
+    auto e1 = e.plusConst(5);
+    EXPECT_FALSE(e1.isPureAlias());
+    EXPECT_EQ(e1.base, 7);
+    EXPECT_EQ(e1.offset, 5u);
+    auto e2 = e1.plusConst(uint64_t(-8));
+    EXPECT_EQ(e2.offset, uint64_t(-3));
+    EXPECT_EQ(e2.evaluate(100), 97u);
+}
+
+TEST(Symbolic, ScaleFieldIsTwoBits)
+{
+    auto e = SymbolicValue::expr(3, 0, 10);
+    auto s1 = e.shiftedLeft(2);
+    ASSERT_TRUE(s1.has_value());
+    EXPECT_EQ(s1->scale, 2);
+    EXPECT_EQ(s1->offset, 40u);
+    EXPECT_EQ(s1->evaluate(5), (uint64_t(5) << 2) + 40);
+    auto s2 = s1->shiftedLeft(1);
+    ASSERT_TRUE(s2.has_value());
+    EXPECT_EQ(s2->scale, 3);
+    // A fourth shift overflows the 2-bit scale field (paper sec. 3.1).
+    EXPECT_FALSE(s2->shiftedLeft(1).has_value());
+    EXPECT_FALSE(e.shiftedLeft(4).has_value());
+}
+
+TEST(Symbolic, EvaluateMatchesHardwareForm)
+{
+    // (base << scale) + offset with 64-bit wrapping.
+    auto e = SymbolicValue::expr(1, 3, uint64_t(-16));
+    EXPECT_EQ(e.evaluate(4), 16u);
+    EXPECT_EQ(e.evaluate(0), uint64_t(-16));
+}
+
+TEST(Symbolic, FpAliasRestrictions)
+{
+    auto f = SymbolicValue::expr(9, 0, 0, /*is_fp=*/true);
+    EXPECT_TRUE(f.isPureAlias());
+    EXPECT_FALSE(f.shiftedLeft(1).has_value()) << "fp never reassociates";
+}
+
+TEST(Symbolic, ResolveViaValueFeedback)
+{
+    pipeline::PhysRegFile prf(8);
+    const auto p = prf.alloc();
+    prf.setOracle(p, 100);
+    prf.setVfbAt(p, 50);
+    auto e = SymbolicValue::expr(p, 1, 5);
+    EXPECT_FALSE(e.resolve(prf, 49).has_value())
+        << "value not yet transmitted";
+    auto v = e.resolve(prf, 50);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 205u);
+    EXPECT_EQ(*SymbolicValue::constant(9).resolve(prf, 0), 9u);
+}
+
+TEST(PhysRegFile, AllocAndFree)
+{
+    pipeline::PhysRegFile prf(4);
+    EXPECT_EQ(prf.freeCount(), 4u);
+    const auto a = prf.alloc();
+    const auto b = prf.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(prf.freeCount(), 2u);
+    prf.release(a);
+    EXPECT_EQ(prf.freeCount(), 3u);
+    EXPECT_FALSE(prf.isAllocated(a));
+    EXPECT_TRUE(prf.isAllocated(b));
+}
+
+TEST(PhysRegFile, ExhaustionReturnsInvalid)
+{
+    pipeline::PhysRegFile prf(2);
+    prf.alloc();
+    prf.alloc();
+    EXPECT_EQ(prf.alloc(), core::invalidPreg);
+}
+
+TEST(PhysRegFile, RefCountKeepsRegisterLive)
+{
+    pipeline::PhysRegFile prf(2);
+    const auto p = prf.alloc();
+    prf.addRef(p); // 2 refs
+    prf.release(p);
+    EXPECT_TRUE(prf.isAllocated(p)) << "still one reference";
+    prf.release(p);
+    EXPECT_FALSE(prf.isAllocated(p));
+}
+
+TEST(PhysRegFile, ReuseResetsState)
+{
+    pipeline::PhysRegFile prf(1);
+    const auto p = prf.alloc();
+    prf.setOracle(p, 7);
+    prf.setReadyAt(p, 10);
+    prf.setVfbAt(p, 11);
+    prf.release(p);
+    const auto q = prf.alloc();
+    EXPECT_EQ(q, p) << "single register must be recycled";
+    EXPECT_EQ(prf.readyAt(q), pipeline::PhysRegFile::never);
+    uint64_t v;
+    EXPECT_FALSE(prf.valueKnown(q, 1u << 30, v));
+}
+
+TEST(PhysRegFile, ValueFeedbackTiming)
+{
+    pipeline::PhysRegFile prf(2);
+    const auto p = prf.alloc();
+    prf.setOracle(p, 0xabcd);
+    prf.setVfbAt(p, 100);
+    uint64_t v = 0;
+    EXPECT_FALSE(prf.valueKnown(p, 99, v));
+    ASSERT_TRUE(prf.valueKnown(p, 100, v));
+    EXPECT_EQ(v, 0xabcdu);
+    EXPECT_TRUE(prf.valueKnown(p, 1000, v)) << "stays known while live";
+}
+
+TEST(PhysRegFile, ReadyTimingForIssue)
+{
+    pipeline::PhysRegFile prf(2);
+    const auto p = prf.alloc();
+    EXPECT_FALSE(prf.readyBy(p, 1u << 30));
+    prf.setReadyAt(p, 42);
+    EXPECT_FALSE(prf.readyBy(p, 41));
+    EXPECT_TRUE(prf.readyBy(p, 42));
+}

