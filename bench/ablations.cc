@@ -8,95 +8,95 @@
  *   - MBC capacity sweep (32 / 64 / 128 / 256 entries)
  *   - flush-on-unknown-store vs. speculate (the paper reports "little
  *     difference" between the two)
+ *
+ * All variants run as a single parallel sweep; every workload program
+ * is assembled once and shared across the ~12 configurations.
  */
 
 #include "bench/bench_common.hh"
 
 using namespace conopt;
 
-namespace {
-
-double
-suiteGeomean(const pipeline::MachineConfig &cfg,
-             const bench::CycleMap &base)
-{
-    std::vector<double> speedups;
-    for (const auto &w : workloads::allWorkloads()) {
-        const auto r = bench::runWorkload(w, cfg);
-        speedups.push_back(double(base.at(w.name)) /
-                           double(r.stats.cycles));
-    }
-    return bench::geomean(speedups);
-}
-
-} // namespace
-
 int
 main()
 {
-    const auto base = bench::runAll(pipeline::MachineConfig::baseline());
+    sim::SweepSpec spec;
+    spec.allWorkloads().config("base",
+                               pipeline::MachineConfig::baseline());
 
-    bench::header("Ablation: optimization families (all-workload geomean "
-                  "speedup)");
-    struct Variant
-    {
-        const char *name;
-        core::OptimizerConfig oc;
+    // Optimization families.
+    std::vector<std::string> family_cols;
+    const auto family = [&](const char *name, core::OptimizerConfig oc) {
+        spec.config(name, pipeline::MachineConfig::withOptimizer(oc));
+        family_cols.push_back(name);
     };
-    std::vector<Variant> variants;
-    variants.push_back({"full optimizer", core::OptimizerConfig::full()});
+    family("full optimizer", core::OptimizerConfig::full());
     {
         auto oc = core::OptimizerConfig::full();
         oc.enableRleSf = false;
-        variants.push_back({"without RLE/SF", oc});
+        family("without RLE/SF", oc);
     }
     {
         auto oc = core::OptimizerConfig::full();
         oc.enableValueFeedback = false;
-        variants.push_back({"without value feedback", oc});
+        family("without value feedback", oc);
     }
     {
         auto oc = core::OptimizerConfig::full();
         oc.enableBranchInference = false;
-        variants.push_back({"without branch inference", oc});
+        family("without branch inference", oc);
     }
     {
         auto oc = core::OptimizerConfig::full();
         oc.enableStrengthReduction = false;
-        variants.push_back({"without strength reduction", oc});
+        family("without strength reduction", oc);
     }
     {
         auto oc = core::OptimizerConfig::full();
         oc.enableMoveElim = false;
-        variants.push_back({"without move elimination", oc});
+        family("without move elimination", oc);
     }
-    variants.push_back(
-        {"feedback only", core::OptimizerConfig::feedbackOnly()});
+    family("feedback only", core::OptimizerConfig::feedbackOnly());
 
-    for (const auto &v : variants) {
-        const auto cfg = pipeline::MachineConfig::withOptimizer(v.oc);
-        std::printf("  %-28s %.3f\n", v.name, suiteGeomean(cfg, base));
-    }
-
-    bench::header("Ablation: Memory Bypass Cache capacity");
+    // MBC capacity.
+    std::vector<std::string> mbc_cols;
     for (unsigned entries : {32u, 64u, 128u, 256u}) {
         auto oc = core::OptimizerConfig::full();
         oc.mbc.entries = entries;
-        const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
-        std::printf("  %3u entries: %.3f\n", entries,
-                    suiteGeomean(cfg, base));
+        const std::string name = std::to_string(entries) + " entries";
+        spec.config(name, pipeline::MachineConfig::withOptimizer(oc));
+        mbc_cols.push_back(name);
     }
 
-    bench::header("Ablation: unknown-address store policy");
+    // Unknown-address store policy.
+    spec.config("speculate (default)",
+                pipeline::MachineConfig::optimized());
     {
-        const auto spec = pipeline::MachineConfig::optimized();
         auto oc = core::OptimizerConfig::full();
         oc.mbcFlushOnUnknownStore = true;
-        const auto flush = pipeline::MachineConfig::withOptimizer(oc);
-        std::printf("  speculate (default): %.3f\n",
-                    suiteGeomean(spec, base));
-        std::printf("  flush MBC:           %.3f\n",
-                    suiteGeomean(flush, base));
+        spec.config("flush MBC",
+                    pipeline::MachineConfig::withOptimizer(oc));
     }
+
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
+
+    const auto table = [&](const char *title,
+                           std::vector<std::string> cols,
+                           unsigned width) {
+        sim::TableOptions t;
+        t.title = title;
+        t.baselineConfig = "base";
+        t.configs = std::move(cols);
+        t.rows = sim::TableOptions::Rows::AllWorkloads;
+        t.colWidth = width;
+        sim::TableReporter(t).print(res);
+    };
+    table("Ablation: optimization families (all-workload geomean "
+          "speedup)",
+          family_cols, 28);
+    table("Ablation: Memory Bypass Cache capacity", mbc_cols, 12);
+    table("Ablation: unknown-address store policy",
+          {"speculate (default)", "flush MBC"}, 20);
     return 0;
 }

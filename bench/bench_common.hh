@@ -1,92 +1,35 @@
 /**
  * @file
- * Shared helpers for the evaluation harness. Every table/figure binary
- * prints the same rows/series the paper reports, using these utilities.
+ * Shared glue for the evaluation harness. Every table/figure binary
+ * expresses its experiment as a SweepSpec, runs it through the parallel
+ * SweepRunner, and formats the SweepResult with a reporter — the
+ * workload-running, scaling, and aggregation helpers that used to live
+ * here are now the sweep subsystem (src/sim/sweep.hh, src/sim/report.hh)
+ * and the pipeline aggregation header (src/pipeline/stats_aggregate.hh).
  *
- * The environment variable CONOPT_SCALE (default 1) multiplies every
- * workload's iteration scale, letting the harness trade runtime for
- * statistical weight.
+ * The environment variables CONOPT_SCALE (default 1) and
+ * CONOPT_THREADS (default: hardware concurrency) are honoured by the
+ * sweep subsystem itself (sim::envScale() / sim::envThreads()).
  */
 
 #ifndef CONOPT_BENCH_BENCH_COMMON_HH
 #define CONOPT_BENCH_BENCH_COMMON_HH
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <string>
-#include <vector>
 
 #include "src/pipeline/machine_config.hh"
-#include "src/sim/simulator.hh"
+#include "src/pipeline/stats_aggregate.hh"
+#include "src/sim/report.hh"
+#include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 namespace conopt::bench {
-
-/** Workload scale multiplier from the environment (default 1). */
-inline unsigned
-envScale()
-{
-    if (const char *s = std::getenv("CONOPT_SCALE")) {
-        const long v = std::strtol(s, nullptr, 10);
-        if (v >= 1)
-            return unsigned(v);
-    }
-    return 1;
-}
-
-/** Run one workload under one machine configuration. */
-inline sim::SimResult
-runWorkload(const workloads::Workload &w,
-            const pipeline::MachineConfig &config)
-{
-    const auto program = w.build(w.defaultScale * envScale());
-    return sim::simulate(program, config);
-}
-
-/** Geometric mean of a vector of ratios. */
-inline double
-geomean(const std::vector<double> &v)
-{
-    if (v.empty())
-        return 0.0;
-    double log_sum = 0.0;
-    for (double x : v)
-        log_sum += std::log(x);
-    return std::exp(log_sum / double(v.size()));
-}
-
-/** Arithmetic mean. */
-inline double
-mean(const std::vector<double> &v)
-{
-    if (v.empty())
-        return 0.0;
-    double s = 0.0;
-    for (double x : v)
-        s += x;
-    return s / double(v.size());
-}
-
-/** Per-benchmark cycle counts for a given config, keyed by name. */
-using CycleMap = std::map<std::string, uint64_t>;
-
-/** Simulate every workload under @p config; returns name -> cycles. */
-inline CycleMap
-runAll(const pipeline::MachineConfig &config)
-{
-    CycleMap cycles;
-    for (const auto &w : workloads::allWorkloads())
-        cycles[w.name] = runWorkload(w, config).stats.cycles;
-    return cycles;
-}
 
 /** Print a section header. */
 inline void
 header(const char *title)
 {
-    std::printf("\n=== %s ===\n", title);
+    sim::printHeader(title);
 }
 
 } // namespace conopt::bench

@@ -31,35 +31,24 @@ main()
         {"depth 3", 3, false},
         {"depth 3 & 1 mem", 3, true},
     };
-    const auto base_cfg = pipeline::MachineConfig::baseline();
 
-    bench::header("Figure 10: Intra-bundle dependence depth");
-    std::printf("%-12s", "Suite");
-    for (const auto &v : variants)
-        std::printf(" %18s", v.name);
-    std::printf("\n");
-
-    for (const auto &suite : workloads::suiteNames()) {
-        // Baseline cycles.
-        std::vector<std::pair<const workloads::Workload *, uint64_t>> base;
-        for (const auto *w : workloads::suiteWorkloads(suite))
-            base.emplace_back(w, bench::runWorkload(*w, base_cfg)
-                                     .stats.cycles);
-        std::printf("%-12s", suite.c_str());
-        for (const auto &v : variants) {
-            auto oc = core::OptimizerConfig::full();
-            oc.addChainDepth = v.depth;
-            oc.allowChainedMem = v.chained_mem;
-            const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
-            std::vector<double> speedups;
-            for (const auto &[w, base_cycles] : base) {
-                const auto r = bench::runWorkload(*w, cfg);
-                speedups.push_back(double(base_cycles) /
-                                   double(r.stats.cycles));
-            }
-            std::printf(" %18.3f", bench::geomean(speedups));
-        }
-        std::printf("\n");
+    sim::SweepSpec spec;
+    spec.allWorkloads().config("base",
+                               pipeline::MachineConfig::baseline());
+    sim::TableOptions t;
+    t.title = "Figure 10: Intra-bundle dependence depth";
+    t.baselineConfig = "base";
+    for (const auto &v : variants) {
+        auto oc = core::OptimizerConfig::full();
+        oc.addChainDepth = v.depth;
+        oc.allowChainedMem = v.chained_mem;
+        spec.config(v.name, pipeline::MachineConfig::withOptimizer(oc));
+        t.configs.push_back(v.name);
     }
+
+    sim::SweepRunner runner;
+    t.rows = sim::TableOptions::Rows::PerSuite;
+    t.colWidth = 18;
+    sim::TableReporter(t).print(runner.run(spec));
     return 0;
 }

@@ -15,37 +15,24 @@ using namespace conopt;
 int
 main()
 {
-    const std::vector<unsigned> delays = {0, 2, 4};
-    const auto base_cfg = pipeline::MachineConfig::baseline();
-
-    bench::header("Figure 11: Optimizer latency sensitivity");
-    std::printf("%-12s %12s %20s %12s\n", "Suite", "delay 0",
-                "delay 2 (default)", "delay 4");
-    for (const auto &suite : workloads::suiteNames()) {
-        std::vector<std::pair<const workloads::Workload *, uint64_t>> base;
-        for (const auto *w : workloads::suiteWorkloads(suite))
-            base.emplace_back(w, bench::runWorkload(*w, base_cfg)
-                                     .stats.cycles);
-        std::printf("%-12s", suite.c_str());
-        for (unsigned d : delays) {
-            auto oc = core::OptimizerConfig::full();
-            oc.extraStages = d;
-            const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
-            std::vector<double> speedups;
-            for (const auto &[w, base_cycles] : base) {
-                const auto r = bench::runWorkload(*w, cfg);
-                speedups.push_back(double(base_cycles) /
-                                   double(r.stats.cycles));
-            }
-            const double g = bench::geomean(speedups);
-            if (d == 0)
-                std::printf(" %12.3f", g);
-            else if (d == 2)
-                std::printf(" %20.3f", g);
-            else
-                std::printf(" %12.3f", g);
-        }
-        std::printf("\n");
+    sim::SweepSpec spec;
+    spec.allWorkloads().config("base",
+                               pipeline::MachineConfig::baseline());
+    sim::TableOptions t;
+    t.title = "Figure 11: Optimizer latency sensitivity";
+    t.baselineConfig = "base";
+    for (unsigned d : {0u, 2u, 4u}) {
+        auto oc = core::OptimizerConfig::full();
+        oc.extraStages = d;
+        const std::string name =
+            "delay " + std::to_string(d) + (d == 2 ? " (default)" : "");
+        spec.config(name, pipeline::MachineConfig::withOptimizer(oc));
+        t.configs.push_back(name);
     }
+
+    sim::SweepRunner runner;
+    t.rows = sim::TableOptions::Rows::PerSuite;
+    t.colWidth = 18;
+    sim::TableReporter(t).print(runner.run(spec));
     return 0;
 }

@@ -16,30 +16,23 @@ using namespace conopt;
 int
 main()
 {
-    const std::vector<unsigned> delays = {0, 1, 5, 10};
-    const auto base_cfg = pipeline::MachineConfig::baseline();
-
-    bench::header("Figure 12: Value-feedback transmission delay");
-    std::printf("%-12s %10s %10s %10s %10s\n", "Suite", "delay 0",
-                "delay 1", "delay 5", "delay 10");
-    for (const auto &suite : workloads::suiteNames()) {
-        std::vector<std::pair<const workloads::Workload *, uint64_t>> base;
-        for (const auto *w : workloads::suiteWorkloads(suite))
-            base.emplace_back(w, bench::runWorkload(*w, base_cfg)
-                                     .stats.cycles);
-        std::printf("%-12s", suite.c_str());
-        for (unsigned d : delays) {
-            auto cfg = pipeline::MachineConfig::optimized();
-            cfg.vfbDelay = d;
-            std::vector<double> speedups;
-            for (const auto &[w, base_cycles] : base) {
-                const auto r = bench::runWorkload(*w, cfg);
-                speedups.push_back(double(base_cycles) /
-                                   double(r.stats.cycles));
-            }
-            std::printf(" %10.3f", bench::geomean(speedups));
-        }
-        std::printf("\n");
+    sim::SweepSpec spec;
+    spec.allWorkloads().config("base",
+                               pipeline::MachineConfig::baseline());
+    sim::TableOptions t;
+    t.title = "Figure 12: Value-feedback transmission delay";
+    t.baselineConfig = "base";
+    for (unsigned d : {0u, 1u, 5u, 10u}) {
+        auto cfg = pipeline::MachineConfig::optimized();
+        cfg.vfbDelay = d;
+        const std::string name = "delay " + std::to_string(d);
+        spec.config(name, cfg);
+        t.configs.push_back(name);
     }
+
+    sim::SweepRunner runner;
+    t.rows = sim::TableOptions::Rows::PerSuite;
+    t.colWidth = 10;
+    sim::TableReporter(t).print(runner.run(spec));
     return 0;
 }

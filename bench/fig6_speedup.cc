@@ -6,8 +6,8 @@
  *
  * Paper-reported shape: speedups range from 0.98 to 1.28; almost every
  * benchmark improves despite the two extra pipeline stages; mcf and
- * untoast stand out in their suites; ammp shows 1.00; mediabench has the
- * largest overall improvement.
+ * untoast stand out in their suites; mediabench has the largest overall
+ * improvement.
  */
 
 #include "bench/bench_common.hh"
@@ -17,27 +17,20 @@ using namespace conopt;
 int
 main()
 {
-    const auto base_cfg = pipeline::MachineConfig::baseline();
-    const auto opt_cfg = pipeline::MachineConfig::optimized();
+    sim::SweepSpec spec;
+    spec.allWorkloads()
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("opt", pipeline::MachineConfig::optimized());
 
-    bench::header("Figure 6: Speedup of continuous optimization over "
-                  "baseline");
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
 
-    for (const auto &suite : workloads::suiteNames()) {
-        std::printf("\n[%s]\n", suite.c_str());
-        std::vector<double> speedups;
-        for (const auto *w : workloads::suiteWorkloads(suite)) {
-            const auto program = w->build(w->defaultScale *
-                                          bench::envScale());
-            const auto base = sim::simulate(program, base_cfg);
-            const auto opt = sim::simulate(program, opt_cfg);
-            const double s =
-                double(base.stats.cycles) / double(opt.stats.cycles);
-            speedups.push_back(s);
-            std::printf("  %-7s %.3f\n", w->name.c_str(), s);
-        }
-        std::printf("  %-7s %.3f (geometric mean)\n", "avg",
-                    bench::geomean(speedups));
-    }
+    sim::TableOptions t;
+    t.title = "Figure 6: Speedup of continuous optimization over baseline";
+    t.baselineConfig = "base";
+    t.configs = {"opt"};
+    t.rows = sim::TableOptions::Rows::PerWorkloadBySuite;
+    t.colWidth = 6;
+    sim::TableReporter(t).print(res);
     return 0;
 }

@@ -23,38 +23,27 @@ using namespace conopt;
 int
 main()
 {
-    struct Model
-    {
-        const char *name;
-        pipeline::MachineConfig config;
-    };
-    const std::vector<Model> models = {
-        {"fetch bound", pipeline::MachineConfig::fetchBound(false)},
-        {"fetch bound + opt", pipeline::MachineConfig::fetchBound(true)},
-        {"opt", pipeline::MachineConfig::optimized()},
-        {"exec. bound", pipeline::MachineConfig::execBound(false)},
-        {"exec. bound + opt", pipeline::MachineConfig::execBound(true)},
-    };
-    const auto base_cfg = pipeline::MachineConfig::baseline();
+    sim::SweepSpec spec;
+    spec.allWorkloads()
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("fetch bound", pipeline::MachineConfig::fetchBound(false))
+        .config("fetch bound + opt",
+                pipeline::MachineConfig::fetchBound(true))
+        .config("opt", pipeline::MachineConfig::optimized())
+        .config("exec. bound", pipeline::MachineConfig::execBound(false))
+        .config("exec. bound + opt",
+                pipeline::MachineConfig::execBound(true));
 
-    bench::header("Figure 8: Performance relative to the default machine");
-    for (const auto &suite : workloads::suiteNames()) {
-        std::printf("\n[%s]\n", suite.c_str());
-        // Baseline cycles per workload.
-        std::vector<std::pair<const workloads::Workload *, uint64_t>> base;
-        for (const auto *w : workloads::suiteWorkloads(suite))
-            base.emplace_back(w, bench::runWorkload(*w, base_cfg)
-                                     .stats.cycles);
-        for (const auto &m : models) {
-            std::vector<double> speedups;
-            for (const auto &[w, base_cycles] : base) {
-                const auto r = bench::runWorkload(*w, m.config);
-                speedups.push_back(double(base_cycles) /
-                                   double(r.stats.cycles));
-            }
-            std::printf("  %-18s %.3f\n", m.name,
-                        bench::geomean(speedups));
-        }
-    }
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
+
+    sim::TableOptions t;
+    t.title = "Figure 8: Performance relative to the default machine";
+    t.baselineConfig = "base";
+    t.configs = {"fetch bound", "fetch bound + opt", "opt", "exec. bound",
+                 "exec. bound + opt"};
+    t.rows = sim::TableOptions::Rows::PerSuite;
+    t.colWidth = 18;
+    sim::TableReporter(t).print(res);
     return 0;
 }

@@ -16,30 +16,22 @@ using namespace conopt;
 int
 main()
 {
-    const auto base_cfg = pipeline::MachineConfig::baseline();
-    const auto fb_cfg = pipeline::MachineConfig::withOptimizer(
-        core::OptimizerConfig::feedbackOnly());
-    const auto full_cfg = pipeline::MachineConfig::optimized();
+    sim::SweepSpec spec;
+    spec.allWorkloads()
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("feedback", pipeline::MachineConfig::withOptimizer(
+                                core::OptimizerConfig::feedbackOnly()))
+        .config("feedback+opt", pipeline::MachineConfig::optimized());
 
-    bench::header("Figure 9: Continuous optimization vs. value feedback");
-    std::printf("%-12s %12s %16s\n", "Suite", "feedback",
-                "feedback+opt");
-    for (const auto &suite : workloads::suiteNames()) {
-        std::vector<double> fb, full;
-        for (const auto *w : workloads::suiteWorkloads(suite)) {
-            const auto program = w->build(w->defaultScale *
-                                          bench::envScale());
-            const uint64_t base =
-                sim::simulate(program, base_cfg).stats.cycles;
-            fb.push_back(double(base) /
-                         double(sim::simulate(program, fb_cfg)
-                                    .stats.cycles));
-            full.push_back(double(base) /
-                           double(sim::simulate(program, full_cfg)
-                                      .stats.cycles));
-        }
-        std::printf("%-12s %12.3f %16.3f\n", suite.c_str(),
-                    bench::geomean(fb), bench::geomean(full));
-    }
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
+
+    sim::TableOptions t;
+    t.title = "Figure 9: Continuous optimization vs. value feedback";
+    t.baselineConfig = "base";
+    t.configs = {"feedback", "feedback+opt"};
+    t.rows = sim::TableOptions::Rows::PerSuite;
+    t.colWidth = 14;
+    sim::TableReporter(t).print(res);
     return 0;
 }

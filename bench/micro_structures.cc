@@ -16,6 +16,7 @@
 #include "src/core/optimizer.hh"
 #include "src/pipeline/ooo_core.hh"
 #include "src/pipeline/phys_reg_file.hh"
+#include "src/sim/sweep.hh"
 #include "src/util/rng.hh"
 #include "src/workloads/workload.hh"
 
@@ -89,14 +90,14 @@ BENCHMARK(BM_CacheHierarchy);
 void
 BM_SimulationRate(benchmark::State &state)
 {
-    const auto &w = workloads::workloadByName("untst");
-    const auto program = w.build(1);
+    sim::ProgramCache cache;
+    const auto program = cache.get("untst", 1);
     const auto cfg = state.range(0)
                          ? pipeline::MachineConfig::optimized()
                          : pipeline::MachineConfig::baseline();
     uint64_t insts = 0;
     for (auto _ : state) {
-        arch::Emulator emu(program);
+        arch::Emulator emu(*program);
         pipeline::OooCore core(cfg, emu);
         core.run();
         insts += emu.instCount();
@@ -105,6 +106,34 @@ BM_SimulationRate(benchmark::State &state)
         double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulationRate)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** SweepRunner engine overhead and scaling: a small workload x config
+ *  cross product at 1..N worker threads (Arg = thread count). */
+void
+BM_SweepEngine(benchmark::State &state)
+{
+    sim::ProgramCache cache;
+    sim::SweepOptions opts;
+    opts.threads = unsigned(state.range(0));
+    opts.cache = &cache;
+
+    sim::SweepSpec spec;
+    spec.workloads({"untst", "g721d"})
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("opt", pipeline::MachineConfig::optimized());
+
+    uint64_t jobs = 0;
+    for (auto _ : state) {
+        sim::SweepRunner runner(opts);
+        const auto res = runner.run(spec);
+        jobs += res.size();
+        benchmark::DoNotOptimize(res.all().data());
+    }
+    state.counters["jobs/s"] =
+        benchmark::Counter(double(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepEngine)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

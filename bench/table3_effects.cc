@@ -17,33 +17,14 @@ using namespace conopt;
 int
 main()
 {
-    const auto opt_cfg = pipeline::MachineConfig::optimized();
+    sim::SweepSpec spec;
+    spec.allWorkloads().config("opt",
+                               pipeline::MachineConfig::optimized());
+
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
 
     bench::header("Table 3: Effects of continuous optimization");
-    std::printf("%-12s %12s %18s %16s %12s\n", "Benchmark", "exec. early",
-                "recov. mispred.", "ld/st addr. gen", "lds removed");
-
-    std::vector<double> all_early, all_recov, all_addr, all_lds;
-    for (const auto &suite : workloads::suiteNames()) {
-        std::vector<double> early, recov, addr, lds;
-        for (const auto *w : workloads::suiteWorkloads(suite)) {
-            const auto r = bench::runWorkload(*w, opt_cfg);
-            early.push_back(r.stats.execEarlyFrac());
-            recov.push_back(r.stats.recoveredMispredFrac());
-            addr.push_back(r.stats.addrGenFrac());
-            lds.push_back(r.stats.loadsRemovedFrac());
-        }
-        std::printf("%-12s %11.1f%% %17.1f%% %15.1f%% %11.1f%%\n",
-                    suite.c_str(), 100 * bench::mean(early),
-                    100 * bench::mean(recov), 100 * bench::mean(addr),
-                    100 * bench::mean(lds));
-        all_early.insert(all_early.end(), early.begin(), early.end());
-        all_recov.insert(all_recov.end(), recov.begin(), recov.end());
-        all_addr.insert(all_addr.end(), addr.begin(), addr.end());
-        all_lds.insert(all_lds.end(), lds.begin(), lds.end());
-    }
-    std::printf("%-12s %11.1f%% %17.1f%% %15.1f%% %11.1f%%\n", "avg",
-                100 * bench::mean(all_early), 100 * bench::mean(all_recov),
-                100 * bench::mean(all_addr), 100 * bench::mean(all_lds));
+    sim::EffectsReporter("opt").print(res);
     return 0;
 }

@@ -5,13 +5,18 @@
  * workload (the paper's sensitivity studies, sections 6.2-6.4, on a
  * single benchmark instead of suite averages).
  *
+ * Every variant is one declarative job; the whole exploration runs as a
+ * single parallel sweep that assembles the workload program exactly
+ * once.
+ *
  * Usage: config_explorer [workload-name]   (default: mcf)
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 using namespace conopt;
@@ -21,48 +26,74 @@ main(int argc, char **argv)
 {
     const std::string name = argc > 1 ? argv[1] : "mcf";
     const auto &w = workloads::workloadByName(name);
-    const auto program = w.build(w.defaultScale);
 
-    const auto base =
-        sim::simulate(program, pipeline::MachineConfig::baseline());
-    std::printf("config explorer: %s (%s)\n", w.name.c_str(),
-                w.fullName.c_str());
-    std::printf("baseline: %s\n", base.stats.summary().c_str());
+    sim::SweepSpec spec;
+    spec.workload(name).scale(w.defaultScale);
+    spec.config("base", pipeline::MachineConfig::baseline());
 
-    auto speedup_of = [&](const pipeline::MachineConfig &cfg) {
-        const auto r = sim::simulate(program, cfg);
-        return double(base.stats.cycles) / double(r.stats.cycles);
-    };
-
-    std::printf("\noptimizer latency (fig. 11):\n");
+    std::vector<std::pair<unsigned, std::string>> latency_cols;
     for (unsigned stages : {0u, 2u, 4u, 6u}) {
         auto oc = core::OptimizerConfig::full();
         oc.extraStages = stages;
-        std::printf("  %u extra stages: %.3f\n", stages,
-                    speedup_of(pipeline::MachineConfig::withOptimizer(
-                        oc)));
+        const std::string cfg = "stages " + std::to_string(stages);
+        spec.config(cfg, pipeline::MachineConfig::withOptimizer(oc));
+        latency_cols.emplace_back(stages, cfg);
     }
 
-    std::printf("\nintra-bundle depth (fig. 10):\n");
+    std::vector<std::pair<unsigned, std::string>> depth_cols;
     for (unsigned depth : {0u, 1u, 3u}) {
         auto oc = core::OptimizerConfig::full();
         oc.addChainDepth = depth;
-        std::printf("  depth %u: %.3f\n", depth,
-                    speedup_of(pipeline::MachineConfig::withOptimizer(
-                        oc)));
+        const std::string cfg = "depth " + std::to_string(depth);
+        spec.config(cfg, pipeline::MachineConfig::withOptimizer(oc));
+        depth_cols.emplace_back(depth, cfg);
     }
 
-    std::printf("\nvalue-feedback delay (fig. 12):\n");
+    std::vector<std::pair<unsigned, std::string>> vfb_cols;
     for (unsigned d : {0u, 1u, 5u, 10u}) {
         auto cfg = pipeline::MachineConfig::optimized();
         cfg.vfbDelay = d;
-        std::printf("  delay %u: %.3f\n", d, speedup_of(cfg));
+        const std::string label = "vfb " + std::to_string(d);
+        spec.config(label, cfg);
+        vfb_cols.emplace_back(d, label);
     }
+
+    spec.config("fetch-bound + opt",
+                pipeline::MachineConfig::fetchBound(true));
+    spec.config("exec-bound + opt",
+                pipeline::MachineConfig::execBound(true));
+
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
+
+    const auto speedup = [&](const std::string &cfg) {
+        return res.speedupOf(name, cfg, "base");
+    };
+
+    std::printf("config explorer: %s (%s)\n", w.name.c_str(),
+                w.fullName.c_str());
+    std::printf("baseline: %s\n",
+                res.at(sim::SweepSpec::labelFor(name, "base"))
+                    .sim.stats.summary()
+                    .c_str());
+
+    std::printf("\noptimizer latency (fig. 11):\n");
+    for (const auto &[stages, cfg] : latency_cols)
+        std::printf("  %u extra stages: %.3f\n", stages,
+                    speedup(cfg));
+
+    std::printf("\nintra-bundle depth (fig. 10):\n");
+    for (const auto &[depth, cfg] : depth_cols)
+        std::printf("  depth %u: %.3f\n", depth, speedup(cfg));
+
+    std::printf("\nvalue-feedback delay (fig. 12):\n");
+    for (const auto &[d, cfg] : vfb_cols)
+        std::printf("  delay %u: %.3f\n", d, speedup(cfg));
 
     std::printf("\nmachine balance (fig. 8):\n");
     std::printf("  fetch-bound + opt: %.3f\n",
-                speedup_of(pipeline::MachineConfig::fetchBound(true)));
+                speedup("fetch-bound + opt"));
     std::printf("  exec-bound + opt:  %.3f\n",
-                speedup_of(pipeline::MachineConfig::execBound(true)));
+                speedup("exec-bound + opt"));
     return 0;
 }

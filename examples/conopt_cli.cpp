@@ -2,7 +2,8 @@
  * @file
  * Command-line simulator driver: run any Table 1 workload under any
  * machine/optimizer configuration and print the full statistics. The
- * tool a downstream user reaches for first.
+ * tool a downstream user reaches for first. All runs execute as one
+ * parallel sweep through the SweepRunner.
  *
  * Usage:
  *   conopt_sim [options] <workload>|all
@@ -20,15 +21,20 @@
  *   --no-rlesf | --no-feedback | --no-inference | --no-strength
  *   --no-moveelim | --feedback-only
  *   --fetch-bound | --exec-bound
+ *   --threads N           sweep worker threads (default: hardware)
+ *   --csv | --json        machine-readable output instead of the
+ *                         per-workload statistics blocks
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/report.hh"
+#include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 using namespace conopt;
@@ -43,6 +49,9 @@ struct Options
     bool fetch_bound = false;
     bool exec_bound = false;
     unsigned vfb_delay = 1;
+    unsigned threads = 0;
+    bool csv = false;
+    bool json = false;
     core::OptimizerConfig oc = core::OptimizerConfig::full();
     std::vector<std::string> workloads;
 };
@@ -106,6 +115,12 @@ parse(int argc, char **argv)
             o.fetch_bound = true;
         } else if (a == "--exec-bound") {
             o.exec_bound = true;
+        } else if (a == "--threads") {
+            next_uint(o.threads);
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--json") {
+            o.json = true;
         } else if (a == "all") {
             for (const auto &w : workloads::allWorkloads())
                 o.workloads.push_back(w.name);
@@ -136,46 +151,6 @@ machineFor(const Options &o, bool with_opt)
     return cfg;
 }
 
-void
-printStats(const sim::SimResult &r)
-{
-    const auto &s = r.stats;
-    std::printf("  instructions        %llu\n",
-                static_cast<unsigned long long>(r.instructions));
-    std::printf("  cycles              %llu\n",
-                static_cast<unsigned long long>(s.cycles));
-    std::printf("  IPC                 %.3f\n", s.ipc());
-    std::printf("  branches            %llu (mispredicted %llu, "
-                "resteers %llu)\n",
-                static_cast<unsigned long long>(s.branches),
-                static_cast<unsigned long long>(s.mispredicted),
-                static_cast<unsigned long long>(s.btbResteers));
-    std::printf("  loads / stores      %llu / %llu (DL1 miss %llu, "
-                "LSQ fwd %llu)\n",
-                static_cast<unsigned long long>(s.loads),
-                static_cast<unsigned long long>(s.stores),
-                static_cast<unsigned long long>(s.dl1Misses),
-                static_cast<unsigned long long>(s.loadsForwardedFromStoreQ));
-    std::printf("  exec early          %.1f%%\n",
-                100 * s.execEarlyFrac());
-    std::printf("  recov. mispred.     %.1f%%\n",
-                100 * s.recoveredMispredFrac());
-    std::printf("  ld/st addr gen      %.1f%%\n", 100 * s.addrGenFrac());
-    std::printf("  loads removed       %.1f%% (synthesized %llu, "
-                "misspec %llu)\n",
-                100 * s.loadsRemovedFrac(),
-                static_cast<unsigned long long>(s.opt.loadsSynthesized),
-                static_cast<unsigned long long>(s.opt.mbcMisspecs));
-    std::printf("  moves eliminated    %llu\n",
-                static_cast<unsigned long long>(s.opt.movesEliminated));
-    std::printf("  stall cycles        mispred %llu, icache %llu, "
-                "sched %llu, rob %llu\n",
-                static_cast<unsigned long long>(s.fetchStallMispredict),
-                static_cast<unsigned long long>(s.fetchStallIcache),
-                static_cast<unsigned long long>(s.dispatchStallSched),
-                static_cast<unsigned long long>(s.renameStallRob));
-}
-
 } // namespace
 
 int
@@ -183,27 +158,54 @@ main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
 
+    // One sweep covers every requested (workload, machine) pair. A
+    // workload listed twice is simulated once and reported each time
+    // it appears.
+    std::vector<std::string> unique_workloads;
+    for (const auto &name : o.workloads) {
+        if (std::find(unique_workloads.begin(), unique_workloads.end(),
+                      name) == unique_workloads.end())
+            unique_workloads.push_back(name);
+    }
+    sim::SweepSpec spec;
+    spec.workloads(unique_workloads).scale(o.scale);
+    if (o.compare || !o.baseline)
+        spec.config("optimized", machineFor(o, true));
+    if (o.compare || o.baseline)
+        spec.config("baseline", machineFor(o, false));
+
+    sim::SweepRunner runner({o.threads, nullptr});
+    const auto res = runner.run(spec);
+
+    if (o.csv) {
+        sim::CsvReporter().print(res);
+        return 0;
+    }
+    if (o.json) {
+        sim::JsonReporter().print(res);
+        return 0;
+    }
+
     for (const auto &name : o.workloads) {
         const auto &w = workloads::workloadByName(name);
-        const auto program = w.build(w.defaultScale * o.scale);
         std::printf("== %s (%s, %s) ==\n", w.name.c_str(),
                     w.fullName.c_str(), w.suite.c_str());
-
         if (o.compare) {
-            const auto base =
-                sim::simulate(program, machineFor(o, false));
-            const auto opt = sim::simulate(program, machineFor(o, true));
             std::printf("baseline:\n");
-            printStats(base);
+            sim::DetailReporter::reportJob(
+                res.at(sim::SweepSpec::labelFor(name, "baseline")),
+                stdout);
             std::printf("optimized:\n");
-            printStats(opt);
+            sim::DetailReporter::reportJob(
+                res.at(sim::SweepSpec::labelFor(name, "optimized")),
+                stdout);
             std::printf("speedup               %.3f\n\n",
-                        double(base.stats.cycles) /
-                            double(opt.stats.cycles));
+                        res.speedupOf(name, "optimized", "baseline"));
         } else {
-            const auto r =
-                sim::simulate(program, machineFor(o, !o.baseline));
-            printStats(r);
+            sim::DetailReporter::reportJob(
+                res.at(sim::SweepSpec::labelFor(
+                    name, o.baseline ? "baseline" : "optimized")),
+                stdout);
             std::printf("\n");
         }
     }

@@ -8,60 +8,58 @@
  * eliminated, and many of the simple instructions involved in the
  * computation are performed in the optimizer."
  *
- * This example shows the kernel's per-feature breakdown: the full
+ * This example shows the kernel's per-feature breakdown -- the full
  * optimizer, then RLE/SF disabled (the dominant contributor here), then
- * feedback only.
+ * feedback only -- all run as one parallel sweep.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 using namespace conopt;
-
-namespace {
-
-void
-report(const char *name, const sim::SimResult &base,
-       const sim::SimResult &r)
-{
-    std::printf("%-22s speedup=%.3f early=%5.1f%% lds-removed=%5.1f%% "
-                "addr-gen=%5.1f%%\n",
-                name, double(base.stats.cycles) / double(r.stats.cycles),
-                100.0 * r.stats.execEarlyFrac(),
-                100.0 * r.stats.loadsRemovedFrac(),
-                100.0 * r.stats.addrGenFrac());
-}
-
-} // namespace
 
 int
 main()
 {
     const auto &w = workloads::workloadByName("untst");
-    const auto program = w.build(w.defaultScale);
 
-    const auto base =
-        sim::simulate(program, pipeline::MachineConfig::baseline());
-    std::printf("untoast case study: Short_term_synthesis_filtering\n");
-    std::printf("---------------------------------------------------\n");
-    std::printf("baseline: %s\n\n", base.stats.summary().c_str());
-
-    report("full optimizer", base,
-           sim::simulate(program, pipeline::MachineConfig::optimized()));
-
+    sim::SweepSpec spec;
+    spec.workload("untst").scale(w.defaultScale);
+    spec.config("base", pipeline::MachineConfig::baseline());
+    spec.config("full optimizer", pipeline::MachineConfig::optimized());
     auto no_rlesf = core::OptimizerConfig::full();
     no_rlesf.enableRleSf = false;
-    report("without RLE/SF", base,
-           sim::simulate(program,
-                         pipeline::MachineConfig::withOptimizer(
-                             no_rlesf)));
+    spec.config("without RLE/SF",
+                pipeline::MachineConfig::withOptimizer(no_rlesf));
+    spec.config("feedback only",
+                pipeline::MachineConfig::withOptimizer(
+                    core::OptimizerConfig::feedbackOnly()));
 
-    report("feedback only", base,
-           sim::simulate(program,
-                         pipeline::MachineConfig::withOptimizer(
-                             core::OptimizerConfig::feedbackOnly())));
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
+
+    std::printf("untoast case study: Short_term_synthesis_filtering\n");
+    std::printf("---------------------------------------------------\n");
+    std::printf("baseline: %s\n\n",
+                res.at(sim::SweepSpec::labelFor("untst", "base"))
+                    .sim.stats.summary()
+                    .c_str());
+
+    for (const char *cfg :
+         {"full optimizer", "without RLE/SF", "feedback only"}) {
+        const auto &r =
+            res.at(sim::SweepSpec::labelFor("untst", cfg));
+        std::printf("%-22s speedup=%.3f early=%5.1f%% "
+                    "lds-removed=%5.1f%% addr-gen=%5.1f%%\n",
+                    cfg, res.speedupOf("untst", cfg, "base"),
+                    100.0 * r.sim.stats.execEarlyFrac(),
+                    100.0 * r.sim.stats.loadsRemovedFrac(),
+                    100.0 * r.sim.stats.addrGenFrac());
+    }
 
     std::printf("\nThe rrp[8]/v[9] arrays live permanently in the MBC, so\n"
                 "nearly every filter load is eliminated; disabling RLE/SF\n"

@@ -9,13 +9,16 @@
  * are eliminated, and the simple instructions dependent on these load
  * operations are executed in the optimizer."
  *
- * This example runs the mcf kernel and sweeps the MBC capacity to show
- * exactly that thrash-to-fit transition.
+ * This example runs the mcf kernel and sweeps the MBC capacity -- as one
+ * parallel SweepRunner sweep -- to show exactly that thrash-to-fit
+ * transition.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 using namespace conopt;
@@ -24,30 +27,43 @@ int
 main()
 {
     const auto &w = workloads::workloadByName("mcf");
-    const auto program = w.build(w.defaultScale);
+    const std::vector<unsigned> capacities = {16, 32, 64, 128, 256, 512};
 
-    const auto base_cfg = pipeline::MachineConfig::baseline();
-    const auto base = sim::simulate(program, base_cfg);
+    sim::SweepSpec spec;
+    spec.workload("mcf").scale(w.defaultScale);
+    spec.config("base", pipeline::MachineConfig::baseline());
+    for (unsigned entries : capacities) {
+        auto oc = core::OptimizerConfig::full();
+        oc.mbc.entries = entries;
+        spec.config(std::to_string(entries),
+                    pipeline::MachineConfig::withOptimizer(oc));
+    }
+
+    sim::SweepRunner runner;
+    const auto res = runner.run(spec);
 
     std::printf("mcf case study: network simplex + sort_basket\n");
     std::printf("----------------------------------------------\n");
-    std::printf("baseline: %s\n\n", base.stats.summary().c_str());
+    std::printf("baseline: %s\n\n",
+                res.at(sim::SweepSpec::labelFor("mcf", "base"))
+                    .sim.stats.summary()
+                    .c_str());
 
     std::printf("%-14s %10s %12s %12s %12s\n", "MBC entries", "speedup",
                 "lds removed", "exec early", "MBC hit rate");
-    for (unsigned entries : {16u, 32u, 64u, 128u, 256u, 512u}) {
-        auto oc = core::OptimizerConfig::full();
-        oc.mbc.entries = entries;
-        const auto cfg = pipeline::MachineConfig::withOptimizer(oc);
-        const auto r = sim::simulate(program, cfg);
+    for (unsigned entries : capacities) {
+        const auto &r =
+            res.at(sim::SweepSpec::labelFor("mcf",
+                                            std::to_string(entries)));
+        const auto &s = r.sim.stats;
         const double hit_rate =
-            r.stats.mbc.lookups
-                ? double(r.stats.mbc.hits) / double(r.stats.mbc.lookups)
-                : 0.0;
+            s.mbc.lookups ? double(s.mbc.hits) / double(s.mbc.lookups)
+                          : 0.0;
         std::printf("%-14u %10.3f %11.1f%% %11.1f%% %11.1f%%\n", entries,
-                    double(base.stats.cycles) / double(r.stats.cycles),
-                    100.0 * r.stats.loadsRemovedFrac(),
-                    100.0 * r.stats.execEarlyFrac(), 100.0 * hit_rate);
+                    res.speedupOf("mcf", std::to_string(entries),
+                                  "base"),
+                    100.0 * s.loadsRemovedFrac(),
+                    100.0 * s.execEarlyFrac(), 100.0 * hit_rate);
     }
     std::printf("\nAs the MBC grows past the basket's working set, load\n"
                 "removal and early execution jump -- the paper's mcf\n"

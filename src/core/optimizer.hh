@@ -34,6 +34,7 @@
 #include "src/core/phys_reg.hh"
 #include "src/core/symbolic.hh"
 #include "src/isa/isa.hh"
+#include "src/util/logging.hh"
 
 namespace conopt::core {
 
@@ -144,6 +145,7 @@ struct OptResult
     void
     addDep(PhysRegId reg, bool fp = false)
     {
+        conopt_assert(numDeps < deps.size());
         deps[numDeps++] = SrcDep{reg, fp};
     }
 };

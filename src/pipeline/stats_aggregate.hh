@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Aggregation helpers over per-run statistics: the means the paper's
+ * tables report (geometric mean for speedup ratios, arithmetic mean for
+ * fractions) and a small accumulator that sums SimStats across runs.
+ *
+ * These used to live in bench/bench_common.hh; they are part of the
+ * pipeline layer now so the sweep subsystem and the tests can share
+ * them without depending on the evaluation harness.
+ */
+
+#ifndef CONOPT_PIPELINE_STATS_AGGREGATE_HH
+#define CONOPT_PIPELINE_STATS_AGGREGATE_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/pipeline/sim_stats.hh"
+
+namespace conopt::pipeline {
+
+/** Geometric mean of a vector of ratios (0 when empty). */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / double(v.size()));
+}
+
+/** Arithmetic mean (0 when empty). */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+/**
+ * Sums the raw counters of several runs (e.g. one whole suite under one
+ * configuration) so the derived fractions of the combined run can be
+ * read off the usual SimStats accessors.
+ */
+class StatsAccumulator
+{
+  public:
+    void
+    add(const SimStats &s)
+    {
+        total_.cycles += s.cycles;
+        total_.retired += s.retired;
+        total_.branches += s.branches;
+        total_.condBranches += s.condBranches;
+        total_.mispredicted += s.mispredicted;
+        total_.earlyResolvedBranches += s.earlyResolvedBranches;
+        total_.earlyRecoveredMispredicts += s.earlyRecoveredMispredicts;
+        total_.btbResteers += s.btbResteers;
+        total_.loads += s.loads;
+        total_.stores += s.stores;
+        total_.loadsForwardedFromStoreQ += s.loadsForwardedFromStoreQ;
+        total_.dl1Hits += s.dl1Hits;
+        total_.dl1Misses += s.dl1Misses;
+        total_.il1Misses += s.il1Misses;
+        total_.opt.instsRenamed += s.opt.instsRenamed;
+        total_.opt.earlyExecuted += s.opt.earlyExecuted;
+        total_.opt.movesEliminated += s.opt.movesEliminated;
+        total_.opt.branchesResolved += s.opt.branchesResolved;
+        total_.opt.memOps += s.opt.memOps;
+        total_.opt.loads += s.opt.loads;
+        total_.opt.addrKnown += s.opt.addrKnown;
+        total_.opt.loadsRemoved += s.opt.loadsRemoved;
+        total_.opt.loadsSynthesized += s.opt.loadsSynthesized;
+        total_.opt.mbcMisspecs += s.opt.mbcMisspecs;
+        ++runs_;
+    }
+
+    const SimStats &total() const { return total_; }
+    unsigned runs() const { return runs_; }
+
+  private:
+    SimStats total_;
+    unsigned runs_ = 0;
+};
+
+} // namespace conopt::pipeline
+
+#endif // CONOPT_PIPELINE_STATS_AGGREGATE_HH

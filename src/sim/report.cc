@@ -1,0 +1,334 @@
+#include "src/sim/report.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <set>
+
+#include "src/pipeline/stats_aggregate.hh"
+
+namespace conopt::sim {
+
+void
+printHeader(const char *title, std::FILE *out)
+{
+    std::fprintf(out, "\n=== %s ===\n", title);
+}
+
+namespace {
+
+/** (workload, suite) pairs in job submission order, deduplicated. */
+std::vector<std::pair<std::string, std::string>>
+workloadRows(const SweepResult &res)
+{
+    std::vector<std::pair<std::string, std::string>> rows;
+    std::set<std::string> seen;
+    for (const auto &r : res.all()) {
+        if (!r.job.workload.empty() &&
+            seen.insert(r.job.workload).second)
+            rows.emplace_back(r.job.workload, r.suite);
+    }
+    return rows;
+}
+
+/** Suite names in first-seen order. */
+std::vector<std::string>
+suiteRows(const std::vector<std::pair<std::string, std::string>> &wls)
+{
+    std::vector<std::string> suites;
+    for (const auto &[w, s] : wls) {
+        if (std::find(suites.begin(), suites.end(), s) == suites.end())
+            suites.push_back(s);
+    }
+    return suites;
+}
+
+/** Per-workload speedups of @p config over @p base, skipping holes. */
+std::vector<double>
+groupSpeedups(const SweepResult &res,
+              const std::vector<std::string> &group,
+              const std::string &config, const std::string &base)
+{
+    std::vector<double> v;
+    for (const auto &w : group) {
+        const auto *b = res.find(SweepSpec::labelFor(w, base));
+        const auto *o = res.find(SweepSpec::labelFor(w, config));
+        if (b && o)
+            v.push_back(double(b->sim.stats.cycles) /
+                        double(o->sim.stats.cycles));
+    }
+    return v;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// TableReporter
+// --------------------------------------------------------------------------
+
+void
+TableReporter::report(const SweepResult &res, std::FILE *out) const
+{
+    if (!opts_.title.empty())
+        printHeader(opts_.title.c_str(), out);
+
+    const auto wls = workloadRows(res);
+    const int w = int(opts_.colWidth);
+
+    const auto printRow = [&](const char *fmt, const std::string &name,
+                              const std::vector<std::string> &group) {
+        std::fprintf(out, fmt, name.c_str());
+        for (const auto &cfg : opts_.configs) {
+            const auto v = groupSpeedups(res, group, cfg,
+                                         opts_.baselineConfig);
+            std::fprintf(out, " %*.3f", w, pipeline::geomean(v));
+        }
+        std::fprintf(out, "\n");
+    };
+
+    switch (opts_.rows) {
+      case TableOptions::Rows::PerSuite: {
+        std::fprintf(out, "%-12s", "Suite");
+        for (const auto &cfg : opts_.configs)
+            std::fprintf(out, " %*s", w, cfg.c_str());
+        std::fprintf(out, "\n");
+        for (const auto &suite : suiteRows(wls)) {
+            std::vector<std::string> group;
+            for (const auto &[wl, s] : wls)
+                if (s == suite)
+                    group.push_back(wl);
+            printRow("%-12s", suite, group);
+        }
+        break;
+      }
+      case TableOptions::Rows::PerWorkloadBySuite: {
+        for (const auto &suite : suiteRows(wls)) {
+            std::fprintf(out, "\n[%s]\n", suite.c_str());
+            if (opts_.configs.size() > 1) {
+                std::fprintf(out, "  %-7s", "");
+                for (const auto &cfg : opts_.configs)
+                    std::fprintf(out, " %*s", w, cfg.c_str());
+                std::fprintf(out, "\n");
+            }
+            std::vector<std::string> group;
+            for (const auto &[wl, s] : wls) {
+                if (s != suite)
+                    continue;
+                group.push_back(wl);
+                printRow("  %-7s", wl, {wl});
+            }
+            std::fprintf(out, "  %-7s", "avg");
+            for (const auto &cfg : opts_.configs) {
+                const auto v = groupSpeedups(res, group, cfg,
+                                             opts_.baselineConfig);
+                std::fprintf(out, " %*.3f", w, pipeline::geomean(v));
+            }
+            std::fprintf(out, " (geometric mean)\n");
+        }
+        break;
+      }
+      case TableOptions::Rows::AllWorkloads: {
+        std::vector<std::string> group;
+        for (const auto &[wl, s] : wls)
+            group.push_back(wl);
+        std::fprintf(out, "%-12s", "");
+        for (const auto &cfg : opts_.configs)
+            std::fprintf(out, " %*s", w, cfg.c_str());
+        std::fprintf(out, "\n");
+        printRow("%-12s", "all", group);
+        break;
+      }
+    }
+}
+
+// --------------------------------------------------------------------------
+// EffectsReporter
+// --------------------------------------------------------------------------
+
+void
+EffectsReporter::report(const SweepResult &res, std::FILE *out) const
+{
+    const auto wls = workloadRows(res);
+    std::fprintf(out, "%-12s %12s %18s %16s %12s\n", "Benchmark",
+                 "exec. early", "recov. mispred.", "ld/st addr. gen",
+                 "lds removed");
+
+    std::vector<double> all_early, all_recov, all_addr, all_lds;
+    const auto row = [&](const std::string &name,
+                         const std::vector<double> &early,
+                         const std::vector<double> &recov,
+                         const std::vector<double> &addr,
+                         const std::vector<double> &lds) {
+        std::fprintf(out, "%-12s %11.1f%% %17.1f%% %15.1f%% %11.1f%%\n",
+                     name.c_str(), 100 * pipeline::mean(early),
+                     100 * pipeline::mean(recov),
+                     100 * pipeline::mean(addr),
+                     100 * pipeline::mean(lds));
+    };
+
+    for (const auto &suite : suiteRows(wls)) {
+        std::vector<double> early, recov, addr, lds;
+        for (const auto &[wl, s] : wls) {
+            if (s != suite)
+                continue;
+            const auto *r = res.find(SweepSpec::labelFor(wl, config_));
+            if (!r)
+                continue;
+            early.push_back(r->sim.stats.execEarlyFrac());
+            recov.push_back(r->sim.stats.recoveredMispredFrac());
+            addr.push_back(r->sim.stats.addrGenFrac());
+            lds.push_back(r->sim.stats.loadsRemovedFrac());
+        }
+        row(suite, early, recov, addr, lds);
+        all_early.insert(all_early.end(), early.begin(), early.end());
+        all_recov.insert(all_recov.end(), recov.begin(), recov.end());
+        all_addr.insert(all_addr.end(), addr.begin(), addr.end());
+        all_lds.insert(all_lds.end(), lds.begin(), lds.end());
+    }
+    row("avg", all_early, all_recov, all_addr, all_lds);
+}
+
+// --------------------------------------------------------------------------
+// DetailReporter
+// --------------------------------------------------------------------------
+
+void
+DetailReporter::reportJob(const JobResult &r, std::FILE *out)
+{
+    const auto &s = r.sim.stats;
+    std::fprintf(out, "  instructions        %" PRIu64 "\n",
+                 r.sim.instructions);
+    std::fprintf(out, "  cycles              %" PRIu64 "\n", s.cycles);
+    std::fprintf(out, "  IPC                 %.3f\n", s.ipc());
+    std::fprintf(out,
+                 "  branches            %" PRIu64 " (mispredicted %" PRIu64
+                 ", resteers %" PRIu64 ")\n",
+                 s.branches, s.mispredicted, s.btbResteers);
+    std::fprintf(out,
+                 "  loads / stores      %" PRIu64 " / %" PRIu64
+                 " (DL1 miss %" PRIu64 ", LSQ fwd %" PRIu64 ")\n",
+                 s.loads, s.stores, s.dl1Misses,
+                 s.loadsForwardedFromStoreQ);
+    std::fprintf(out, "  exec early          %.1f%%\n",
+                 100 * s.execEarlyFrac());
+    std::fprintf(out, "  recov. mispred.     %.1f%%\n",
+                 100 * s.recoveredMispredFrac());
+    std::fprintf(out, "  ld/st addr gen      %.1f%%\n",
+                 100 * s.addrGenFrac());
+    std::fprintf(out,
+                 "  loads removed       %.1f%% (synthesized %" PRIu64
+                 ", misspec %" PRIu64 ")\n",
+                 100 * s.loadsRemovedFrac(), s.opt.loadsSynthesized,
+                 s.opt.mbcMisspecs);
+    std::fprintf(out, "  moves eliminated    %" PRIu64 "\n",
+                 s.opt.movesEliminated);
+    std::fprintf(out,
+                 "  stall cycles        mispred %" PRIu64
+                 ", icache %" PRIu64 ", sched %" PRIu64 ", rob %" PRIu64
+                 "\n",
+                 s.fetchStallMispredict, s.fetchStallIcache,
+                 s.dispatchStallSched, s.renameStallRob);
+}
+
+void
+DetailReporter::report(const SweepResult &res, std::FILE *out) const
+{
+    for (const auto &r : res.all()) {
+        std::fprintf(out, "== %s ==\n", r.job.label.c_str());
+        reportJob(r, out);
+        std::fprintf(out, "\n");
+    }
+}
+
+// --------------------------------------------------------------------------
+// CsvReporter
+// --------------------------------------------------------------------------
+
+void
+CsvReporter::report(const SweepResult &res, std::FILE *out) const
+{
+    std::fprintf(out,
+                 "label,workload,suite,config,scale,seed,instructions,"
+                 "cycles,ipc,exec_early,recov_mispred,addr_gen,"
+                 "lds_removed,mbc_misspecs,host_seconds\n");
+    for (const auto &r : res.all()) {
+        const auto &s = r.sim.stats;
+        std::fprintf(out,
+                     "%s,%s,%s,%s,%u,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                     ",%.4f,%.4f,%.4f,%.4f,%.4f,%" PRIu64 ",%.4f\n",
+                     r.job.label.c_str(), r.job.workload.c_str(),
+                     r.suite.c_str(), r.job.configName.c_str(),
+                     r.job.scale, r.job.seed, r.sim.instructions,
+                     s.cycles, s.ipc(), s.execEarlyFrac(),
+                     s.recoveredMispredFrac(), s.addrGenFrac(),
+                     s.loadsRemovedFrac(), s.opt.mbcMisspecs,
+                     r.hostSeconds);
+    }
+}
+
+// --------------------------------------------------------------------------
+// JsonReporter
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonReporter::report(const SweepResult &res, std::FILE *out) const
+{
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < res.all().size(); ++i) {
+        const auto &r = res.all()[i];
+        const auto &s = r.sim.stats;
+        std::fprintf(out,
+                     "  {\"label\": \"%s\", \"workload\": \"%s\", "
+                     "\"suite\": \"%s\", \"config\": \"%s\", "
+                     "\"scale\": %u, \"seed\": %" PRIu64 ",\n",
+                     jsonEscape(r.job.label).c_str(),
+                     jsonEscape(r.job.workload).c_str(),
+                     jsonEscape(r.suite).c_str(),
+                     jsonEscape(r.job.configName).c_str(), r.job.scale,
+                     r.job.seed);
+        std::fprintf(out,
+                     "   \"instructions\": %" PRIu64 ", \"cycles\": %"
+                     PRIu64 ", \"ipc\": %.4f, \"halted\": %s,\n",
+                     r.sim.instructions, s.cycles, s.ipc(),
+                     r.sim.halted ? "true" : "false");
+        std::fprintf(out,
+                     "   \"branches\": %" PRIu64 ", \"mispredicted\": %"
+                     PRIu64 ", \"loads\": %" PRIu64 ", \"stores\": %"
+                     PRIu64 ", \"dl1_misses\": %" PRIu64 ",\n",
+                     s.branches, s.mispredicted, s.loads, s.stores,
+                     s.dl1Misses);
+        std::fprintf(
+            out,
+            "   \"opt\": {\"early_executed\": %" PRIu64
+            ", \"moves_eliminated\": %" PRIu64
+            ", \"branches_resolved\": %" PRIu64
+            ", \"loads_removed\": %" PRIu64
+            ", \"loads_synthesized\": %" PRIu64
+            ", \"mbc_misspecs\": %" PRIu64 "},\n",
+            s.opt.earlyExecuted, s.opt.movesEliminated,
+            s.opt.branchesResolved, s.opt.loadsRemoved,
+            s.opt.loadsSynthesized, s.opt.mbcMisspecs);
+        std::fprintf(out, "   \"host_seconds\": %.4f}%s\n",
+                     r.hostSeconds,
+                     i + 1 < res.all().size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+}
+
+} // namespace conopt::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reporters: pluggable formatters over a SweepResult. These replace the
+ * per-binary printf scatter the evaluation harness used to carry:
+ *
+ *   - TableReporter:   the paper-style speedup matrix (configs as
+ *                      columns, suites or workloads as rows, cells are
+ *                      geomean speedups over a baseline column)
+ *   - EffectsReporter: paper Table 3 (per-suite means of the
+ *                      optimizer-effect fractions for one config)
+ *   - DetailReporter:  the full per-job statistics block (conopt_cli)
+ *   - CsvReporter:     one row per job, machine-readable
+ *   - JsonReporter:    full structured dump, one object per job
+ *
+ * Table/Effects reporters assume the SweepSpec label convention
+ * ("<workload>/<configName>"); jobs missing a cell are skipped.
+ */
+
+#ifndef CONOPT_SIM_REPORT_HH
+#define CONOPT_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/sweep.hh"
+
+namespace conopt::sim {
+
+/** Formats a SweepResult onto a stdio stream. */
+class Reporter
+{
+  public:
+    virtual ~Reporter() = default;
+    virtual void report(const SweepResult &res, std::FILE *out) const = 0;
+
+    /** Convenience: report to stdout. */
+    void print(const SweepResult &res) const { report(res, stdout); }
+};
+
+/** Layout knobs for the speedup matrix. */
+struct TableOptions
+{
+    /** Section header printed above the table (omitted when empty). */
+    std::string title;
+
+    /** Config whose cycles are every cell's numerator (the "1.00"). */
+    std::string baselineConfig = "base";
+
+    /** Column order; each entry is a configName from the sweep. */
+    std::vector<std::string> configs;
+
+    enum class Rows
+    {
+        PerSuite,           ///< one row per suite (geomean cells)
+        PerWorkloadBySuite, ///< suite sections, one row per workload,
+                            ///< plus a geomean "avg" row (fig. 6)
+        AllWorkloads,       ///< a single all-workload geomean row
+    };
+    Rows rows = Rows::PerSuite;
+
+    /** Minimum printed width of each value column. */
+    unsigned colWidth = 12;
+};
+
+/** The paper-style speedup matrix. */
+class TableReporter : public Reporter
+{
+  public:
+    explicit TableReporter(TableOptions opts) : opts_(std::move(opts)) {}
+    void report(const SweepResult &res, std::FILE *out) const override;
+
+  private:
+    TableOptions opts_;
+};
+
+/** Paper Table 3: per-suite means of the optimizer-effect fractions. */
+class EffectsReporter : public Reporter
+{
+  public:
+    explicit EffectsReporter(std::string configName)
+        : config_(std::move(configName))
+    {}
+    void report(const SweepResult &res, std::FILE *out) const override;
+
+  private:
+    std::string config_;
+};
+
+/** Full per-job statistics block, one section per job. */
+class DetailReporter : public Reporter
+{
+  public:
+    void report(const SweepResult &res, std::FILE *out) const override;
+
+    /** One job's block (shared with callers that interleave output). */
+    static void reportJob(const JobResult &r, std::FILE *out);
+};
+
+/** One CSV row per job (header row first). */
+class CsvReporter : public Reporter
+{
+  public:
+    void report(const SweepResult &res, std::FILE *out) const override;
+};
+
+/** A JSON array with one object per job, including optimizer stats. */
+class JsonReporter : public Reporter
+{
+  public:
+    void report(const SweepResult &res, std::FILE *out) const override;
+};
+
+/** Print a section header ("=== title ==="). */
+void printHeader(const char *title, std::FILE *out = stdout);
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_REPORT_HH

@@ -1,7 +1,10 @@
 #include "src/sim/simulator.hh"
 
+#include <memory>
+
 #include "src/arch/emulator.hh"
 #include "src/pipeline/ooo_core.hh"
+#include "src/sim/sweep.hh"
 #include "src/util/logging.hh"
 
 namespace conopt::sim {
@@ -24,10 +27,27 @@ speedup(const assembler::Program &program,
         const pipeline::MachineConfig &baseline,
         const pipeline::MachineConfig &config, uint64_t max_insts)
 {
-    const SimResult base = simulate(program, baseline, max_insts);
-    const SimResult opt = simulate(program, config, max_insts);
-    conopt_assert(base.instructions == opt.instructions);
-    return double(base.stats.cycles) / double(opt.stats.cycles);
+    // A two-job sweep: both machines run in parallel when a second
+    // hardware thread is available. The runner joins its workers before
+    // returning, so a non-owning pointer to the caller's program is safe
+    // and avoids copying it.
+    const ProgramPtr prog(&program, [](const assembler::Program *) {});
+    SimJob base_job;
+    base_job.label = "base";
+    base_job.program = prog;
+    base_job.config = baseline;
+    base_job.maxInsts = max_insts;
+    SimJob opt_job;
+    opt_job.label = "opt";
+    opt_job.program = prog;
+    opt_job.config = config;
+    opt_job.maxInsts = max_insts;
+
+    SweepRunner runner;
+    const SweepResult res = runner.run({base_job, opt_job});
+    conopt_assert(res.at("base").sim.instructions ==
+                  res.at("opt").sim.instructions);
+    return res.speedup("base", "opt");
 }
 
 } // namespace conopt::sim

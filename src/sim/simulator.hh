@@ -36,7 +36,8 @@ SimResult simulate(const assembler::Program &program,
                    const pipeline::MachineConfig &config,
                    uint64_t max_insts = uint64_t(1) << 32);
 
-/** Speedup of @p config over @p baseline on the same program. */
+/** Speedup of @p config over @p baseline on the same program,
+ *  implemented as a two-job SweepRunner sweep (src/sim/sweep.hh). */
 double speedup(const assembler::Program &program,
                const pipeline::MachineConfig &baseline,
                const pipeline::MachineConfig &config,

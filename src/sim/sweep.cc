@@ -1,0 +1,333 @@
+#include "src/sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "src/util/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace conopt::sim {
+
+unsigned
+envScale()
+{
+    if (const char *s = std::getenv("CONOPT_SCALE")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    return 1;
+}
+
+unsigned
+envThreads()
+{
+    if (const char *s = std::getenv("CONOPT_THREADS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    return 0;
+}
+
+namespace {
+
+/** FNV-1a over the label, avalanched: the per-job seed. */
+uint64_t
+seedFor(const std::string &label, unsigned scale)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : label) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ull;
+    }
+    h ^= scale;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h ? h : 1;
+}
+
+/** Resolve names/defaults so workers see a fully-specified job. */
+void
+normalize(SimJob &job)
+{
+    if (job.label.empty()) {
+        if (job.workload.empty() && !job.configName.empty())
+            job.label = job.configName;
+        else
+            job.label = SweepSpec::labelFor(job.workload, job.configName);
+    }
+    if (!job.program) {
+        const auto *w = workloads::findWorkload(job.workload);
+        if (!w)
+            conopt_fatal("sweep job '%s': unknown workload '%s'",
+                         job.label.c_str(), job.workload.c_str());
+        if (job.scale == 0)
+            job.scale = w->defaultScale * envScale();
+    }
+    if (job.seed == 0)
+        job.seed = seedFor(job.label, job.scale);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// SweepSpec
+// --------------------------------------------------------------------------
+
+SweepSpec &
+SweepSpec::workload(const std::string &name)
+{
+    workloads_.push_back(name);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::workloads(const std::vector<std::string> &names)
+{
+    workloads_.insert(workloads_.end(), names.begin(), names.end());
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::suite(const std::string &suite)
+{
+    for (const auto *w : workloads::suiteWorkloads(suite))
+        workloads_.push_back(w->name);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::allWorkloads()
+{
+    for (const auto &w : workloads::allWorkloads())
+        workloads_.push_back(w.name);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::config(const std::string &name,
+                  const pipeline::MachineConfig &cfg)
+{
+    configs_.emplace_back(name, cfg);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::scale(unsigned s)
+{
+    scale_ = s;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::maxInsts(uint64_t n)
+{
+    maxInsts_ = n;
+    return *this;
+}
+
+std::string
+SweepSpec::labelFor(const std::string &workload,
+                    const std::string &configName)
+{
+    return workload + "/" + configName;
+}
+
+std::vector<SimJob>
+SweepSpec::jobs() const
+{
+    std::vector<SimJob> out;
+    out.reserve(workloads_.size() * configs_.size());
+    for (const auto &w : workloads_) {
+        for (const auto &[name, cfg] : configs_) {
+            SimJob j;
+            j.label = labelFor(w, name);
+            j.workload = w;
+            j.scale = scale_;
+            j.config = cfg;
+            j.configName = name;
+            j.maxInsts = maxInsts_;
+            out.push_back(std::move(j));
+        }
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------------
+// ProgramCache
+// --------------------------------------------------------------------------
+
+ProgramPtr
+ProgramCache::get(const std::string &workload, unsigned scale)
+{
+    std::promise<ProgramPtr> promise;
+    std::shared_future<ProgramPtr> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = cache_.try_emplace({workload, scale});
+        if (inserted) {
+            it->second = promise.get_future().share();
+            builder = true;
+        } else {
+            hits_.fetch_add(1);
+        }
+        future = it->second;
+    }
+    if (builder) {
+        const auto &w = workloads::workloadByName(workload);
+        auto prog =
+            std::make_shared<const assembler::Program>(w.build(scale));
+        builds_.fetch_add(1);
+        promise.set_value(prog);
+        return prog;
+    }
+    return future.get();
+}
+
+// --------------------------------------------------------------------------
+// SweepResult
+// --------------------------------------------------------------------------
+
+void
+SweepResult::add(JobResult r)
+{
+    const auto [it, inserted] =
+        byLabel_.emplace(r.job.label, results_.size());
+    if (!inserted)
+        conopt_fatal("duplicate sweep job label '%s'",
+                     r.job.label.c_str());
+    results_.push_back(std::move(r));
+}
+
+const JobResult *
+SweepResult::find(const std::string &label) const
+{
+    const auto it = byLabel_.find(label);
+    return it == byLabel_.end() ? nullptr : &results_[it->second];
+}
+
+const JobResult &
+SweepResult::at(const std::string &label) const
+{
+    const JobResult *r = find(label);
+    if (!r)
+        conopt_fatal("no sweep result labelled '%s'", label.c_str());
+    return *r;
+}
+
+uint64_t
+SweepResult::cycles(const std::string &label) const
+{
+    return at(label).sim.stats.cycles;
+}
+
+double
+SweepResult::ipc(const std::string &label) const
+{
+    return at(label).sim.ipc();
+}
+
+double
+SweepResult::speedup(const std::string &baseLabel,
+                     const std::string &label) const
+{
+    return double(cycles(baseLabel)) / double(cycles(label));
+}
+
+double
+SweepResult::speedupOf(const std::string &workload,
+                       const std::string &configName,
+                       const std::string &baseConfig) const
+{
+    return speedup(SweepSpec::labelFor(workload, baseConfig),
+                   SweepSpec::labelFor(workload, configName));
+}
+
+// --------------------------------------------------------------------------
+// SweepRunner
+// --------------------------------------------------------------------------
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts)
+{
+    if (opts_.cache) {
+        cache_ = opts_.cache;
+    } else {
+        owned_ = std::make_unique<ProgramCache>();
+        cache_ = owned_.get();
+    }
+}
+
+JobResult
+SweepRunner::runOne(const SimJob &job)
+{
+    JobResult r;
+    r.job = job;
+    const ProgramPtr program =
+        job.program ? job.program : cache_->get(job.workload, job.scale);
+    if (!job.workload.empty()) {
+        if (const auto *w = workloads::findWorkload(job.workload))
+            r.suite = w->suite;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    r.sim = simulate(*program, job.config, job.maxInsts);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+SweepResult
+SweepRunner::run(std::vector<SimJob> jobs)
+{
+    // Normalize and validate on the calling thread so configuration
+    // errors are fatal before any worker starts.
+    {
+        std::set<std::string> seen;
+        for (auto &job : jobs) {
+            normalize(job);
+            if (!seen.insert(job.label).second)
+                conopt_fatal("duplicate sweep job label '%s'",
+                             job.label.c_str());
+        }
+    }
+
+    std::vector<JobResult> results(jobs.size());
+    std::atomic<size_t> next{0};
+    const auto worker = [&] {
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
+            results[i] = runOne(jobs[i]);
+    };
+
+    unsigned n = opts_.threads ? opts_.threads : envThreads();
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    if (n < 1)
+        n = 1;
+    if (n > jobs.size())
+        n = unsigned(jobs.size());
+
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Collection order is submission order, independent of scheduling.
+    SweepResult out;
+    for (auto &r : results)
+        out.add(std::move(r));
+    return out;
+}
+
+} // namespace conopt::sim

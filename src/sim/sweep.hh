@@ -1,0 +1,238 @@
+/**
+ * @file
+ * SweepRunner: the job-based sweep engine behind every table/figure in
+ * the evaluation. The paper's results are all cross-products of
+ * (workload x machine configuration); this subsystem turns each such
+ * experiment into declarative data:
+ *
+ *   - SimJob:       one (workload, scale, MachineConfig) cell, with a
+ *                   unique label and a deterministic per-job seed
+ *   - SweepSpec:    builder that expands workloads x configs into jobs
+ *   - ProgramCache: shared, mutex-guarded cache so each (workload,
+ *                   scale) program is assembled exactly once per sweep,
+ *                   not once per configuration
+ *   - SweepRunner:  thread-pool executor (std::thread + atomic work
+ *                   queue); results land in submission order, so a
+ *                   parallel sweep is bit-identical to a serial one
+ *   - SweepResult:  label-keyed structured results with speedup helpers
+ *
+ * Reporters that format a SweepResult (paper-style tables, CSV, JSON)
+ * live in src/sim/report.hh.
+ *
+ * Determinism: the timing model itself is deterministic, so parallel
+ * and serial sweeps must agree job-for-job (tests/test_sweep_runner.cc
+ * asserts this). Each job nevertheless carries a seed derived from its
+ * label so that any future stochastic component (randomized workload
+ * variants, sampled simulation) draws from a per-job stream instead of
+ * a shared one, which would make results depend on thread scheduling.
+ */
+
+#ifndef CONOPT_SIM_SWEEP_HH
+#define CONOPT_SIM_SWEEP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/asm/program.hh"
+#include "src/pipeline/machine_config.hh"
+#include "src/sim/simulator.hh"
+
+namespace conopt::sim {
+
+/** Workload scale multiplier from the CONOPT_SCALE environment variable
+ *  (default 1); lets the harness trade runtime for statistical weight. */
+unsigned envScale();
+
+/** Worker-thread count from the CONOPT_THREADS environment variable;
+ *  0 (unset/invalid) means use std::thread::hardware_concurrency(). */
+unsigned envThreads();
+
+/** An immutable, shareable assembled program. */
+using ProgramPtr = std::shared_ptr<const assembler::Program>;
+
+/** One cell of a sweep: a workload under one machine configuration. */
+struct SimJob
+{
+    /** Unique key of this job within its sweep. Empty: derived as
+     *  "<workload>/<configName>". */
+    std::string label;
+
+    /** Table 1 registry name (e.g. "mcf"); resolved via
+     *  workloads::findWorkload() unless @ref program is set. */
+    std::string workload;
+
+    /** Pre-built program; bypasses the registry and the cache. */
+    ProgramPtr program;
+
+    /** Iteration scale; 0 means defaultScale * envScale(). */
+    unsigned scale = 0;
+
+    pipeline::MachineConfig config;
+
+    /** Configuration tag used for labels and reporter columns. */
+    std::string configName;
+
+    /** Deterministic per-job seed; 0 means derived from the label, so
+     *  the same sweep always hands each job the same seed regardless of
+     *  thread count or scheduling. */
+    uint64_t seed = 0;
+
+    /** Safety limit on dynamic instructions. */
+    uint64_t maxInsts = uint64_t(1) << 32;
+};
+
+/** Builder for cross-product sweeps (workloads x named configs). */
+class SweepSpec
+{
+  public:
+    /** Add one workload by registry name. */
+    SweepSpec &workload(const std::string &name);
+    /** Add several workloads by registry name. */
+    SweepSpec &workloads(const std::vector<std::string> &names);
+    /** Add every workload of one Table 1 suite. */
+    SweepSpec &suite(const std::string &suite);
+    /** Add all 22 Table 1 workloads. */
+    SweepSpec &allWorkloads();
+    /** Add one named machine configuration (a reporter column). */
+    SweepSpec &config(const std::string &name,
+                      const pipeline::MachineConfig &cfg);
+    /** Override the iteration scale (0 = defaultScale * envScale()). */
+    SweepSpec &scale(unsigned s);
+    /** Override the dynamic-instruction safety limit. */
+    SweepSpec &maxInsts(uint64_t n);
+
+    /** The cross product: one SimJob per (workload, config) pair, in
+     *  workload-major order. */
+    std::vector<SimJob> jobs() const;
+
+    /** The label convention: "<workload>/<configName>". */
+    static std::string labelFor(const std::string &workload,
+                                const std::string &configName);
+
+  private:
+    std::vector<std::string> workloads_;
+    std::vector<std::pair<std::string, pipeline::MachineConfig>> configs_;
+    unsigned scale_ = 0;
+    uint64_t maxInsts_ = uint64_t(1) << 32;
+};
+
+/**
+ * Shared program-build cache. Each (workload, scale) pair is assembled
+ * exactly once even under concurrent lookups: the first caller builds
+ * (outside the lock, so distinct programs assemble in parallel) while
+ * later callers block on the entry's future.
+ */
+class ProgramCache
+{
+  public:
+    /** The program for @p workload at @p scale; builds it on first use.
+     *  Fatal if the workload name is unknown. */
+    ProgramPtr get(const std::string &workload, unsigned scale);
+
+    /** Number of programs actually assembled. */
+    uint64_t builds() const { return builds_.load(); }
+    /** Number of lookups served from the cache. */
+    uint64_t hits() const { return hits_.load(); }
+
+  private:
+    using Key = std::pair<std::string, unsigned>;
+
+    mutable std::mutex mu_;
+    std::map<Key, std::shared_future<ProgramPtr>> cache_;
+    std::atomic<uint64_t> builds_{0};
+    std::atomic<uint64_t> hits_{0};
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    SimJob job;          ///< the (normalized) job description
+    std::string suite;   ///< Table 1 suite, when registry-resolved
+    SimResult sim;       ///< timing-simulation outcome
+    double hostSeconds = 0.0; ///< wall-clock cost on the host
+};
+
+/** Structured results of a sweep, keyed by job label. */
+class SweepResult
+{
+  public:
+    /** All results, in job submission order (scheduling-independent). */
+    const std::vector<JobResult> &all() const { return results_; }
+    bool empty() const { return results_.empty(); }
+    size_t size() const { return results_.size(); }
+
+    /** Result by label, or nullptr. */
+    const JobResult *find(const std::string &label) const;
+    /** Result by label; fatal if missing. */
+    const JobResult &at(const std::string &label) const;
+
+    uint64_t cycles(const std::string &label) const;
+    double ipc(const std::string &label) const;
+
+    /** baseline cycles / other cycles (>1 means @p label is faster). */
+    double speedup(const std::string &baseLabel,
+                   const std::string &label) const;
+
+    /** Speedup of @p configName over @p baseConfig on one workload,
+     *  using the SweepSpec label convention. */
+    double speedupOf(const std::string &workload,
+                     const std::string &configName,
+                     const std::string &baseConfig) const;
+
+    /** Append one result (used by the runner). */
+    void add(JobResult r);
+
+  private:
+    std::vector<JobResult> results_;
+    std::map<std::string, size_t> byLabel_;
+};
+
+/** Execution knobs for a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = CONOPT_THREADS from the environment, or
+     *  std::thread::hardware_concurrency() when that is unset too. */
+    unsigned threads = 0;
+
+    /** Program cache to share across sweeps; nullptr = per-runner. */
+    ProgramCache *cache = nullptr;
+};
+
+/**
+ * The executor. Construct once, then run() any number of job lists;
+ * programs are cached across runs of the same runner.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Run all jobs, in parallel, and collect structured results.
+     *  Fatal on unknown workload names or duplicate labels (checked
+     *  up front, on the calling thread). */
+    SweepResult run(std::vector<SimJob> jobs);
+
+    /** Convenience: expand and run a SweepSpec. */
+    SweepResult run(const SweepSpec &spec) { return run(spec.jobs()); }
+
+    /** The program cache in use. */
+    ProgramCache &cache() { return *cache_; }
+
+  private:
+    JobResult runOne(const SimJob &job);
+
+    SweepOptions opts_;
+    std::unique_ptr<ProgramCache> owned_;
+    ProgramCache *cache_;
+};
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_SWEEP_HH

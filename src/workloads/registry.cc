@@ -54,13 +54,21 @@ allWorkloads()
     return table;
 }
 
-const Workload &
-workloadByName(const std::string &name)
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const Workload &w : allWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
+    return nullptr;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    if (const Workload *w = findWorkload(name))
+        return *w;
     conopt_fatal("unknown workload '%s'", name.c_str());
 }
 

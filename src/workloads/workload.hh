@@ -43,6 +43,10 @@ const std::vector<Workload> &allWorkloads();
 /** Look up one workload; fatal if the name is unknown. */
 const Workload &workloadByName(const std::string &name);
 
+/** Look up one workload; nullptr if the name is unknown (the form the
+ *  sweep engine uses to resolve job descriptions). */
+const Workload *findWorkload(const std::string &name);
+
 /** The workloads of one suite. */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
