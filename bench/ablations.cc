@@ -18,8 +18,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("base",
                                pipeline::MachineConfig::baseline());
@@ -98,5 +99,10 @@ main()
     table("Ablation: Memory Bypass Cache capacity", mbc_cols, 12);
     table("Ablation: unknown-address store policy",
           {"speculate (default)", "flush MBC"}, 20);
-    return 0;
+
+    auto art = sim::BenchArtifact::fromSweep(res);
+    art.addGeomeans(res, "base", family_cols);
+    art.addGeomeans(res, "base", mbc_cols);
+    art.addGeomeans(res, "base", {"speculate (default)", "flush MBC"});
+    return bench::finish("ablations", std::move(art), argc, argv);
 }

@@ -2,23 +2,43 @@
  * @file
  * Shared glue for the evaluation harness. Every table/figure binary
  * expresses its experiment as a SweepSpec, runs it through the parallel
- * SweepRunner, and formats the SweepResult with a reporter — the
- * workload-running, scaling, and aggregation helpers that used to live
- * here are now the sweep subsystem (src/sim/sweep.hh, src/sim/report.hh)
- * and the pipeline aggregation header (src/pipeline/stats_aggregate.hh).
+ * SweepRunner, formats the SweepResult with a reporter, and then hands
+ * the result to finish()/finishSweep(), which
  *
- * The environment variables CONOPT_SCALE (default 1) and
- * CONOPT_THREADS (default: hardware concurrency) are honoured by the
- * sweep subsystem itself (sim::envScale() / sim::envThreads()).
+ *   1. writes the run as a `BENCH_<name>.json` artifact (the bench
+ *      trajectory CI collects), and
+ *   2. when a baseline is configured, compares against it and turns
+ *      simulated-machine drift into a non-zero exit status.
+ *
+ * Harness environment/flags, honoured uniformly by all bench binaries:
+ *
+ *   CONOPT_SCALE          workload iteration scale (default 1)
+ *   CONOPT_THREADS        sweep worker threads (default: hardware)
+ *   CONOPT_ARTIFACT_DIR   where BENCH_<name>.json is written
+ *                         (default: current directory)
+ *   CONOPT_BASELINE_DIR   directory of baseline artifacts to gate
+ *                         against (e.g. bench/baselines)
+ *   --artifact-dir <dir>  flag form of CONOPT_ARTIFACT_DIR
+ *   --baseline <path>     flag form of CONOPT_BASELINE_DIR; a specific
+ *                         artifact file is also accepted
+ *   --tolerance <T>       relative drift tolerance (default 0: exact,
+ *                         the simulator is deterministic)
+ *   --no-artifact         skip artifact emission (and the gate)
  */
 
 #ifndef CONOPT_BENCH_BENCH_COMMON_HH
 #define CONOPT_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/pipeline/machine_config.hh"
 #include "src/pipeline/stats_aggregate.hh"
+#include "src/sim/baseline.hh"
 #include "src/sim/report.hh"
 #include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
@@ -30,6 +50,169 @@ inline void
 header(const char *title)
 {
     sim::printHeader(title);
+}
+
+/** Harness options shared by every bench binary (see file header). */
+struct HarnessOptions
+{
+    std::string artifactDir = ".";
+    std::string baselinePath; ///< file or directory; empty = no gate
+    double tolerance = 0.0;
+    bool emitArtifact = true;
+
+    /** @p lenientArgs ignores unknown flags instead of rejecting them;
+     *  only for binaries sharing argv with another framework
+     *  (micro_structures + google-benchmark). Everywhere else a typo'd
+     *  gate flag must fail loudly, not silently skip the gate. */
+    static HarnessOptions
+    parse(int argc, char **argv, bool lenientArgs = false)
+    {
+        HarnessOptions o;
+        if (const char *d = std::getenv("CONOPT_ARTIFACT_DIR"); d && *d)
+            o.artifactDir = d;
+        if (const char *b = std::getenv("CONOPT_BASELINE_DIR"); b && *b)
+            o.baselinePath = b;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            const auto value = [&]() -> const char * {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s requires a value\n",
+                                 a.c_str());
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (a == "--artifact-dir") {
+                o.artifactDir = value();
+            } else if (a == "--baseline") {
+                o.baselinePath = value();
+            } else if (a == "--tolerance") {
+                const char *v = value();
+                if (!sim::parseTolerance(v, &o.tolerance)) {
+                    std::fprintf(stderr,
+                                 "invalid --tolerance '%s' (want a "
+                                 "finite non-negative number)\n",
+                                 v);
+                    std::exit(2);
+                }
+            } else if (a == "--no-artifact") {
+                o.emitArtifact = false;
+            } else if (!lenientArgs) {
+                std::fprintf(stderr,
+                             "unknown argument '%s' (flags: "
+                             "--artifact-dir DIR, --baseline PATH, "
+                             "--tolerance T, --no-artifact)\n",
+                             a.c_str());
+                std::exit(2);
+            }
+        }
+        return o;
+    }
+};
+
+/** Validate harness flags up front (exits 2 on a bad flag) so a typo
+ *  fails before the sweep runs, not after minutes of simulation. Call
+ *  first thing in main(); finish() re-parses the same argv later. */
+inline void
+validateArgs(int argc, char **argv, bool lenientArgs = false)
+{
+    (void)HarnessOptions::parse(argc, argv, lenientArgs);
+}
+
+/**
+ * Persist @p art as `BENCH_<bench>.json` and apply the baseline gate.
+ * Returns the bench binary's exit status: 0 on success, 1 when the
+ * artifact cannot be written or the baseline comparison finds drift.
+ */
+inline int
+finish(const std::string &benchName, sim::BenchArtifact art, int argc,
+       char **argv, bool lenientArgs = false)
+{
+    const HarnessOptions o = HarnessOptions::parse(argc, argv,
+                                                   lenientArgs);
+    if (!o.emitArtifact)
+        return 0;
+
+    art.bench = benchName;
+    const std::string file = "BENCH_" + benchName + ".json";
+    const std::string outPath =
+        (std::filesystem::path(o.artifactDir) / file).string();
+    std::string err;
+    if (!art.save(outPath, &err)) {
+        std::fprintf(stderr, "%s: cannot write artifact: %s\n",
+                     benchName.c_str(), err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[artifact] wrote %s (%zu jobs, %zu geomeans)\n",
+                 outPath.c_str(), art.jobs.size(), art.geomeans.size());
+
+    if (o.baselinePath.empty())
+        return 0;
+
+    std::string basePath = o.baselinePath;
+    std::error_code ec;
+    if (std::filesystem::is_directory(basePath, ec)) {
+        basePath =
+            (std::filesystem::path(basePath) / file).string();
+        // A baseline *directory* gates whichever benches have seeds in
+        // it; a bench without one is "not yet baselined", not a
+        // failure (CONOPT_BASELINE_DIR is typically set globally). An
+        // explicit --baseline <file> that is missing still errors.
+        if (!std::filesystem::exists(basePath, ec)) {
+            std::fprintf(stderr,
+                         "[artifact] no baseline for %s in %s; gate "
+                         "skipped\n",
+                         benchName.c_str(), o.baselinePath.c_str());
+            return 0;
+        }
+    }
+    sim::BenchArtifact baseline;
+    if (!sim::loadArtifact(basePath, &baseline, &err)) {
+        std::fprintf(stderr, "%s: cannot load baseline: %s\n",
+                     benchName.c_str(), err.c_str());
+        return 1;
+    }
+    const auto cmp =
+        sim::compareArtifacts(baseline, art, {o.tolerance});
+    if (!cmp.ok) {
+        std::fprintf(stderr,
+                     "%s: BASELINE DRIFT vs %s (%zu difference%s):\n",
+                     benchName.c_str(), basePath.c_str(),
+                     cmp.diffs.size(), cmp.diffs.size() == 1 ? "" : "s");
+        for (const auto &d : cmp.diffs)
+            std::fprintf(stderr, "  %s\n", d.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[artifact] matches baseline %s\n",
+                 basePath.c_str());
+    return 0;
+}
+
+/** An artifact job that pins a preset machine configuration without
+ *  running it: label = config = @p name, plus the config fingerprint.
+ *  Used by benches whose regression unit is the experimental setup
+ *  itself (table2_config, micro_structures). */
+inline sim::ArtifactJob
+configJob(const char *name, const pipeline::MachineConfig &cfg)
+{
+    sim::ArtifactJob j;
+    j.label = name;
+    j.config = name;
+    j.configFingerprint = sim::configFingerprint(cfg);
+    return j;
+}
+
+/** finish() for the common case: a sweep plus the figure's headline
+ *  geomean columns (@p configs over @p baseConfig). */
+inline int
+finishSweep(const std::string &benchName, const sim::SweepResult &res,
+            const std::string &baseConfig,
+            const std::vector<std::string> &configs, int argc,
+            char **argv)
+{
+    auto art = sim::BenchArtifact::fromSweep(res);
+    art.addGeomeans(res, baseConfig, configs);
+    return finish(benchName, std::move(art), argc, argv);
 }
 
 } // namespace conopt::bench

@@ -17,8 +17,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     struct Variant
     {
         const char *name;
@@ -47,8 +48,10 @@ main()
     }
 
     sim::SweepRunner runner;
+    const auto res = runner.run(spec);
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 18;
-    sim::TableReporter(t).print(runner.run(spec));
-    return 0;
+    sim::TableReporter(t).print(res);
+    return bench::finishSweep("fig10_depth", res, t.baselineConfig,
+                              t.configs, argc, argv);
 }

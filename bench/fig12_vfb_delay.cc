@@ -14,8 +14,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("base",
                                pipeline::MachineConfig::baseline());
@@ -31,8 +32,10 @@ main()
     }
 
     sim::SweepRunner runner;
+    const auto res = runner.run(spec);
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 10;
-    sim::TableReporter(t).print(runner.run(spec));
-    return 0;
+    sim::TableReporter(t).print(res);
+    return bench::finishSweep("fig12_vfb_delay", res, t.baselineConfig,
+                              t.configs, argc, argv);
 }

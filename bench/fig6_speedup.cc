@@ -15,8 +15,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
@@ -32,5 +33,6 @@ main()
     t.rows = sim::TableOptions::Rows::PerWorkloadBySuite;
     t.colWidth = 6;
     sim::TableReporter(t).print(res);
-    return 0;
+    return bench::finishSweep("fig6_speedup", res, t.baselineConfig,
+                              t.configs, argc, argv);
 }

@@ -21,8 +21,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
@@ -45,5 +46,6 @@ main()
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 18;
     sim::TableReporter(t).print(res);
-    return 0;
+    return bench::finishSweep("fig8_machine_models", res,
+                              t.baselineConfig, t.configs, argc, argv);
 }

@@ -14,8 +14,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
@@ -33,5 +34,6 @@ main()
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 14;
     sim::TableReporter(t).print(res);
-    return 0;
+    return bench::finishSweep("fig9_feedback", res, t.baselineConfig,
+                              t.configs, argc, argv);
 }

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hh"
 #include "src/arch/emulator.hh"
 #include "src/branch/branch_predictor.hh"
 #include "src/cache/cache.hh"
@@ -138,4 +139,47 @@ BENCHMARK(BM_SweepEngine)->Arg(1)->Arg(2)->Arg(4)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so this binary joins the artifact stream.
+// Host-side timings are machine-dependent, so the artifact carries no
+// timing jobs -- only the fingerprints of the structures' simulated
+// configurations, which pins the experimental setup like table2 does.
+int
+main(int argc, char **argv)
+{
+    // Fail fast on bad gate flags, like every other bench binary
+    // (lenient: the remaining args belong to google-benchmark).
+    conopt::bench::validateArgs(argc, argv, /*lenientArgs=*/true);
+
+    // Split argv: the harness gate flags are ours; everything else
+    // belongs to google-benchmark, including its typo detection
+    // (ReportUnrecognizedArguments), which BENCHMARK_MAIN() normally
+    // provides and must not be lost here.
+    std::vector<char *> bmArgs;
+    bmArgs.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--artifact-dir" || a == "--baseline" ||
+            a == "--tolerance") {
+            ++i;
+            continue;
+        }
+        if (a == "--no-artifact")
+            continue;
+        bmArgs.push_back(argv[i]);
+    }
+    int bmArgc = int(bmArgs.size());
+    benchmark::Initialize(&bmArgc, bmArgs.data());
+    if (benchmark::ReportUnrecognizedArguments(bmArgc, bmArgs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    sim::BenchArtifact art;
+    art.scale = sim::envScale();
+    art.jobs.push_back(conopt::bench::configJob(
+        "baseline", pipeline::MachineConfig::baseline()));
+    art.jobs.push_back(conopt::bench::configJob(
+        "optimized", pipeline::MachineConfig::optimized()));
+    return conopt::bench::finish("micro_structures", std::move(art),
+                                 argc, argv, /*lenientArgs=*/true);
+}

@@ -18,16 +18,24 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     bench::header("Table 1: Experimental Workload");
     std::printf("%-10s %-12s %38s %12s %10s\n", "App.", "Type", "Name",
                 "Paper insts", "Our insts");
 
+    // Functional runs have no timing, so the artifact's regression
+    // units are the dynamic instruction count and the memory checksum
+    // of every workload (cycles stay 0).
+    sim::BenchArtifact art;
+    art.scale = sim::envScale();
+    art.threads = sim::envThreads();
+
     sim::ProgramCache cache;
     for (const auto &w : workloads::allWorkloads()) {
-        const auto program =
-            cache.get(w.name, w.defaultScale * sim::envScale());
+        const unsigned scale = w.defaultScale * sim::envScale();
+        const auto program = cache.get(w.name, scale);
         arch::Emulator emu(*program);
         emu.run();
         if (!emu.halted()) {
@@ -40,6 +48,17 @@ main()
                     "  (checksum 0x%" PRIx64 ")\n",
                     w.name.c_str(), w.suite.c_str(), w.fullName.c_str(),
                     w.paperInstsM, emu.instCount(), checksum);
+
+        sim::ArtifactJob j;
+        j.label = w.name + "/emu";
+        j.workload = w.name;
+        j.suite = w.suite;
+        j.config = "emu";
+        j.scale = scale;
+        j.instructions = emu.instCount();
+        j.halted = true;
+        j.checksum = checksum;
+        art.jobs.push_back(std::move(j));
     }
-    return 0;
+    return bench::finish("table1_workloads", std::move(art), argc, argv);
 }

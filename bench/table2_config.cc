@@ -9,12 +9,29 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     bench::header("Table 2: Simulated Machine Configuration (baseline)");
     std::printf("%s", pipeline::MachineConfig::baseline().describe().c_str());
     bench::header("Table 2: with continuous optimizer");
     std::printf("%s",
                 pipeline::MachineConfig::optimized().describe().c_str());
-    return 0;
+
+    // No simulation here; the artifact pins the fingerprints of every
+    // preset machine, so any silent change to the experimental setup
+    // (Table 2 itself) trips the baseline gate.
+    sim::BenchArtifact art;
+    art.scale = sim::envScale();
+    const auto preset = [&](const char *name,
+                            const pipeline::MachineConfig &cfg) {
+        art.jobs.push_back(bench::configJob(name, cfg));
+    };
+    preset("baseline", pipeline::MachineConfig::baseline());
+    preset("optimized", pipeline::MachineConfig::optimized());
+    preset("fetch_bound", pipeline::MachineConfig::fetchBound(false));
+    preset("fetch_bound_opt", pipeline::MachineConfig::fetchBound(true));
+    preset("exec_bound", pipeline::MachineConfig::execBound(false));
+    preset("exec_bound_opt", pipeline::MachineConfig::execBound(true));
+    return bench::finish("table2_config", std::move(art), argc, argv);
 }

@@ -15,8 +15,9 @@
 using namespace conopt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::validateArgs(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("opt",
                                pipeline::MachineConfig::optimized());
@@ -26,5 +27,8 @@ main()
 
     bench::header("Table 3: Effects of continuous optimization");
     sim::EffectsReporter("opt").print(res);
-    return 0;
+    // Single-config sweep: no speedup columns, but every per-workload
+    // cycle count and optimizer counter is persisted and gated.
+    return bench::finish("table3_effects",
+                         sim::BenchArtifact::fromSweep(res), argc, argv);
 }

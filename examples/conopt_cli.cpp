@@ -24,6 +24,9 @@
  *   --threads N           sweep worker threads (default: hardware)
  *   --csv | --json        machine-readable output instead of the
  *                         per-workload statistics blocks
+ *   --artifact FILE       also persist the run as a benchmark artifact
+ *                         (the BENCH_*.json schema; comparable with
+ *                         conopt_bench_check)
  */
 
 #include <algorithm>
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/baseline.hh"
 #include "src/sim/report.hh"
 #include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
@@ -52,6 +56,7 @@ struct Options
     unsigned threads = 0;
     bool csv = false;
     bool json = false;
+    std::string artifactPath;
     core::OptimizerConfig oc = core::OptimizerConfig::full();
     std::vector<std::string> workloads;
 };
@@ -121,6 +126,10 @@ parse(int argc, char **argv)
             o.csv = true;
         } else if (a == "--json") {
             o.json = true;
+        } else if (a == "--artifact") {
+            if (++i >= argc)
+                usage();
+            o.artifactPath = argv[i];
         } else if (a == "all") {
             for (const auto &w : workloads::allWorkloads())
                 o.workloads.push_back(w.name);
@@ -176,6 +185,23 @@ main(int argc, char **argv)
 
     sim::SweepRunner runner({o.threads, nullptr});
     const auto res = runner.run(spec);
+
+    if (!o.artifactPath.empty()) {
+        auto art = sim::BenchArtifact::fromSweep(res);
+        art.bench = "conopt_cli";
+        // The CLI scales/threads via flags, not the environment
+        // variables fromSweep records; keep the artifact header honest.
+        art.scale = o.scale;
+        if (o.threads)
+            art.threads = o.threads;
+        if (o.compare)
+            art.addGeomeans(res, "baseline", {"optimized"});
+        std::string err;
+        if (!art.save(o.artifactPath, &err)) {
+            std::fprintf(stderr, "conopt_cli: %s\n", err.c_str());
+            return 1;
+        }
+    }
 
     if (o.csv) {
         sim::CsvReporter().print(res);

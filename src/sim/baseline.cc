@@ -1,0 +1,1089 @@
+#include "src/sim/baseline.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <algorithm>
+#include <set>
+
+#include "src/pipeline/stats_aggregate.hh"
+#include "src/sim/report.hh"
+#include "src/util/bitops.hh"
+
+namespace conopt::sim {
+
+// --------------------------------------------------------------------------
+// JsonValue
+// --------------------------------------------------------------------------
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        return 0.0;
+    return std::strtod(str_.c_str(), nullptr);
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number || str_.empty() || str_[0] == '-')
+        return 0;
+    return std::strtoull(str_.c_str(), nullptr, 10);
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+/** Recursive-descent parser over the input text. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    parseDocument(JsonValue *out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err_)
+            *err_ = "JSON error at offset " + std::to_string(pos_) +
+                    ": " + what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue *out, JsonValue::Kind kind,
+            bool bval)
+    {
+        const size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        out->kind_ = kind;
+        out->bool_ = bval;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (text_[pos_] != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (++pos_ >= text_.size())
+                    break;
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out->push_back('"'); break;
+                  case '\\': out->push_back('\\'); break;
+                  case '/': out->push_back('/'); break;
+                  case 'b': out->push_back('\b'); break;
+                  case 'f': out->push_back('\f'); break;
+                  case 'n': out->push_back('\n'); break;
+                  case 'r': out->push_back('\r'); break;
+                  case 't': out->push_back('\t'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad hex digit in \\u escape");
+                    }
+                    // Encode the BMP code point as UTF-8 (surrogate
+                    // pairs are not needed for artifact content).
+                    if (cp < 0x80) {
+                        out->push_back(char(cp));
+                    } else if (cp < 0x800) {
+                        out->push_back(char(0xc0 | (cp >> 6)));
+                        out->push_back(char(0x80 | (cp & 0x3f)));
+                    } else {
+                        out->push_back(char(0xe0 | (cp >> 12)));
+                        out->push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+                        out->push_back(char(0x80 | (cp & 0x3f)));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+                continue;
+            }
+            if (uint8_t(c) < 0x20)
+                return fail("unescaped control character in string");
+            out->push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        const auto digits = [&] {
+            const size_t d0 = pos_;
+            while (pos_ < text_.size() && std::isdigit(uint8_t(text_[pos_])))
+                ++pos_;
+            return pos_ > d0;
+        };
+        if (!digits())
+            return fail("malformed number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("malformed number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail("malformed number exponent");
+        }
+        out->kind_ = JsonValue::Kind::Number;
+        out->str_ = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        // Bound recursion so a corrupt/hostile document fails with a
+        // parse error instead of a stack overflow (the CLI promises
+        // exit code 2, not SIGSEGV).
+        if (depth_ >= kMaxDepth)
+            return fail("nesting too deep");
+        ++depth_;
+        const bool ok = parseValueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(JsonValue *out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            return literal("null", out, JsonValue::Kind::Null, false);
+          case 't':
+            return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool, false);
+          case '"':
+            out->kind_ = JsonValue::Kind::String;
+            return parseString(&out->str_);
+          case '[': {
+            ++pos_;
+            out->kind_ = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue elem;
+                if (!parseValue(&elem))
+                    return false;
+                out->arr_.push_back(std::move(elem));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+          }
+          case '{': {
+            ++pos_;
+            out->kind_ = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':' after object key");
+                ++pos_;
+                JsonValue val;
+                if (!parseValue(&val))
+                    return false;
+                out->obj_.emplace(std::move(key), std::move(val));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+          }
+          default:
+            if (text_[pos_] == '-' || std::isdigit(uint8_t(text_[pos_])))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    static constexpr unsigned kMaxDepth = 256;
+
+    const std::string &text_;
+    std::string *err_;
+    size_t pos_ = 0;
+    unsigned depth_ = 0;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out, std::string *err)
+{
+    *out = JsonValue();
+    return JsonParser(text, err).parseDocument(out);
+}
+
+// --------------------------------------------------------------------------
+// Config fingerprinting
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct Fnv
+{
+    uint64_t h = kFnv1aOffsetBasis;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h = fnv1aByte(h, uint8_t(v));
+            v >>= 8;
+        }
+    }
+
+    void
+    mixStr(const std::string &s)
+    {
+        for (char c : s)
+            h = fnv1aByte(h, uint8_t(c));
+        mix(s.size());
+    }
+
+    uint64_t final() const { return avalanche64(h); }
+};
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+configFingerprint(const pipeline::MachineConfig &cfg)
+{
+    Fnv f;
+    // Widths and depths.
+    f.mix(cfg.fetchWidth);
+    f.mix(cfg.renameWidth);
+    f.mix(cfg.retireWidth);
+    f.mix(cfg.frontEndDepth);
+    f.mix(cfg.renameBaseStages);
+    f.mix(cfg.schedMinDelay);
+    f.mix(cfg.regReadDepth);
+    f.mix(cfg.redirectPenalty);
+    f.mix(cfg.resteerPenalty);
+    // Resources.
+    f.mix(cfg.robEntries);
+    f.mix(cfg.schedEntries);
+    f.mix(cfg.dispatchQueueEntries);
+    f.mix(cfg.numSimpleAlu);
+    f.mix(cfg.numComplexAlu);
+    f.mix(cfg.numFpAlu);
+    f.mix(cfg.numAgen);
+    f.mix(cfg.numDCachePorts);
+    f.mix(cfg.intPhysRegs);
+    f.mix(cfg.fpPhysRegs);
+    // Memory hierarchy.
+    for (const auto *c : {&cfg.hier.l1i, &cfg.hier.l1d, &cfg.hier.l2}) {
+        f.mix(c->sizeBytes);
+        f.mix(c->assoc);
+        f.mix(c->lineBytes);
+        f.mix(c->latency);
+    }
+    f.mix(cfg.hier.memLatency);
+    // Branch prediction.
+    f.mix(cfg.bp.historyBits);
+    f.mix(cfg.bp.btbEntries);
+    f.mix(cfg.bp.rasEntries);
+    // Optimizer (every knob, including the family enables).
+    f.mix(cfg.opt.enabled);
+    f.mix(cfg.opt.enableCpRa);
+    f.mix(cfg.opt.enableRleSf);
+    f.mix(cfg.opt.enableValueFeedback);
+    f.mix(cfg.opt.enableBranchInference);
+    f.mix(cfg.opt.enableStrengthReduction);
+    f.mix(cfg.opt.enableMoveElim);
+    f.mix(cfg.opt.addChainDepth);
+    f.mix(cfg.opt.allowChainedMem);
+    f.mix(cfg.opt.extraStages);
+    f.mix(cfg.opt.mbc.entries);
+    f.mix(cfg.opt.mbc.assoc);
+    f.mix(cfg.opt.mbcFlushOnUnknownStore);
+    // Misc timing knobs.
+    f.mix(cfg.vfbDelay);
+    f.mix(cfg.mbcMisspecPenalty);
+    f.mix(cfg.maxCycles);
+    return hex64(f.final());
+}
+
+// --------------------------------------------------------------------------
+// BenchArtifact: construction
+// --------------------------------------------------------------------------
+
+BenchArtifact
+BenchArtifact::fromSweep(const SweepResult &res)
+{
+    BenchArtifact art;
+    art.scale = envScale();
+    art.threads = envThreads();
+    art.jobs.reserve(res.size());
+    for (const auto &r : res.all()) {
+        ArtifactJob j;
+        j.label = r.job.label;
+        j.workload = r.job.workload;
+        j.suite = r.suite;
+        j.config = r.job.configName;
+        j.scale = r.job.scale;
+        j.seed = r.job.seed;
+        j.instructions = r.sim.instructions;
+        j.cycles = r.sim.stats.cycles;
+        j.ipc = r.sim.ipc();
+        j.halted = r.sim.halted;
+        j.configFingerprint = configFingerprint(r.job.config);
+        const auto &o = r.sim.stats.opt;
+        j.optEarlyExecuted = o.earlyExecuted;
+        j.optMovesEliminated = o.movesEliminated;
+        j.optBranchesResolved = o.branchesResolved;
+        j.optLoadsRemoved = o.loadsRemoved;
+        j.optLoadsSynthesized = o.loadsSynthesized;
+        j.optMbcMisspecs = o.mbcMisspecs;
+        art.jobs.push_back(std::move(j));
+    }
+    return art;
+}
+
+void
+BenchArtifact::addGeomeans(const SweepResult &res,
+                           const std::string &baseConfig,
+                           const std::vector<std::string> &configs)
+{
+    // Distinct workloads in submission order.
+    std::vector<std::string> wls;
+    std::set<std::string> seen;
+    for (const auto &r : res.all()) {
+        if (!r.job.workload.empty() && seen.insert(r.job.workload).second)
+            wls.push_back(r.job.workload);
+    }
+    for (const auto &cfg : configs) {
+        const auto v = groupSpeedups(res, wls, cfg, baseConfig);
+        if (!v.empty())
+            geomeans[cfg] = pipeline::geomean(v);
+    }
+}
+
+std::string
+BenchArtifact::fingerprint() const
+{
+    // XOR-combined so the result is independent of job order: a merged
+    // set of shards fingerprints identically to the single-run sweep.
+    uint64_t combined = 0;
+    for (const auto &j : jobs) {
+        Fnv f;
+        f.mixStr(j.label);
+        f.mixStr(j.configFingerprint);
+        combined ^= f.final();
+    }
+    return hex64(combined);
+}
+
+const ArtifactJob *
+BenchArtifact::findJob(const std::string &label) const
+{
+    for (const auto &j : jobs)
+        if (j.label == label)
+            return &j;
+    return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// BenchArtifact: writer
+// --------------------------------------------------------------------------
+
+std::string
+BenchArtifact::toJson() const
+{
+    std::string s;
+    s.reserve(512 + jobs.size() * 512);
+    const auto kv = [&](const char *key, const std::string &raw) {
+        s += '"';
+        s += key;
+        s += "\": ";
+        s += raw;
+    };
+    const auto str = [&](const std::string &v) {
+        return "\"" + jsonEscape(v) + "\"";
+    };
+
+    s += "{\n  ";
+    kv("schema", str(kSchema));
+    s += ",\n  ";
+    kv("version", std::to_string(kVersion));
+    s += ",\n  ";
+    kv("bench", str(bench));
+    s += ",\n  ";
+    kv("scale", std::to_string(scale));
+    s += ",\n  ";
+    kv("threads", std::to_string(threads));
+    s += ",\n  ";
+    kv("config_fingerprint", str(fingerprint()));
+    s += ",\n  \"geomeans\": {";
+    bool first = true;
+    for (const auto &[k, v] : geomeans) {
+        s += first ? "\n    " : ",\n    ";
+        first = false;
+        kv(jsonEscape(k).c_str(), fmtDouble(v));
+    }
+    s += first ? "},\n" : "\n  },\n";
+    s += "  \"jobs\": [";
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const auto &j = jobs[i];
+        s += i ? ",\n    {" : "\n    {";
+        kv("label", str(j.label));
+        s += ", ";
+        kv("workload", str(j.workload));
+        s += ", ";
+        kv("suite", str(j.suite));
+        s += ", ";
+        kv("config", str(j.config));
+        s += ",\n     ";
+        kv("scale", std::to_string(j.scale));
+        s += ", ";
+        kv("seed", std::to_string(j.seed));
+        s += ", ";
+        kv("instructions", std::to_string(j.instructions));
+        s += ", ";
+        kv("cycles", std::to_string(j.cycles));
+        s += ",\n     ";
+        kv("ipc", fmtDouble(j.ipc));
+        s += ", ";
+        kv("halted", j.halted ? "true" : "false");
+        s += ", ";
+        kv("checksum", std::to_string(j.checksum));
+        s += ",\n     ";
+        kv("config_fingerprint", str(j.configFingerprint));
+        s += ",\n     \"opt\": {";
+        kv("early_executed", std::to_string(j.optEarlyExecuted));
+        s += ", ";
+        kv("moves_eliminated", std::to_string(j.optMovesEliminated));
+        s += ", ";
+        kv("branches_resolved", std::to_string(j.optBranchesResolved));
+        s += ", ";
+        kv("loads_removed", std::to_string(j.optLoadsRemoved));
+        s += ", ";
+        kv("loads_synthesized", std::to_string(j.optLoadsSynthesized));
+        s += ", ";
+        kv("mbc_misspecs", std::to_string(j.optMbcMisspecs));
+        s += "}}";
+    }
+    s += jobs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return s;
+}
+
+void
+BenchArtifact::write(std::FILE *out) const
+{
+    const std::string s = toJson();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+bool
+BenchArtifact::save(const std::string &path, std::string *err) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (err)
+            *err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    write(f);
+    const bool ok = std::fclose(f) == 0;
+    if (!ok && err)
+        *err = path + ": write failed";
+    return ok;
+}
+
+// --------------------------------------------------------------------------
+// BenchArtifact: loader
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string
+getStr(const JsonValue &obj, const char *key)
+{
+    const auto *v = obj.get(key);
+    return v && v->kind() == JsonValue::Kind::String ? v->asString() : "";
+}
+
+uint64_t
+getU64(const JsonValue &obj, const char *key)
+{
+    const auto *v = obj.get(key);
+    return v ? v->asU64() : 0;
+}
+
+double
+getDouble(const JsonValue &obj, const char *key)
+{
+    const auto *v = obj.get(key);
+    return v ? v->asDouble() : 0.0;
+}
+
+bool
+getBool(const JsonValue &obj, const char *key)
+{
+    const auto *v = obj.get(key);
+    return v && v->kind() == JsonValue::Kind::Bool && v->asBool();
+}
+
+} // namespace
+
+bool
+parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(json, &doc, err))
+        return false;
+    if (!doc.isObject()) {
+        if (err)
+            *err = "artifact root is not a JSON object";
+        return false;
+    }
+    if (getStr(doc, "schema") != BenchArtifact::kSchema) {
+        if (err)
+            *err = "not a " + std::string(BenchArtifact::kSchema) +
+                   " document";
+        return false;
+    }
+    if (getU64(doc, "version") != BenchArtifact::kVersion) {
+        if (err)
+            *err = "unsupported artifact version " +
+                   std::to_string(getU64(doc, "version"));
+        return false;
+    }
+
+    BenchArtifact art;
+    art.bench = getStr(doc, "bench");
+    art.scale = unsigned(getU64(doc, "scale"));
+    art.threads = unsigned(getU64(doc, "threads"));
+
+    if (const auto *g = doc.get("geomeans"); g && g->isObject()) {
+        for (const auto &[k, v] : g->object())
+            art.geomeans[k] = v.asDouble();
+    }
+
+    const auto *jobs = doc.get("jobs");
+    if (!jobs || !jobs->isArray()) {
+        if (err)
+            *err = "artifact has no jobs array";
+        return false;
+    }
+    std::set<std::string> labels;
+    for (size_t i = 0; i < jobs->size(); ++i) {
+        const auto &o = jobs->at(i);
+        if (!o.isObject()) {
+            if (err)
+                *err = "job " + std::to_string(i) + " is not an object";
+            return false;
+        }
+        ArtifactJob j;
+        j.label = getStr(o, "label");
+        if (j.label.empty()) {
+            if (err)
+                *err = "job " + std::to_string(i) + " has no label";
+            return false;
+        }
+        // Labels key the comparison; a duplicate would let a drifted
+        // second record hide behind a clean first one.
+        if (!labels.insert(j.label).second) {
+            if (err)
+                *err = "duplicate job label '" + j.label + "'";
+            return false;
+        }
+        j.workload = getStr(o, "workload");
+        j.suite = getStr(o, "suite");
+        j.config = getStr(o, "config");
+        j.scale = unsigned(getU64(o, "scale"));
+        j.seed = getU64(o, "seed");
+        j.instructions = getU64(o, "instructions");
+        j.cycles = getU64(o, "cycles");
+        j.ipc = getDouble(o, "ipc");
+        j.halted = getBool(o, "halted");
+        j.checksum = getU64(o, "checksum");
+        j.configFingerprint = getStr(o, "config_fingerprint");
+        if (const auto *opt = o.get("opt"); opt && opt->isObject()) {
+            j.optEarlyExecuted = getU64(*opt, "early_executed");
+            j.optMovesEliminated = getU64(*opt, "moves_eliminated");
+            j.optBranchesResolved = getU64(*opt, "branches_resolved");
+            j.optLoadsRemoved = getU64(*opt, "loads_removed");
+            j.optLoadsSynthesized = getU64(*opt, "loads_synthesized");
+            j.optMbcMisspecs = getU64(*opt, "mbc_misspecs");
+        }
+        art.jobs.push_back(std::move(j));
+    }
+
+    // Integrity: the stored combined fingerprint must match the per-job
+    // fingerprints it claims to summarize.
+    const std::string stored = getStr(doc, "config_fingerprint");
+    if (!stored.empty() && stored != art.fingerprint()) {
+        if (err)
+            *err = "artifact fingerprint " + stored +
+                   " does not match its jobs (" + art.fingerprint() + ")";
+        return false;
+    }
+
+    *out = std::move(art);
+    return true;
+}
+
+bool
+loadArtifact(const std::string &path, BenchArtifact *out, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        if (err)
+            *err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool readOk = !std::ferror(f);
+    std::fclose(f);
+    if (!readOk) {
+        if (err)
+            *err = path + ": read failed";
+        return false;
+    }
+    if (!parseArtifact(text, out, err)) {
+        if (err)
+            *err = path + ": " + *err;
+        return false;
+    }
+    return true;
+}
+
+bool
+loadArtifactOrShards(const std::string &path, BenchArtifact *out,
+                     std::string *err)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(path, ec))
+        return loadArtifact(path, out, err);
+
+    std::vector<std::string> files;
+    try {
+        // The error_code overload only covers construction; increment
+        // can still throw (entry vanishing mid-iteration), and the
+        // 0/1/2 exit contract must hold regardless.
+        for (const auto &e : fs::directory_iterator(path, ec)) {
+            if (e.is_regular_file() && e.path().extension() == ".json")
+                files.push_back(e.path().string());
+        }
+    } catch (const fs::filesystem_error &fe) {
+        if (err)
+            *err = path + ": " + fe.what();
+        return false;
+    }
+    if (ec) {
+        if (err)
+            *err = path + ": " + ec.message();
+        return false;
+    }
+    if (files.empty()) {
+        if (err)
+            *err = path + ": no .json artifacts found";
+        return false;
+    }
+    std::sort(files.begin(), files.end());
+
+    BenchArtifact merged;
+    if (!loadArtifact(files[0], &merged, err))
+        return false;
+    for (size_t i = 1; i < files.size(); ++i) {
+        BenchArtifact shard;
+        if (!loadArtifact(files[i], &shard, err))
+            return false;
+        if (!merged.merge(shard, err)) {
+            if (err)
+                *err = files[i] + ": " + *err;
+            return false;
+        }
+    }
+    *out = std::move(merged);
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Merge
+// --------------------------------------------------------------------------
+
+bool
+BenchArtifact::merge(const BenchArtifact &shard, std::string *err)
+{
+    if (shard.bench != bench) {
+        if (err)
+            *err = "cannot merge artifact for bench '" + shard.bench +
+                   "' into '" + bench + "'";
+        return false;
+    }
+    if (shard.scale != scale) {
+        if (err)
+            *err = "cannot merge artifacts at different scales (" +
+                   std::to_string(scale) + " vs " +
+                   std::to_string(shard.scale) + ")";
+        return false;
+    }
+    for (const auto &j : shard.jobs) {
+        if (findJob(j.label)) {
+            if (err)
+                *err = "duplicate job label '" + j.label +
+                       "' across shards";
+            return false;
+        }
+    }
+    // Geomeans are whole-figure aggregates: a partial shard's value is
+    // wrong for the merged artifact. Shards must carry identical maps
+    // (full-result copies, or none at all) -- adopting a one-sided or
+    // conflicting value would silently gate against a subset geomean;
+    // proper sharded flows compute geomeans after merging.
+    if (shard.geomeans != geomeans) {
+        if (err)
+            *err = "geomeans differ across shards; compute geomeans "
+                   "after merging, not per shard";
+        return false;
+    }
+    jobs.insert(jobs.end(), shard.jobs.begin(), shard.jobs.end());
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Compare
+// --------------------------------------------------------------------------
+
+std::string
+CompareResult::message() const
+{
+    std::string s;
+    for (const auto &d : diffs) {
+        s += d;
+        s += '\n';
+    }
+    return s;
+}
+
+namespace {
+
+/** Relative drift of @p cand against @p base beyond @p tol? Exact
+ *  comparison when tol is 0. */
+bool
+drifted(double base, double cand, double tol)
+{
+    if (base == cand)
+        return false;
+    if (tol <= 0.0)
+        return true;
+    const double denom = base != 0.0 ? base : 1.0;
+    return std::abs(cand - base) / std::abs(denom) > tol;
+}
+
+} // namespace
+
+CompareResult
+compareArtifacts(const BenchArtifact &baseline,
+                 const BenchArtifact &candidate, const CompareOptions &opts)
+{
+    CompareResult out;
+    const auto diff = [&](std::string msg) {
+        out.ok = false;
+        out.diffs.push_back(std::move(msg));
+    };
+
+    if (!baseline.bench.empty() && !candidate.bench.empty() &&
+        baseline.bench != candidate.bench)
+        diff("bench name differs: baseline '" + baseline.bench +
+             "', candidate '" + candidate.bench + "'");
+    if (baseline.scale != candidate.scale)
+        diff("scale differs: baseline " + std::to_string(baseline.scale) +
+             ", candidate " + std::to_string(candidate.scale) +
+             " (re-run with CONOPT_SCALE=" +
+             std::to_string(baseline.scale) + " or re-baseline)");
+
+    for (const auto &b : baseline.jobs) {
+        const auto *c = candidate.findJob(b.label);
+        if (!c) {
+            diff("job '" + b.label + "' missing from candidate");
+            continue;
+        }
+        if (b.configFingerprint != c->configFingerprint)
+            diff("config fingerprint drift on '" + b.label +
+                 "': baseline " + b.configFingerprint + ", candidate " +
+                 c->configFingerprint);
+        // Exact uint64 comparison at tolerance 0: double conversion
+        // would collapse >2^53 cycle counts onto the same value.
+        const bool cyclesDrift =
+            opts.tolerance <= 0.0
+                ? b.cycles != c->cycles
+                : drifted(double(b.cycles), double(c->cycles),
+                          opts.tolerance);
+        if (cyclesDrift) {
+            char ratio[32] = "inf";
+            if (b.cycles)
+                std::snprintf(ratio, sizeof(ratio), "%.4f",
+                              double(c->cycles) / double(b.cycles));
+            diff("cycles drift on '" + b.label + "': baseline " +
+                 std::to_string(b.cycles) + ", candidate " +
+                 std::to_string(c->cycles) + " (x" + ratio + ")");
+        }
+        if (b.instructions != c->instructions)
+            diff("instruction-count drift on '" + b.label +
+                 "': baseline " + std::to_string(b.instructions) +
+                 ", candidate " + std::to_string(c->instructions));
+        if (b.checksum != c->checksum)
+            diff("checksum drift on '" + b.label + "': baseline " +
+                 hex64(b.checksum) + ", candidate " + hex64(c->checksum));
+        // Optimizer counters get the same treatment as cycles: exact
+        // at tolerance 0, relative drift otherwise (no cliff where a
+        // nonzero tolerance disables the check entirely).
+        const auto counter = [&](const char *name, uint64_t bv,
+                                 uint64_t cv) {
+            const bool drift =
+                opts.tolerance <= 0.0
+                    ? bv != cv
+                    : drifted(double(bv), double(cv), opts.tolerance);
+            if (drift)
+                diff(std::string(name) + " drift on '" + b.label +
+                     "': baseline " + std::to_string(bv) +
+                     ", candidate " + std::to_string(cv));
+        };
+        counter("opt.early_executed", b.optEarlyExecuted,
+                c->optEarlyExecuted);
+        counter("opt.moves_eliminated", b.optMovesEliminated,
+                c->optMovesEliminated);
+        counter("opt.branches_resolved", b.optBranchesResolved,
+                c->optBranchesResolved);
+        counter("opt.loads_removed", b.optLoadsRemoved,
+                c->optLoadsRemoved);
+        counter("opt.loads_synthesized", b.optLoadsSynthesized,
+                c->optLoadsSynthesized);
+        counter("opt.mbc_misspecs", b.optMbcMisspecs,
+                c->optMbcMisspecs);
+    }
+    for (const auto &c : candidate.jobs) {
+        if (!baseline.findJob(c.label))
+            diff("job '" + c.label +
+                 "' not in baseline (re-baseline to accept new jobs)");
+    }
+
+    // Geomeans go through std::log/std::exp, whose last-ulp results
+    // can differ across libm implementations; a tiny relative floor
+    // keeps the tolerance-0 gate portable across toolchains while
+    // still catching any real drift (the underlying cycle counts are
+    // integer-exact and gated above). 1e-12 is ~10^3 ulps at 1.0 yet
+    // orders of magnitude below any genuine timing change.
+    const double geomeanTol = std::max(opts.tolerance, 1e-12);
+    for (const auto &[k, bv] : baseline.geomeans) {
+        const auto it = candidate.geomeans.find(k);
+        if (it == candidate.geomeans.end()) {
+            diff("geomean '" + k + "' missing from candidate");
+            continue;
+        }
+        if (drifted(bv, it->second, geomeanTol))
+            diff("geomean drift on '" + k + "': baseline " +
+                 fmtDouble(bv) + ", candidate " + fmtDouble(it->second));
+    }
+    for (const auto &[k, cv] : candidate.geomeans) {
+        (void)cv;
+        if (!baseline.geomeans.count(k))
+            diff("geomean '" + k + "' not in baseline");
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------------
+// conopt_bench_check CLI
+// --------------------------------------------------------------------------
+
+bool
+parseTolerance(const char *s, double *out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v) || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+int
+benchCheckMain(const std::vector<std::string> &args)
+{
+    const auto usage = [] {
+        std::fprintf(
+            stderr,
+            "usage: conopt_bench_check [--tolerance T] <baseline> "
+            "<candidate>\n"
+            "  each path is a BENCH_*.json artifact or a directory of\n"
+            "  per-shard artifacts for one bench (merged before the\n"
+            "  comparison)\n"
+            "  exit status: 0 match, 1 drift, 2 usage/parse error\n");
+        return 2;
+    };
+
+    CompareOptions opts;
+    std::vector<std::string> paths;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--tolerance") {
+            if (++i >= args.size())
+                return usage();
+            if (!parseTolerance(args[i].c_str(), &opts.tolerance))
+                return usage();
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+
+    std::string err;
+    BenchArtifact baseline, candidate;
+    if (!loadArtifactOrShards(paths[0], &baseline, &err)) {
+        std::fprintf(stderr, "conopt_bench_check: baseline: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    if (!loadArtifactOrShards(paths[1], &candidate, &err)) {
+        std::fprintf(stderr, "conopt_bench_check: candidate: %s\n",
+                     err.c_str());
+        return 2;
+    }
+
+    const auto res = compareArtifacts(baseline, candidate, opts);
+    if (!res.ok) {
+        std::fprintf(stderr,
+                     "conopt_bench_check: DRIFT: %s vs %s (%zu "
+                     "difference%s, tolerance %g):\n",
+                     paths[0].c_str(), paths[1].c_str(), res.diffs.size(),
+                     res.diffs.size() == 1 ? "" : "s", opts.tolerance);
+        for (const auto &d : res.diffs)
+            std::fprintf(stderr, "  %s\n", d.c_str());
+        return 1;
+    }
+    std::printf("conopt_bench_check: OK: %s matches %s (%zu jobs, %zu "
+                "geomeans, tolerance %g)\n",
+                paths[1].c_str(), paths[0].c_str(),
+                baseline.jobs.size(), baseline.geomeans.size(),
+                opts.tolerance);
+    return 0;
+}
+
+} // namespace conopt::sim

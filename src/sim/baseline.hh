@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Benchmark artifact persistence and baseline regression gating.
+ *
+ * Every table/figure binary in bench/ emits a `BENCH_<name>.json`
+ * artifact describing what it measured: one record per sweep job
+ * (cycles, IPC, optimizer counters, a config fingerprint) plus the
+ * figure-level geomean speedups and run metadata (bench name, scale,
+ * threads). The artifact is the unit of the bench trajectory: CI keeps
+ * seed artifacts under bench/baselines/ and fails when the simulated
+ * machine drifts, the same way ctest fails when correctness drifts.
+ *
+ * The simulator is deterministic, so the default comparison is exact
+ * (tolerance 0): any cycle change on any workload is a flagged drift.
+ * A relative tolerance is available for intentionally-noisy studies.
+ *
+ * Pieces:
+ *   - JsonValue:       minimal recursive-descent JSON loader (numbers
+ *                      kept as raw text, so uint64 round-trips exactly)
+ *   - BenchArtifact:   the schema + writer (toJson/save) + loader
+ *                      (parse/load) + shard merge
+ *   - compareArtifacts: the regression gate, label-keyed
+ *   - benchCheckMain:  the `conopt_bench_check` CLI entry point,
+ *                      exposed so tests/test_baseline.cc can cover the
+ *                      CLI's exit behaviour in-process
+ */
+
+#ifndef CONOPT_SIM_BASELINE_HH
+#define CONOPT_SIM_BASELINE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/machine_config.hh"
+#include "src/sim/sweep.hh"
+
+namespace conopt::sim {
+
+// --------------------------------------------------------------------------
+// JsonValue: a minimal JSON loader
+// --------------------------------------------------------------------------
+
+/** A parsed JSON document node. Numbers keep their raw source text so
+ *  64-bit cycle counts survive the round trip without double rounding. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Parse @p text into @p out. False on malformed input (trailing
+     *  garbage included), with a position-annotated message in @p err. */
+    static bool parse(const std::string &text, JsonValue *out,
+                      std::string *err);
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool asBool() const { return bool_; }
+    /** The number as a double (0.0 for non-numbers). */
+    double asDouble() const;
+    /** The number as a uint64 (0 for non-numbers / negatives). */
+    uint64_t asU64() const;
+    const std::string &asString() const { return str_; }
+
+    /** Array element count (0 for non-arrays). */
+    size_t size() const { return arr_.size(); }
+    const JsonValue &at(size_t i) const { return arr_[i]; }
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *get(const std::string &key) const;
+    const std::map<std::string, JsonValue> &object() const { return obj_; }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string str_; ///< string value, or raw number token
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+// --------------------------------------------------------------------------
+// The artifact schema
+// --------------------------------------------------------------------------
+
+/** One sweep job as persisted: the per-workload regression unit. */
+struct ArtifactJob
+{
+    std::string label;    ///< unique key within the artifact
+    std::string workload; ///< Table 1 registry name ("" for synthetic)
+    std::string suite;    ///< Table 1 suite ("" when not registry-run)
+    std::string config;   ///< configuration column name
+    unsigned scale = 0;   ///< absolute iteration scale of the run
+    uint64_t seed = 0;    ///< deterministic per-job seed
+
+    uint64_t instructions = 0; ///< dynamic instructions retired
+    uint64_t cycles = 0;       ///< the headline regression number
+    double ipc = 0.0;
+    bool halted = false;
+    uint64_t checksum = 0; ///< workload memory checksum (emulator runs)
+
+    /** Hash of every MachineConfig field; catches "same cycles because
+     *  the experiment silently changed" as well as config drift. */
+    std::string configFingerprint;
+
+    // Optimizer activity counters (compared like cycles: exact at
+    // tolerance 0, relative drift otherwise).
+    uint64_t optEarlyExecuted = 0;
+    uint64_t optMovesEliminated = 0;
+    uint64_t optBranchesResolved = 0;
+    uint64_t optLoadsRemoved = 0;
+    uint64_t optLoadsSynthesized = 0;
+    uint64_t optMbcMisspecs = 0;
+};
+
+/** A persisted benchmark run: `BENCH_<name>.json`. */
+struct BenchArtifact
+{
+    static constexpr const char *kSchema = "conopt-bench-artifact";
+    static constexpr unsigned kVersion = 1;
+
+    std::string bench;   ///< bench binary name ("fig6_speedup", ...)
+    unsigned scale = 1;  ///< CONOPT_SCALE the run used
+    unsigned threads = 0; ///< CONOPT_THREADS (informational; excluded
+                          ///< from comparison by design: results are
+                          ///< scheduling-independent)
+
+    std::vector<ArtifactJob> jobs; ///< submission order
+
+    /** Figure-level geomean speedups, keyed by config column name. */
+    std::map<std::string, double> geomeans;
+
+    /** Build the per-job records from a sweep (no geomeans yet). */
+    static BenchArtifact fromSweep(const SweepResult &res);
+
+    /** Append the all-workload geomean speedup of each of @p configs
+     *  over @p baseConfig (the figure's headline numbers). */
+    void addGeomeans(const SweepResult &res, const std::string &baseConfig,
+                     const std::vector<std::string> &configs);
+
+    /** Order-independent combination of the per-job config
+     *  fingerprints: the artifact-level config identity. */
+    std::string fingerprint() const;
+
+    const ArtifactJob *findJob(const std::string &label) const;
+
+    std::string toJson() const;
+    void write(std::FILE *out) const;
+    /** Write to @p path; false (with @p err) on I/O failure. */
+    bool save(const std::string &path, std::string *err) const;
+
+    /** Fold a disjoint shard into this artifact. False (with @p err) on
+     *  bench/scale mismatch, duplicate job labels, or geomean maps that
+     *  are not identical across shards (whole-figure aggregates cannot
+     *  be merged from per-shard subsets; compute them after merging). */
+    bool merge(const BenchArtifact &shard, std::string *err);
+};
+
+/** Parse an artifact from JSON text; schema/version checked, and the
+ *  stored fingerprint verified against the per-job fingerprints. */
+bool parseArtifact(const std::string &json, BenchArtifact *out,
+                   std::string *err);
+
+/** Load an artifact from a file. */
+bool loadArtifact(const std::string &path, BenchArtifact *out,
+                  std::string *err);
+
+/** Load one artifact from @p path: either a single JSON file or a
+ *  directory of per-shard artifacts (merged in filename order). */
+bool loadArtifactOrShards(const std::string &path, BenchArtifact *out,
+                          std::string *err);
+
+// --------------------------------------------------------------------------
+// Comparison: the regression gate
+// --------------------------------------------------------------------------
+
+struct CompareOptions
+{
+    /** Relative drift allowed on cycles, optimizer counters, and
+     *  geomeans. 0 means exact: the simulator is deterministic, so
+     *  that is the CI default. (Geomeans always get a 1e-12 relative
+     *  floor to absorb cross-libm last-ulp differences in log/exp;
+     *  integer fields are compared exactly at tolerance 0.) */
+    double tolerance = 0.0;
+};
+
+struct CompareResult
+{
+    bool ok = true;
+    std::vector<std::string> diffs; ///< one human-readable line each
+
+    /** All diffs joined with newlines (convenience for callers). */
+    std::string message() const;
+};
+
+/** Compare @p candidate against @p baseline, label-keyed. Flags cycle /
+ *  instruction / checksum / counter / fingerprint drift per job,
+ *  missing and unexpected jobs, and geomean drift. */
+CompareResult compareArtifacts(const BenchArtifact &baseline,
+                               const BenchArtifact &candidate,
+                               const CompareOptions &opts = {});
+
+/** Hash of every field of @p cfg (including all optimizer knobs), as a
+ *  "0x%016x" string. Two configs compare equal iff they simulate the
+ *  same machine. */
+std::string configFingerprint(const pipeline::MachineConfig &cfg);
+
+/** Parse a --tolerance value: a finite, non-negative number with no
+ *  trailing garbage. Shared by conopt_bench_check and the bench
+ *  harness so the two CLIs accept exactly the same inputs. */
+bool parseTolerance(const char *s, double *out);
+
+/** The `conopt_bench_check` CLI:
+ *
+ *    conopt_bench_check [--tolerance T] <baseline> <candidate>
+ *
+ *  where each path is a BENCH_*.json file or a directory of per-shard
+ *  artifacts (merged before comparison). Returns the process exit
+ *  code: 0 on match, 1 on drift, 2 on usage/parse/I-O errors. */
+int benchCheckMain(const std::vector<std::string> &args);
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_BASELINE_HH

@@ -14,6 +14,50 @@ printHeader(const char *title, std::FILE *out)
     std::fprintf(out, "\n=== %s ===\n", title);
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 namespace {
 
 /** (workload, suite) pairs in job submission order, deduplicated. */
@@ -42,7 +86,8 @@ suiteRows(const std::vector<std::pair<std::string, std::string>> &wls)
     return suites;
 }
 
-/** Per-workload speedups of @p config over @p base, skipping holes. */
+} // namespace
+
 std::vector<double>
 groupSpeedups(const SweepResult &res,
               const std::vector<std::string> &group,
@@ -52,14 +97,14 @@ groupSpeedups(const SweepResult &res,
     for (const auto &w : group) {
         const auto *b = res.find(SweepSpec::labelFor(w, base));
         const auto *o = res.find(SweepSpec::labelFor(w, config));
-        if (b && o)
+        // Skip the cell when either side has zero cycles: one
+        // degenerate job must not collapse the whole geomean to 0.
+        if (b && o && b->sim.stats.cycles && o->sim.stats.cycles)
             v.push_back(double(b->sim.stats.cycles) /
                         double(o->sim.stats.cycles));
     }
     return v;
 }
-
-} // namespace
 
 // --------------------------------------------------------------------------
 // TableReporter
@@ -255,8 +300,10 @@ CsvReporter::report(const SweepResult &res, std::FILE *out) const
         std::fprintf(out,
                      "%s,%s,%s,%s,%u,%" PRIu64 ",%" PRIu64 ",%" PRIu64
                      ",%.4f,%.4f,%.4f,%.4f,%.4f,%" PRIu64 ",%.4f\n",
-                     r.job.label.c_str(), r.job.workload.c_str(),
-                     r.suite.c_str(), r.job.configName.c_str(),
+                     csvField(r.job.label).c_str(),
+                     csvField(r.job.workload).c_str(),
+                     csvField(r.suite).c_str(),
+                     csvField(r.job.configName).c_str(),
                      r.job.scale, r.job.seed, r.sim.instructions,
                      s.cycles, s.ipc(), s.execEarlyFrac(),
                      s.recoveredMispredFrac(), s.addrGenFrac(),
@@ -268,23 +315,6 @@ CsvReporter::report(const SweepResult &res, std::FILE *out) const
 // --------------------------------------------------------------------------
 // JsonReporter
 // --------------------------------------------------------------------------
-
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-} // namespace
 
 void
 JsonReporter::report(const SweepResult &res, std::FILE *out) const

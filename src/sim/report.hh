@@ -114,6 +114,26 @@ class JsonReporter : public Reporter
 /** Print a section header ("=== title ==="). */
 void printHeader(const char *title, std::FILE *out = stdout);
 
+/** Per-workload speedups of @p config over @p base across @p group,
+ *  using the SweepSpec label convention; cells missing either config
+ *  or with zero cycles on either side are skipped. The single source
+ *  of the figure-headline ratios, shared by TableReporter and the
+ *  benchmark-artifact geomeans (src/sim/baseline.hh). */
+std::vector<double> groupSpeedups(const SweepResult &res,
+                                  const std::vector<std::string> &group,
+                                  const std::string &config,
+                                  const std::string &base);
+
+/** Escape @p s for embedding in a JSON string literal: quotes,
+ *  backslashes, and control characters (shared by JsonReporter and the
+ *  benchmark-artifact writer in src/sim/baseline.hh). */
+std::string jsonEscape(const std::string &s);
+
+/** Quote @p s as a CSV field when it contains commas, quotes, or line
+ *  breaks (RFC 4180: embedded quotes doubled); returned verbatim
+ *  otherwise. */
+std::string csvField(const std::string &s);
+
 } // namespace conopt::sim
 
 #endif // CONOPT_SIM_REPORT_HH

@@ -1,36 +1,59 @@
 #include "src/sim/sweep.hh"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <set>
 #include <thread>
 
+#include "src/util/bitops.hh"
 #include "src/util/logging.hh"
 #include "src/workloads/workload.hh"
 
 namespace conopt::sim {
 
+namespace {
+
+/** Parse environment variable @p name as an unsigned. Unset, empty,
+ *  non-numeric, negative, or zero values yield @p def; values beyond
+ *  @p cap clamp to it (so absurd inputs can't overflow downstream
+ *  scale/thread arithmetic). */
+unsigned
+envUnsigned(const char *name, unsigned def, unsigned cap)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return def;
+    // Skip exactly the whitespace strtoull would, so a negative value
+    // is rejected here rather than wrapping to a huge unsigned there.
+    while (std::isspace(uint8_t(*s)))
+        ++s;
+    if (*s == '-')
+        return def;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s)
+        return def;
+    if (errno == ERANGE || v > cap)
+        return cap;
+    return v == 0 ? def : unsigned(v);
+}
+
+} // namespace
+
 unsigned
 envScale()
 {
-    if (const char *s = std::getenv("CONOPT_SCALE")) {
-        const long v = std::strtol(s, nullptr, 10);
-        if (v >= 1)
-            return unsigned(v);
-    }
-    return 1;
+    return envUnsigned("CONOPT_SCALE", 1, kMaxEnvScale);
 }
 
 unsigned
 envThreads()
 {
-    if (const char *s = std::getenv("CONOPT_THREADS")) {
-        const long v = std::strtol(s, nullptr, 10);
-        if (v >= 1)
-            return unsigned(v);
-    }
-    return 0;
+    return envUnsigned("CONOPT_THREADS", 0, kMaxEnvThreads);
 }
 
 namespace {
@@ -39,15 +62,11 @@ namespace {
 uint64_t
 seedFor(const std::string &label, unsigned scale)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (char c : label) {
-        h ^= uint8_t(c);
-        h *= 0x100000001b3ull;
-    }
+    uint64_t h = kFnv1aOffsetBasis;
+    for (char c : label)
+        h = fnv1aByte(h, uint8_t(c));
     h ^= scale;
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdull;
-    h ^= h >> 33;
+    h = avalanche64(h);
     return h ? h : 1;
 }
 
@@ -237,7 +256,12 @@ double
 SweepResult::speedup(const std::string &baseLabel,
                      const std::string &label) const
 {
-    return double(cycles(baseLabel)) / double(cycles(label));
+    const JobResult *base = find(baseLabel);
+    const JobResult *other = find(label);
+    if (!base || !other || other->sim.stats.cycles == 0)
+        return 0.0;
+    return double(base->sim.stats.cycles) /
+           double(other->sim.stats.cycles);
 }
 
 double

@@ -46,12 +46,22 @@
 
 namespace conopt::sim {
 
+/** Upper bounds on the CONOPT_SCALE / CONOPT_THREADS environment
+ *  variables; larger values clamp rather than overflow the scale
+ *  multiplication or the thread-pool size. */
+constexpr unsigned kMaxEnvScale = 1u << 20;
+constexpr unsigned kMaxEnvThreads = 1u << 16;
+
 /** Workload scale multiplier from the CONOPT_SCALE environment variable
- *  (default 1); lets the harness trade runtime for statistical weight. */
+ *  (default 1); lets the harness trade runtime for statistical weight.
+ *  Unset, zero, negative, or garbage values yield the default; huge
+ *  values clamp to kMaxEnvScale. */
 unsigned envScale();
 
 /** Worker-thread count from the CONOPT_THREADS environment variable;
- *  0 (unset/invalid) means use std::thread::hardware_concurrency(). */
+ *  0 (unset/invalid/garbage) means use
+ *  std::thread::hardware_concurrency(); huge values clamp to
+ *  kMaxEnvThreads. */
 unsigned envThreads();
 
 /** An immutable, shareable assembled program. */
@@ -176,7 +186,9 @@ class SweepResult
     uint64_t cycles(const std::string &label) const;
     double ipc(const std::string &label) const;
 
-    /** baseline cycles / other cycles (>1 means @p label is faster). */
+    /** baseline cycles / other cycles (>1 means @p label is faster).
+     *  0.0 when either label is missing or @p label ran for zero
+     *  cycles, so ratio consumers never divide by zero. */
     double speedup(const std::string &baseLabel,
                    const std::string &label) const;
 

@@ -47,6 +47,28 @@ bits64(uint64_t v, unsigned lo, unsigned len)
     return (v >> lo) & ((len >= 64) ? ~uint64_t(0) : ((uint64_t(1) << len) - 1));
 }
 
+// FNV-1a hashing constants and steps, shared by the sweep job seeds
+// (src/sim/sweep.cc) and the config fingerprints (src/sim/baseline.cc).
+constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/** One FNV-1a step: fold @p b into the running hash @p h. */
+constexpr uint64_t
+fnv1aByte(uint64_t h, uint8_t b)
+{
+    return (h ^ b) * kFnv1aPrime;
+}
+
+/** Murmur3-style 64-bit avalanche finalizer. */
+constexpr uint64_t
+avalanche64(uint64_t v)
+{
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    return v;
+}
+
 /** Wrapping add/sub on uint64_t used for well-defined overflow semantics. */
 constexpr uint64_t
 wrappingAdd(uint64_t a, uint64_t b)

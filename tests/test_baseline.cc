@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Benchmark-artifact subsystem tests (src/sim/baseline.hh): the JSON
+ * loader, write -> parse round-trip losslessness, the baseline
+ * comparison gate (self-compare passes at tolerance 0; any injected
+ * cycle drift is flagged with the offending label), shard merging, the
+ * conopt_bench_check CLI exit codes, and the shared escaping helpers
+ * used by the reporters.
+ */
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/baseline.hh"
+#include "src/sim/report.hh"
+#include "src/sim/sweep.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A fast two-config sweep over the cheapest workload. */
+sim::SweepResult
+smallSweep()
+{
+    sim::SweepSpec spec;
+    spec.workload("untst")
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("opt", pipeline::MachineConfig::optimized());
+    sim::SweepRunner runner({2, nullptr});
+    return runner.run(spec);
+}
+
+sim::BenchArtifact
+smallArtifact()
+{
+    const auto res = smallSweep();
+    auto art = sim::BenchArtifact::fromSweep(res);
+    art.bench = "test_bench";
+    art.addGeomeans(res, "base", {"opt"});
+    return art;
+}
+
+/** Scratch directory for artifact files, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("conopt_test_baseline_" +
+                std::to_string(uint64_t(::getpid())) + "_" +
+                std::to_string(counter()++));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+
+    static unsigned &
+    counter()
+    {
+        static unsigned c = 0;
+        return c;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// JsonValue: the minimal loader.
+// ---------------------------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsAndNesting)
+{
+    sim::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(sim::JsonValue::parse(
+        R"({"a": 1, "b": [true, false, null], "c": {"d": "x"},
+            "big": 18446744073709551615, "neg": -2.5, "exp": 1e3})",
+        &v, &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.get("a")->asU64(), 1u);
+    ASSERT_TRUE(v.get("b")->isArray());
+    EXPECT_EQ(v.get("b")->size(), 3u);
+    EXPECT_TRUE(v.get("b")->at(0).asBool());
+    EXPECT_EQ(v.get("c")->get("d")->asString(), "x");
+    // uint64 values survive exactly (numbers kept as raw text).
+    EXPECT_EQ(v.get("big")->asU64(), UINT64_MAX);
+    EXPECT_DOUBLE_EQ(v.get("neg")->asDouble(), -2.5);
+    EXPECT_DOUBLE_EQ(v.get("exp")->asDouble(), 1000.0);
+    EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonValue, ParsesStringEscapes)
+{
+    sim::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(sim::JsonValue::parse(
+        R"(["q\"q", "b\\b", "nl\n", "tab\t", "uniA\u00e9"])", &v,
+        &err))
+        << err;
+    EXPECT_EQ(v.at(0).asString(), "q\"q");
+    EXPECT_EQ(v.at(1).asString(), "b\\b");
+    EXPECT_EQ(v.at(2).asString(), "nl\n");
+    EXPECT_EQ(v.at(3).asString(), "tab\t");
+    EXPECT_EQ(v.at(4).asString(), "uniA\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsPathologicalNestingWithoutCrashing)
+{
+    // 300 unmatched '[' would overflow the stack without a depth
+    // bound; must fail as a parse error, not SIGSEGV.
+    sim::JsonValue v;
+    std::string err;
+    EXPECT_FALSE(sim::JsonValue::parse(std::string(300, '['), &v, &err));
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+    // 200 levels (under the bound) still parse fine.
+    const std::string deep =
+        std::string(200, '[') + "1" + std::string(200, ']');
+    EXPECT_TRUE(sim::JsonValue::parse(deep, &v, &err)) << err;
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    sim::JsonValue v;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":1,", "{\"a\" 1}", "tru", "[1] garbage",
+          "\"unterm", "{\"a\": 01x}", "[\"ctrl\nchar\"]"}) {
+        err.clear();
+        EXPECT_FALSE(sim::JsonValue::parse(bad, &v, &err))
+            << "accepted: " << bad;
+        // Every rejection must carry a diagnostic (no stale/empty err).
+        EXPECT_NE(err.find("JSON error"), std::string::npos)
+            << "no diagnostic for: " << bad;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Escaping helpers shared by reporters and the artifact writer.
+// ---------------------------------------------------------------------------
+
+TEST(Escaping, JsonEscapeHandlesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(sim::jsonEscape("plain"), "plain");
+    EXPECT_EQ(sim::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(sim::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(sim::jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(sim::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Escaping, CsvFieldQuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(sim::csvField("plain"), "plain");
+    EXPECT_EQ(sim::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(sim::csvField("a\"b"), "\"a\"\"b\"");
+    EXPECT_EQ(sim::csvField("a\nb"), "\"a\nb\"");
+}
+
+// ---------------------------------------------------------------------------
+// Artifact write -> parse round trip is lossless.
+// ---------------------------------------------------------------------------
+
+TEST(BenchArtifact, RoundTripIsLossless)
+{
+    const auto art = smallArtifact();
+    ASSERT_EQ(art.jobs.size(), 2u);
+    ASSERT_EQ(art.geomeans.size(), 1u);
+    EXPECT_GT(art.jobs[0].cycles, 0u);
+
+    sim::BenchArtifact back;
+    std::string err;
+    ASSERT_TRUE(sim::parseArtifact(art.toJson(), &back, &err)) << err;
+
+    EXPECT_EQ(back.bench, art.bench);
+    EXPECT_EQ(back.scale, art.scale);
+    EXPECT_EQ(back.threads, art.threads);
+    EXPECT_EQ(back.fingerprint(), art.fingerprint());
+    ASSERT_EQ(back.jobs.size(), art.jobs.size());
+    for (size_t i = 0; i < art.jobs.size(); ++i) {
+        const auto &a = art.jobs[i];
+        const auto &b = back.jobs[i];
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.workload, b.workload);
+        EXPECT_EQ(a.suite, b.suite);
+        EXPECT_EQ(a.config, b.config);
+        EXPECT_EQ(a.scale, b.scale);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_DOUBLE_EQ(a.ipc, b.ipc); // %.17g round-trips exactly
+        EXPECT_EQ(a.halted, b.halted);
+        EXPECT_EQ(a.configFingerprint, b.configFingerprint);
+        EXPECT_EQ(a.optEarlyExecuted, b.optEarlyExecuted);
+        EXPECT_EQ(a.optMbcMisspecs, b.optMbcMisspecs);
+    }
+    EXPECT_DOUBLE_EQ(back.geomeans.at("opt"), art.geomeans.at("opt"));
+
+    // Strongest form: re-serialization is byte-identical.
+    EXPECT_EQ(back.toJson(), art.toJson());
+}
+
+TEST(BenchArtifact, SaveAndLoadThroughTheFilesystem)
+{
+    TempDir tmp;
+    const auto art = smallArtifact();
+    std::string err;
+    ASSERT_TRUE(art.save(tmp.file("a.json"), &err)) << err;
+
+    sim::BenchArtifact back;
+    ASSERT_TRUE(sim::loadArtifact(tmp.file("a.json"), &back, &err)) << err;
+    EXPECT_EQ(back.toJson(), art.toJson());
+
+    EXPECT_FALSE(sim::loadArtifact(tmp.file("absent.json"), &back, &err));
+    EXPECT_NE(err.find("absent.json"), std::string::npos);
+}
+
+TEST(BenchArtifact, ParserRejectsDuplicateJobLabels)
+{
+    // A duplicated label would let a drifted second record hide behind
+    // a clean first one (findJob returns the first match).
+    auto art = smallArtifact();
+    art.jobs.push_back(art.jobs[0]);
+    sim::BenchArtifact back;
+    std::string err;
+    EXPECT_FALSE(sim::parseArtifact(art.toJson(), &back, &err));
+    EXPECT_NE(err.find("duplicate job label"), std::string::npos);
+}
+
+TEST(BenchArtifact, ParserRejectsCorruptedFingerprint)
+{
+    auto art = smallArtifact();
+    std::string json = art.toJson();
+    // Tamper with one per-job fingerprint; the stored combined
+    // fingerprint no longer matches and the document is rejected.
+    const auto pos = json.find(art.jobs[0].configFingerprint);
+    ASSERT_NE(pos, std::string::npos);
+    json[pos + 4] = json[pos + 4] == '0' ? '1' : '0';
+    sim::BenchArtifact back;
+    std::string err;
+    EXPECT_FALSE(sim::parseArtifact(json, &back, &err));
+    EXPECT_NE(err.find("fingerprint"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Comparison: the regression gate.
+// ---------------------------------------------------------------------------
+
+TEST(CompareArtifacts, SelfCompareAtToleranceZeroPasses)
+{
+    const auto art = smallArtifact();
+    const auto res = sim::compareArtifacts(art, art, {0.0});
+    EXPECT_TRUE(res.ok);
+    EXPECT_TRUE(res.diffs.empty());
+}
+
+TEST(CompareArtifacts, PerturbedCyclesFlaggedWithTheOffendingLabel)
+{
+    const auto base = smallArtifact();
+    auto cand = base;
+    cand.jobs[1].cycles += 1;
+    const auto res = sim::compareArtifacts(base, cand, {0.0});
+    ASSERT_FALSE(res.ok);
+    ASSERT_EQ(res.diffs.size(), 1u);
+    EXPECT_NE(res.diffs[0].find("cycles drift"), std::string::npos);
+    EXPECT_NE(res.diffs[0].find(base.jobs[1].label), std::string::npos)
+        << "the message must name the offending label: " << res.diffs[0];
+
+    // A 1-cycle drift is inside a 10% relative tolerance.
+    EXPECT_TRUE(sim::compareArtifacts(base, cand, {0.1}).ok);
+}
+
+TEST(CompareArtifacts, FlagsCounterGeomeanAndMembershipDrift)
+{
+    const auto base = smallArtifact();
+
+    auto counters = base;
+    counters.jobs[1].optLoadsRemoved += 5;
+    const auto c1 = sim::compareArtifacts(base, counters, {0.0});
+    ASSERT_FALSE(c1.ok);
+    EXPECT_NE(c1.message().find("opt.loads_removed"), std::string::npos);
+    EXPECT_NE(c1.message().find(base.jobs[1].label), std::string::npos);
+
+    auto gm = base;
+    gm.geomeans["opt"] *= 1.5;
+    const auto c2 = sim::compareArtifacts(base, gm, {0.0});
+    ASSERT_FALSE(c2.ok);
+    EXPECT_NE(c2.message().find("geomean drift on 'opt'"),
+              std::string::npos);
+
+    // Last-ulp libm noise must not trip the tolerance-0 gate: the
+    // geomean check carries a 1e-12 relative floor.
+    auto ulp = base;
+    ulp.geomeans["opt"] =
+        std::nextafter(base.geomeans.at("opt"), 2.0);
+    EXPECT_TRUE(sim::compareArtifacts(base, ulp, {0.0}).ok);
+
+    auto missing = base;
+    missing.jobs.pop_back();
+    const auto c3 = sim::compareArtifacts(base, missing, {0.0});
+    ASSERT_FALSE(c3.ok);
+    EXPECT_NE(c3.message().find("missing from candidate"),
+              std::string::npos);
+    // And the reverse direction flags the unexpected extra job.
+    const auto c4 = sim::compareArtifacts(missing, base, {0.0});
+    ASSERT_FALSE(c4.ok);
+    EXPECT_NE(c4.message().find("not in baseline"), std::string::npos);
+}
+
+TEST(CompareArtifacts, FlagsScaleAndConfigFingerprintDrift)
+{
+    const auto base = smallArtifact();
+
+    auto scaled = base;
+    scaled.scale = base.scale + 1;
+    EXPECT_FALSE(sim::compareArtifacts(base, scaled, {0.0}).ok);
+
+    auto fp = base;
+    fp.jobs[0].configFingerprint = "0x0000000000000000";
+    const auto res = sim::compareArtifacts(base, fp, {0.0});
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.message().find("config fingerprint drift"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shard merge.
+// ---------------------------------------------------------------------------
+
+TEST(BenchArtifact, ShardMergeEqualsSingleRunArtifact)
+{
+    const auto full = smallArtifact();
+    ASSERT_EQ(full.jobs.size(), 2u);
+
+    // Split the single-run artifact into two disjoint shards.
+    auto shard0 = full;
+    auto shard1 = full;
+    shard0.jobs = {full.jobs[0]};
+    shard1.jobs = {full.jobs[1]};
+
+    auto merged = shard0;
+    std::string err;
+    ASSERT_TRUE(merged.merge(shard1, &err)) << err;
+
+    EXPECT_EQ(merged.jobs.size(), full.jobs.size());
+    EXPECT_EQ(merged.fingerprint(), full.fingerprint());
+    EXPECT_TRUE(sim::compareArtifacts(full, merged, {0.0}).ok);
+    EXPECT_TRUE(sim::compareArtifacts(merged, full, {0.0}).ok);
+}
+
+TEST(BenchArtifact, MergeRejectsOverlapsAndMismatches)
+{
+    const auto full = smallArtifact();
+    std::string err;
+
+    auto dup = full;
+    EXPECT_FALSE(dup.merge(full, &err));
+    EXPECT_NE(err.find("duplicate job label"), std::string::npos);
+
+    auto other = full;
+    other.scale = full.scale + 1;
+    other.jobs.clear();
+    auto into = full;
+    EXPECT_FALSE(into.merge(other, &err));
+    EXPECT_NE(err.find("different scales"), std::string::npos);
+
+    auto wrongBench = full;
+    wrongBench.bench = "something_else";
+    into = full;
+    EXPECT_FALSE(into.merge(wrongBench, &err));
+    EXPECT_NE(err.find("cannot merge"), std::string::npos);
+
+    // Geomeans are whole-figure aggregates: one-sided or conflicting
+    // maps must be rejected, not silently adopted.
+    auto partial = full;
+    partial.jobs.clear();
+    partial.geomeans.clear();
+    into = full;
+    EXPECT_FALSE(into.merge(partial, &err));
+    EXPECT_NE(err.find("geomeans differ"), std::string::npos);
+    auto conflicting = full;
+    conflicting.jobs.clear();
+    conflicting.geomeans["opt"] *= 2.0;
+    into = full;
+    EXPECT_FALSE(into.merge(conflicting, &err));
+    EXPECT_NE(err.find("geomeans differ"), std::string::npos);
+}
+
+TEST(CompareArtifacts, CycleComparisonStaysExactBeyondDoublePrecision)
+{
+    // 2^53 and 2^53+1 collapse onto the same double; the tolerance-0
+    // gate must still see them as drift.
+    sim::BenchArtifact base;
+    base.bench = "precision";
+    sim::ArtifactJob j;
+    j.label = "big/cfg";
+    j.cycles = (uint64_t(1) << 53) + 1;
+    base.jobs.push_back(j);
+    auto cand = base;
+    cand.jobs[0].cycles = uint64_t(1) << 53;
+
+    EXPECT_DOUBLE_EQ(double(base.jobs[0].cycles),
+                     double(cand.jobs[0].cycles));
+    const auto res = sim::compareArtifacts(base, cand, {0.0});
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.message().find("cycles drift on 'big/cfg'"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// conopt_bench_check CLI exit behaviour (in-process).
+// ---------------------------------------------------------------------------
+
+TEST(BenchCheckCli, SelfCompareExitsZeroAndDriftExitsNonZero)
+{
+    TempDir tmp;
+    const auto base = smallArtifact();
+    auto drifted = base;
+    drifted.jobs[0].cycles += 100;
+
+    std::string err;
+    ASSERT_TRUE(base.save(tmp.file("base.json"), &err)) << err;
+    ASSERT_TRUE(drifted.save(tmp.file("drift.json"), &err)) << err;
+
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("base.json"),
+                                   tmp.file("base.json")}),
+              0);
+    EXPECT_NE(sim::benchCheckMain({tmp.file("base.json"),
+                                   tmp.file("drift.json")}),
+              0);
+    // The injected 100-cycle drift passes under a generous relative
+    // tolerance (untst runs for far more than 102 cycles).
+    ASSERT_GT(base.jobs[0].cycles, 102u);
+    EXPECT_EQ(sim::benchCheckMain({"--tolerance", "0.99",
+                                   tmp.file("base.json"),
+                                   tmp.file("drift.json")}),
+              0);
+}
+
+TEST(BenchCheckCli, UsageAndIoErrorsExitTwo)
+{
+    TempDir tmp;
+    EXPECT_EQ(sim::benchCheckMain({}), 2);
+    EXPECT_EQ(sim::benchCheckMain({"one_path_only.json"}), 2);
+    EXPECT_EQ(sim::benchCheckMain({"--bogus-flag", "a", "b"}), 2);
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("nope.json"),
+                                   tmp.file("nope.json")}),
+              2);
+}
+
+TEST(BenchCheckCli, DirectoryOfShardsIsMergedBeforeComparing)
+{
+    TempDir tmp;
+    const auto full = smallArtifact();
+    auto shard0 = full;
+    auto shard1 = full;
+    shard0.jobs = {full.jobs[0]};
+    shard1.jobs = {full.jobs[1]};
+
+    const auto shardDir = tmp.path / "shards";
+    fs::create_directories(shardDir);
+    std::string err;
+    ASSERT_TRUE(shard0.save((shardDir / "shard0.json").string(), &err))
+        << err;
+    ASSERT_TRUE(shard1.save((shardDir / "shard1.json").string(), &err))
+        << err;
+    ASSERT_TRUE(full.save(tmp.file("full.json"), &err)) << err;
+
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("full.json"),
+                                   shardDir.string()}),
+              0);
+    EXPECT_EQ(sim::benchCheckMain({shardDir.string(),
+                                   tmp.file("full.json")}),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// Reporter golden test: JsonReporter output parses with the new loader
+// and survives hostile labels.
+// ---------------------------------------------------------------------------
+
+TEST(ReporterGolden, JsonReporterOutputParsesAndSurvivesHostileLabels)
+{
+    const auto &w = workloads::workloadByName("untst");
+    const auto prog =
+        std::make_shared<const assembler::Program>(w.build(1));
+
+    sim::SimJob a, b;
+    a.label = "he said \"hi\"";
+    a.program = prog;
+    a.config = pipeline::MachineConfig::baseline();
+    b.label = "back\\slash,comma";
+    b.program = prog;
+    b.config = pipeline::MachineConfig::optimized();
+
+    sim::SweepRunner runner({2, nullptr});
+    const auto res = runner.run({a, b});
+
+    char buf[65536] = {};
+    std::FILE *f = fmemopen(buf, sizeof(buf), "w");
+    ASSERT_NE(f, nullptr);
+    sim::JsonReporter().report(res, f);
+    std::fclose(f);
+
+    sim::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(sim::JsonValue::parse(buf, &doc, &err)) << err;
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.at(0).get("label")->asString(), "he said \"hi\"");
+    EXPECT_EQ(doc.at(1).get("label")->asString(), "back\\slash,comma");
+    EXPECT_EQ(doc.at(0).get("cycles")->asU64(),
+              res.all()[0].sim.stats.cycles);
+    ASSERT_NE(doc.at(0).get("opt"), nullptr);
+    EXPECT_EQ(doc.at(0).get("opt")->get("early_executed")->asU64(),
+              res.all()[0].sim.stats.opt.earlyExecuted);
+}
+
+TEST(ReporterGolden, CsvReporterQuotesHostileLabels)
+{
+    const auto &w = workloads::workloadByName("untst");
+    const auto prog =
+        std::make_shared<const assembler::Program>(w.build(1));
+    sim::SimJob a;
+    a.label = "comma,label";
+    a.program = prog;
+    a.config = pipeline::MachineConfig::baseline();
+
+    sim::SweepRunner runner({1, nullptr});
+    const auto res = runner.run({a});
+
+    char buf[16384] = {};
+    std::FILE *f = fmemopen(buf, sizeof(buf), "w");
+    ASSERT_NE(f, nullptr);
+    sim::CsvReporter().report(res, f);
+    std::fclose(f);
+
+    EXPECT_NE(std::string(buf).find("\"comma,label\""),
+              std::string::npos);
+}

@@ -218,6 +218,65 @@ TEST(EnvScale, DefaultsToOneAndReadsEnvironment)
     unsetenv("CONOPT_SCALE");
 }
 
+TEST(EnvScale, GarbageNegativeAndHugeValuesAreSafe)
+{
+    setenv("CONOPT_SCALE", "banana", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    setenv("CONOPT_SCALE", "", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    setenv("CONOPT_SCALE", "-4", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    // Whitespace-prefixed negatives must not wrap through strtoull.
+    setenv("CONOPT_SCALE", "\n-5", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    // Beyond-cap and beyond-uint64 values clamp instead of wrapping.
+    setenv("CONOPT_SCALE", "4294967297", 1);
+    EXPECT_EQ(sim::envScale(), sim::kMaxEnvScale);
+    setenv("CONOPT_SCALE", "99999999999999999999999999", 1);
+    EXPECT_EQ(sim::envScale(), sim::kMaxEnvScale);
+    unsetenv("CONOPT_SCALE");
+}
+
+TEST(EnvThreads, EdgeCases)
+{
+    unsetenv("CONOPT_THREADS");
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "6", 1);
+    EXPECT_EQ(sim::envThreads(), 6u);
+    // 0 and nonsense both mean "use hardware concurrency".
+    setenv("CONOPT_THREADS", "0", 1);
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "not-a-number", 1);
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "-2", 1);
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "18446744073709551616", 1);
+    EXPECT_EQ(sim::envThreads(), sim::kMaxEnvThreads);
+    unsetenv("CONOPT_THREADS");
+}
+
+// ---------------------------------------------------------------------------
+// speedup() guards: no division by zero, no fatal on missing labels.
+// ---------------------------------------------------------------------------
+
+TEST(SweepResult, SpeedupGuardsZeroCycleAndMissingDenominators)
+{
+    sim::SweepResult res;
+    sim::JobResult a, b;
+    a.job.label = "a";
+    a.sim.stats.cycles = 1000;
+    b.job.label = "zero";
+    b.sim.stats.cycles = 0;
+    res.add(std::move(a));
+    res.add(std::move(b));
+
+    EXPECT_DOUBLE_EQ(res.speedup("a", "zero"), 0.0);
+    EXPECT_DOUBLE_EQ(res.speedup("a", "no-such-label"), 0.0);
+    EXPECT_DOUBLE_EQ(res.speedup("no-such-label", "a"), 0.0);
+    // Zero cycles in the *numerator* is well-defined (speedup 0).
+    EXPECT_DOUBLE_EQ(res.speedup("zero", "a"), 0.0);
+}
+
 TEST(EnvScale, AppliedDuringJobNormalization)
 {
     setenv("CONOPT_SCALE", "2", 1);

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * conopt_bench_check: compare two benchmark artifacts (or directories
+ * of per-shard artifacts, merged first) and exit non-zero on drift of
+ * the simulated machine. The CI regression gate over the BENCH_*.json
+ * trajectory; all logic lives in sim::benchCheckMain so
+ * tests/test_baseline.cc covers the exit behaviour in-process.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/sim/baseline.hh"
+
+int
+main(int argc, char **argv)
+{
+    return conopt::sim::benchCheckMain(
+        std::vector<std::string>(argv + 1, argv + argc));
+}
