@@ -20,7 +20,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("base",
                                pipeline::MachineConfig::baseline());
@@ -79,7 +79,7 @@ main(int argc, char **argv)
                     pipeline::MachineConfig::withOptimizer(oc));
     }
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
 
     const auto table = [&](const char *title,
@@ -101,8 +101,13 @@ main(int argc, char **argv)
           {"speculate (default)", "flush MBC"}, 20);
 
     auto art = sim::BenchArtifact::fromSweep(res);
-    art.addGeomeans(res, "base", family_cols);
-    art.addGeomeans(res, "base", mbc_cols);
-    art.addGeomeans(res, "base", {"speculate (default)", "flush MBC"});
-    return bench::finish("ablations", std::move(art), argc, argv);
+    // Per the merge contract, a shard defers its whole-figure geomeans
+    // to the post-merge recompute step.
+    if (!hopts.shard.active()) {
+        art.addGeomeans(res, "base", family_cols);
+        art.addGeomeans(res, "base", mbc_cols);
+        art.addGeomeans(res, "base",
+                        {"speculate (default)", "flush MBC"});
+    }
+    return bench::finish("ablations", std::move(art), hopts);
 }

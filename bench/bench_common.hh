@@ -14,16 +14,32 @@
  *
  *   CONOPT_SCALE          workload iteration scale (default 1)
  *   CONOPT_THREADS        sweep worker threads (default: hardware)
+ *   CONOPT_SHARD          "i/n": run only shard i of n (0-based); the
+ *                         artifact becomes BENCH_<name>.shard<i>of<n>
+ *                         .json with figure geomeans deferred to the
+ *                         post-merge step (conopt_bench_check)
+ *   CONOPT_RESULT_CACHE   directory of persisted simulation results;
+ *                         unchanged (program, config, scale, seed)
+ *                         cells skip simulation on repeated sweeps
+ *   CONOPT_PROGRESS       non-empty/non-"0": per-job progress + ETA
  *   CONOPT_ARTIFACT_DIR   where BENCH_<name>.json is written
  *                         (default: current directory)
  *   CONOPT_BASELINE_DIR   directory of baseline artifacts to gate
  *                         against (e.g. bench/baselines)
+ *   --shard i/n           flag form of CONOPT_SHARD
+ *   --result-cache <dir>  flag form of CONOPT_RESULT_CACHE
+ *   --progress            flag form of CONOPT_PROGRESS
  *   --artifact-dir <dir>  flag form of CONOPT_ARTIFACT_DIR
  *   --baseline <path>     flag form of CONOPT_BASELINE_DIR; a specific
  *                         artifact file is also accepted
  *   --tolerance <T>       relative drift tolerance (default 0: exact,
  *                         the simulator is deterministic)
  *   --no-artifact         skip artifact emission (and the gate)
+ *
+ * Sharded runs gate nothing themselves: a shard is a partial figure,
+ * so the baseline comparison moves to the merged artifact
+ * (`conopt_bench_check <baseline> <shard-dir>`). See README.md for
+ * the split/run/merge/cache workflow.
  */
 
 #ifndef CONOPT_BENCH_BENCH_COMMON_HH
@@ -32,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +57,7 @@
 #include "src/pipeline/stats_aggregate.hh"
 #include "src/sim/baseline.hh"
 #include "src/sim/report.hh"
+#include "src/sim/result_cache.hh"
 #include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
@@ -52,6 +70,17 @@ header(const char *title)
     sim::printHeader(title);
 }
 
+/** The stderr progress line installed by --progress. */
+inline void
+printProgress(const sim::SweepProgress &p)
+{
+    std::fprintf(stderr,
+                 "[sweep] %3zu/%zu  %-30s %7.2fs  elapsed %6.1fs  "
+                 "eta %6.1fs  geomean ipc %.3f\n",
+                 p.done, p.total, p.label.c_str(), p.jobHostSeconds,
+                 p.elapsedSeconds, p.etaSeconds, p.geomeanIpc);
+}
+
 /** Harness options shared by every bench binary (see file header). */
 struct HarnessOptions
 {
@@ -59,11 +88,20 @@ struct HarnessOptions
     std::string baselinePath; ///< file or directory; empty = no gate
     double tolerance = 0.0;
     bool emitArtifact = true;
+    sim::ShardSpec shard;     ///< {0,1} = whole sweep
+    bool progress = false;    ///< per-job progress/ETA on stderr
+    std::string resultCacheDir;
+    /** Created by parse() when a cache dir is configured; shared with
+     *  the SweepRunner so finish() can report hit/miss counters. */
+    std::shared_ptr<sim::ResultCache> resultCache;
 
     /** @p lenientArgs ignores unknown flags instead of rejecting them;
      *  only for binaries sharing argv with another framework
      *  (micro_structures + google-benchmark). Everywhere else a typo'd
-     *  gate flag must fail loudly, not silently skip the gate. */
+     *  gate flag must fail loudly, not silently skip the gate. A
+     *  malformed --shard/CONOPT_SHARD is always fatal (exit 2): a
+     *  shard spec that silently fell back to "the whole sweep" would
+     *  duplicate work and clobber the unsharded artifact. */
     static HarnessOptions
     parse(int argc, char **argv, bool lenientArgs = false)
     {
@@ -72,6 +110,22 @@ struct HarnessOptions
             o.artifactDir = d;
         if (const char *b = std::getenv("CONOPT_BASELINE_DIR"); b && *b)
             o.baselinePath = b;
+        if (const char *c = std::getenv("CONOPT_RESULT_CACHE"); c && *c)
+            o.resultCacheDir = c;
+        if (const char *p = std::getenv("CONOPT_PROGRESS");
+            p && *p && std::string(p) != "0")
+            o.progress = true;
+        const auto shardSpec = [&](const char *s, const char *what) {
+            if (!sim::parseShard(s, &o.shard)) {
+                std::fprintf(stderr,
+                             "invalid %s '%s' (want \"i/n\" with "
+                             "0 <= i < n, e.g. \"0/2\")\n",
+                             what, s);
+                std::exit(2);
+            }
+        };
+        if (const char *s = std::getenv("CONOPT_SHARD"); s && *s)
+            shardSpec(s, "CONOPT_SHARD");
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             const auto value = [&]() -> const char * {
@@ -86,6 +140,12 @@ struct HarnessOptions
                 o.artifactDir = value();
             } else if (a == "--baseline") {
                 o.baselinePath = value();
+            } else if (a == "--shard") {
+                shardSpec(value(), "--shard");
+            } else if (a == "--result-cache") {
+                o.resultCacheDir = value();
+            } else if (a == "--progress") {
+                o.progress = true;
             } else if (a == "--tolerance") {
                 const char *v = value();
                 if (!sim::parseTolerance(v, &o.tolerance)) {
@@ -101,40 +161,80 @@ struct HarnessOptions
                 std::fprintf(stderr,
                              "unknown argument '%s' (flags: "
                              "--artifact-dir DIR, --baseline PATH, "
-                             "--tolerance T, --no-artifact)\n",
+                             "--shard I/N, --result-cache DIR, "
+                             "--progress, --tolerance T, "
+                             "--no-artifact)\n",
                              a.c_str());
                 std::exit(2);
             }
         }
+        if (!o.resultCacheDir.empty())
+            o.resultCache =
+                std::make_shared<sim::ResultCache>(o.resultCacheDir);
         return o;
     }
+
+    /** SweepRunner options carrying the shard, the persistent result
+     *  cache, and (with --progress) the stderr progress printer. */
+    sim::SweepOptions
+    sweepOptions() const
+    {
+        sim::SweepOptions s;
+        s.shard = shard;
+        s.resultCache = resultCache;
+        if (progress)
+            s.onProgress = printProgress;
+        return s;
+    }
+
+    /** Shard membership for benches that enumerate their own item
+     *  lists instead of running a SweepRunner (table1_workloads,
+     *  table2_config, micro_structures): item @p idx of the full list
+     *  belongs to this process iff inShard(idx). */
+    bool inShard(size_t idx) const { return shard.contains(idx); }
 };
 
-/** Validate harness flags up front (exits 2 on a bad flag) so a typo
- *  fails before the sweep runs, not after minutes of simulation. Call
- *  first thing in main(); finish() re-parses the same argv later. */
-inline void
-validateArgs(int argc, char **argv, bool lenientArgs = false)
+/** Parse the harness flags (exits 2 on a bad flag, so a typo fails
+ *  before the sweep runs, not after minutes of simulation). Call first
+ *  thing in main(); pass the result to finish()/finishSweep(). */
+inline HarnessOptions
+harnessInit(int argc, char **argv, bool lenientArgs = false)
 {
-    (void)HarnessOptions::parse(argc, argv, lenientArgs);
+    return HarnessOptions::parse(argc, argv, lenientArgs);
 }
 
 /**
- * Persist @p art as `BENCH_<bench>.json` and apply the baseline gate.
+ * Persist @p art as `BENCH_<bench>.json` (or `BENCH_<bench>
+ * .shard<i>of<n>.json` for a sharded run) and apply the baseline gate.
  * Returns the bench binary's exit status: 0 on success, 1 when the
  * artifact cannot be written or the baseline comparison finds drift.
  */
 inline int
-finish(const std::string &benchName, sim::BenchArtifact art, int argc,
-       char **argv, bool lenientArgs = false)
+finish(const std::string &benchName, sim::BenchArtifact art,
+       const HarnessOptions &o)
 {
-    const HarnessOptions o = HarnessOptions::parse(argc, argv,
-                                                   lenientArgs);
+    if (o.resultCache) {
+        const auto cs = o.resultCache->stats();
+        std::fprintf(stderr,
+                     "[cache] %s: %llu hits, %llu misses, %llu stored",
+                     o.resultCache->dir().c_str(),
+                     (unsigned long long)cs.hits,
+                     (unsigned long long)cs.misses,
+                     (unsigned long long)cs.stores);
+        if (cs.errors)
+            std::fprintf(stderr, " (%llu corrupt)",
+                         (unsigned long long)cs.errors);
+        std::fprintf(stderr, "\n");
+    }
     if (!o.emitArtifact)
         return 0;
 
     art.bench = benchName;
-    const std::string file = "BENCH_" + benchName + ".json";
+    std::string file = "BENCH_" + benchName;
+    if (o.shard.active())
+        file += ".shard" + std::to_string(o.shard.index) + "of" +
+                std::to_string(o.shard.count);
+    file += ".json";
     const std::string outPath =
         (std::filesystem::path(o.artifactDir) / file).string();
     std::string err;
@@ -148,12 +248,26 @@ finish(const std::string &benchName, sim::BenchArtifact art, int argc,
 
     if (o.baselinePath.empty())
         return 0;
+    if (o.shard.active()) {
+        // A shard is a partial figure: gating it against a full
+        // baseline would flag every other shard's jobs as missing.
+        // The gate belongs to the merged artifact.
+        std::fprintf(stderr,
+                     "[artifact] shard %u/%u: baseline gate deferred; "
+                     "merge the shard artifacts and run "
+                     "conopt_bench_check %s <shard-dir>\n",
+                     o.shard.index, o.shard.count,
+                     o.baselinePath.c_str());
+        return 0;
+    }
 
     std::string basePath = o.baselinePath;
     std::error_code ec;
     if (std::filesystem::is_directory(basePath, ec)) {
         basePath =
-            (std::filesystem::path(basePath) / file).string();
+            (std::filesystem::path(basePath) /
+             ("BENCH_" + benchName + ".json"))
+                .string();
         // A baseline *directory* gates whichever benches have seeds in
         // it; a bench without one is "not yet baselined", not a
         // failure (CONOPT_BASELINE_DIR is typically set globally). An
@@ -203,16 +317,20 @@ configJob(const char *name, const pipeline::MachineConfig &cfg)
 }
 
 /** finish() for the common case: a sweep plus the figure's headline
- *  geomean columns (@p configs over @p baseConfig). */
+ *  geomean columns (@p configs over @p baseConfig). A sharded run
+ *  skips the geomeans: whole-figure aggregates cannot be computed
+ *  from one shard's subset, so the merge contract defers them to
+ *  `conopt_bench_check --recompute-geomeans` after merging. */
 inline int
 finishSweep(const std::string &benchName, const sim::SweepResult &res,
             const std::string &baseConfig,
-            const std::vector<std::string> &configs, int argc,
-            char **argv)
+            const std::vector<std::string> &configs,
+            const HarnessOptions &o)
 {
     auto art = sim::BenchArtifact::fromSweep(res);
-    art.addGeomeans(res, baseConfig, configs);
-    return finish(benchName, std::move(art), argc, argv);
+    if (!o.shard.active())
+        art.addGeomeans(res, baseConfig, configs);
+    return finish(benchName, std::move(art), o);
 }
 
 } // namespace conopt::bench

@@ -19,7 +19,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     struct Variant
     {
         const char *name;
@@ -47,11 +47,11 @@ main(int argc, char **argv)
         t.configs.push_back(v.name);
     }
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 18;
     sim::TableReporter(t).print(res);
     return bench::finishSweep("fig10_depth", res, t.baselineConfig,
-                              t.configs, argc, argv);
+                              t.configs, hopts);
 }

@@ -16,7 +16,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("base",
                                pipeline::MachineConfig::baseline());
@@ -31,11 +31,11 @@ main(int argc, char **argv)
         t.configs.push_back(name);
     }
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
     t.rows = sim::TableOptions::Rows::PerSuite;
     t.colWidth = 10;
     sim::TableReporter(t).print(res);
     return bench::finishSweep("fig12_vfb_delay", res, t.baselineConfig,
-                              t.configs, argc, argv);
+                              t.configs, hopts);
 }

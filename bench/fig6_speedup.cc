@@ -17,13 +17,13 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
         .config("opt", pipeline::MachineConfig::optimized());
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
 
     sim::TableOptions t;
@@ -34,5 +34,5 @@ main(int argc, char **argv)
     t.colWidth = 6;
     sim::TableReporter(t).print(res);
     return bench::finishSweep("fig6_speedup", res, t.baselineConfig,
-                              t.configs, argc, argv);
+                              t.configs, hopts);
 }

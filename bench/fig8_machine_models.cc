@@ -23,7 +23,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
@@ -35,7 +35,7 @@ main(int argc, char **argv)
         .config("exec. bound + opt",
                 pipeline::MachineConfig::execBound(true));
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
 
     sim::TableOptions t;
@@ -47,5 +47,5 @@ main(int argc, char **argv)
     t.colWidth = 18;
     sim::TableReporter(t).print(res);
     return bench::finishSweep("fig8_machine_models", res,
-                              t.baselineConfig, t.configs, argc, argv);
+                              t.baselineConfig, t.configs, hopts);
 }

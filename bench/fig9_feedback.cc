@@ -16,7 +16,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads()
         .config("base", pipeline::MachineConfig::baseline())
@@ -24,7 +24,7 @@ main(int argc, char **argv)
                                 core::OptimizerConfig::feedbackOnly()))
         .config("feedback+opt", pipeline::MachineConfig::optimized());
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
 
     sim::TableOptions t;
@@ -35,5 +35,5 @@ main(int argc, char **argv)
     t.colWidth = 14;
     sim::TableReporter(t).print(res);
     return bench::finishSweep("fig9_feedback", res, t.baselineConfig,
-                              t.configs, argc, argv);
+                              t.configs, hopts);
 }

@@ -148,7 +148,8 @@ main(int argc, char **argv)
 {
     // Fail fast on bad gate flags, like every other bench binary
     // (lenient: the remaining args belong to google-benchmark).
-    conopt::bench::validateArgs(argc, argv, /*lenientArgs=*/true);
+    const conopt::bench::HarnessOptions hopts =
+        conopt::bench::harnessInit(argc, argv, /*lenientArgs=*/true);
 
     // Split argv: the harness gate flags are ours; everything else
     // belongs to google-benchmark, including its typo detection
@@ -159,11 +160,12 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--artifact-dir" || a == "--baseline" ||
-            a == "--tolerance") {
+            a == "--tolerance" || a == "--shard" ||
+            a == "--result-cache") {
             ++i;
             continue;
         }
-        if (a == "--no-artifact")
+        if (a == "--no-artifact" || a == "--progress")
             continue;
         bmArgs.push_back(argv[i]);
     }
@@ -176,10 +178,17 @@ main(int argc, char **argv)
 
     sim::BenchArtifact art;
     art.scale = sim::envScale();
-    art.jobs.push_back(conopt::bench::configJob(
-        "baseline", pipeline::MachineConfig::baseline()));
-    art.jobs.push_back(conopt::bench::configJob(
-        "optimized", pipeline::MachineConfig::optimized()));
+    // Positional shard partition over the pinned-config list, matching
+    // the sweep engine's round-robin convention. Only the artifact
+    // records are partitioned: the google-benchmark measurements are
+    // host timings, not sweep jobs, and run in full on every shard
+    // (use --benchmark_filter to split those).
+    if (hopts.inShard(0))
+        art.jobs.push_back(conopt::bench::configJob(
+            "baseline", pipeline::MachineConfig::baseline()));
+    if (hopts.inShard(1))
+        art.jobs.push_back(conopt::bench::configJob(
+            "optimized", pipeline::MachineConfig::optimized()));
     return conopt::bench::finish("micro_structures", std::move(art),
-                                 argc, argv, /*lenientArgs=*/true);
+                                 hopts);
 }

@@ -20,7 +20,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     bench::header("Table 1: Experimental Workload");
     std::printf("%-10s %-12s %38s %12s %10s\n", "App.", "Type", "Name",
                 "Paper insts", "Our insts");
@@ -33,7 +33,12 @@ main(int argc, char **argv)
     art.threads = sim::envThreads();
 
     sim::ProgramCache cache;
+    size_t idx = 0;
     for (const auto &w : workloads::allWorkloads()) {
+        // Emulator loop, not a SweepRunner: apply the same round-robin
+        // shard partition by position in the full workload list.
+        if (!hopts.inShard(idx++))
+            continue;
         const unsigned scale = w.defaultScale * sim::envScale();
         const auto program = cache.get(w.name, scale);
         arch::Emulator emu(*program);
@@ -60,5 +65,5 @@ main(int argc, char **argv)
         j.checksum = checksum;
         art.jobs.push_back(std::move(j));
     }
-    return bench::finish("table1_workloads", std::move(art), argc, argv);
+    return bench::finish("table1_workloads", std::move(art), hopts);
 }

@@ -11,7 +11,7 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     bench::header("Table 2: Simulated Machine Configuration (baseline)");
     std::printf("%s", pipeline::MachineConfig::baseline().describe().c_str());
     bench::header("Table 2: with continuous optimizer");
@@ -23,9 +23,13 @@ main(int argc, char **argv)
     // (Table 2 itself) trips the baseline gate.
     sim::BenchArtifact art;
     art.scale = sim::envScale();
+    size_t idx = 0;
     const auto preset = [&](const char *name,
                             const pipeline::MachineConfig &cfg) {
-        art.jobs.push_back(bench::configJob(name, cfg));
+        // Positional shard partition over the preset list, matching
+        // the sweep engine's round-robin convention.
+        if (hopts.inShard(idx++))
+            art.jobs.push_back(bench::configJob(name, cfg));
     };
     preset("baseline", pipeline::MachineConfig::baseline());
     preset("optimized", pipeline::MachineConfig::optimized());
@@ -33,5 +37,5 @@ main(int argc, char **argv)
     preset("fetch_bound_opt", pipeline::MachineConfig::fetchBound(true));
     preset("exec_bound", pipeline::MachineConfig::execBound(false));
     preset("exec_bound_opt", pipeline::MachineConfig::execBound(true));
-    return bench::finish("table2_config", std::move(art), argc, argv);
+    return bench::finish("table2_config", std::move(art), hopts);
 }

@@ -17,12 +17,12 @@ using namespace conopt;
 int
 main(int argc, char **argv)
 {
-    bench::validateArgs(argc, argv);
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
     sim::SweepSpec spec;
     spec.allWorkloads().config("opt",
                                pipeline::MachineConfig::optimized());
 
-    sim::SweepRunner runner;
+    sim::SweepRunner runner(hopts.sweepOptions());
     const auto res = runner.run(spec);
 
     bench::header("Table 3: Effects of continuous optimization");
@@ -30,5 +30,5 @@ main(int argc, char **argv)
     // Single-config sweep: no speedup columns, but every per-workload
     // cycle count and optimizer counter is persisted and gated.
     return bench::finish("table3_effects",
-                         sim::BenchArtifact::fromSweep(res), argc, argv);
+                         sim::BenchArtifact::fromSweep(res), hopts);
 }

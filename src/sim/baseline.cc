@@ -23,17 +23,58 @@ namespace conopt::sim {
 double
 JsonValue::asDouble() const
 {
-    if (kind_ != Kind::Number)
-        return 0.0;
-    return std::strtod(str_.c_str(), nullptr);
+    double v = 0.0;
+    return asDoubleStrict(&v) ? v : 0.0;
 }
 
 uint64_t
 JsonValue::asU64() const
 {
-    if (kind_ != Kind::Number || str_.empty() || str_[0] == '-')
-        return 0;
-    return std::strtoull(str_.c_str(), nullptr, 10);
+    uint64_t v = 0;
+    return asU64Strict(&v) ? v : 0;
+}
+
+bool
+JsonValue::asDoubleStrict(double *out) const
+{
+    *out = 0.0;
+    if (kind_ != Kind::Number || str_.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(str_.c_str(), &end);
+    // The grammar already vetted the token shape, so the only failure
+    // modes left are an unconsumed tail (defensive; cannot happen for
+    // parser-produced tokens) and overflow to infinity. ERANGE from
+    // *underflow* (a denormal result) is a legitimate value, so only
+    // the infinite case is rejected.
+    if (end != str_.c_str() + str_.size())
+        return false;
+    if (errno == ERANGE && std::isinf(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+JsonValue::asU64Strict(uint64_t *out) const
+{
+    *out = 0;
+    if (kind_ != Kind::Number || str_.empty())
+        return false;
+    // A uint64 field must be written as a plain integer: a fraction,
+    // exponent, or sign means the document does not contain the value
+    // the caller is about to compare cycles against.
+    for (char c : str_)
+        if (!std::isdigit(uint8_t(c)))
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(str_.c_str(), &end, 10);
+    if (end != str_.c_str() + str_.size() || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
 }
 
 const JsonValue *
@@ -315,42 +356,10 @@ JsonValue::parse(const std::string &text, JsonValue *out, std::string *err)
 }
 
 // --------------------------------------------------------------------------
-// Config fingerprinting
+// Formatting helpers (fingerprints live in src/sim/fingerprint.hh)
 // --------------------------------------------------------------------------
 
 namespace {
-
-struct Fnv
-{
-    uint64_t h = kFnv1aOffsetBasis;
-
-    void
-    mix(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h = fnv1aByte(h, uint8_t(v));
-            v >>= 8;
-        }
-    }
-
-    void
-    mixStr(const std::string &s)
-    {
-        for (char c : s)
-            h = fnv1aByte(h, uint8_t(c));
-        mix(s.size());
-    }
-
-    uint64_t final() const { return avalanche64(h); }
-};
-
-std::string
-hex64(uint64_t v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
-    return buf;
-}
 
 std::string
 fmtDouble(double v)
@@ -361,64 +370,6 @@ fmtDouble(double v)
 }
 
 } // namespace
-
-std::string
-configFingerprint(const pipeline::MachineConfig &cfg)
-{
-    Fnv f;
-    // Widths and depths.
-    f.mix(cfg.fetchWidth);
-    f.mix(cfg.renameWidth);
-    f.mix(cfg.retireWidth);
-    f.mix(cfg.frontEndDepth);
-    f.mix(cfg.renameBaseStages);
-    f.mix(cfg.schedMinDelay);
-    f.mix(cfg.regReadDepth);
-    f.mix(cfg.redirectPenalty);
-    f.mix(cfg.resteerPenalty);
-    // Resources.
-    f.mix(cfg.robEntries);
-    f.mix(cfg.schedEntries);
-    f.mix(cfg.dispatchQueueEntries);
-    f.mix(cfg.numSimpleAlu);
-    f.mix(cfg.numComplexAlu);
-    f.mix(cfg.numFpAlu);
-    f.mix(cfg.numAgen);
-    f.mix(cfg.numDCachePorts);
-    f.mix(cfg.intPhysRegs);
-    f.mix(cfg.fpPhysRegs);
-    // Memory hierarchy.
-    for (const auto *c : {&cfg.hier.l1i, &cfg.hier.l1d, &cfg.hier.l2}) {
-        f.mix(c->sizeBytes);
-        f.mix(c->assoc);
-        f.mix(c->lineBytes);
-        f.mix(c->latency);
-    }
-    f.mix(cfg.hier.memLatency);
-    // Branch prediction.
-    f.mix(cfg.bp.historyBits);
-    f.mix(cfg.bp.btbEntries);
-    f.mix(cfg.bp.rasEntries);
-    // Optimizer (every knob, including the family enables).
-    f.mix(cfg.opt.enabled);
-    f.mix(cfg.opt.enableCpRa);
-    f.mix(cfg.opt.enableRleSf);
-    f.mix(cfg.opt.enableValueFeedback);
-    f.mix(cfg.opt.enableBranchInference);
-    f.mix(cfg.opt.enableStrengthReduction);
-    f.mix(cfg.opt.enableMoveElim);
-    f.mix(cfg.opt.addChainDepth);
-    f.mix(cfg.opt.allowChainedMem);
-    f.mix(cfg.opt.extraStages);
-    f.mix(cfg.opt.mbc.entries);
-    f.mix(cfg.opt.mbc.assoc);
-    f.mix(cfg.opt.mbcFlushOnUnknownStore);
-    // Misc timing knobs.
-    f.mix(cfg.vfbDelay);
-    f.mix(cfg.mbcMisspecPenalty);
-    f.mix(cfg.maxCycles);
-    return hex64(f.final());
-}
 
 // --------------------------------------------------------------------------
 // BenchArtifact: construction
@@ -470,6 +421,33 @@ BenchArtifact::addGeomeans(const SweepResult &res,
     }
     for (const auto &cfg : configs) {
         const auto v = groupSpeedups(res, wls, cfg, baseConfig);
+        if (!v.empty())
+            geomeans[cfg] = pipeline::geomean(v);
+    }
+}
+
+void
+BenchArtifact::addGeomeansFromJobs(const std::string &baseConfig,
+                                   const std::vector<std::string> &configs)
+{
+    // Mirror addGeomeans() exactly — distinct workloads in job order,
+    // cells as double(base cycles) / double(config cycles), zero-cycle
+    // and missing cells skipped — so recomputation from the persisted
+    // records reproduces the live-sweep numbers.
+    std::vector<std::string> wls;
+    std::set<std::string> seen;
+    for (const auto &j : jobs) {
+        if (!j.workload.empty() && seen.insert(j.workload).second)
+            wls.push_back(j.workload);
+    }
+    for (const auto &cfg : configs) {
+        std::vector<double> v;
+        for (const auto &w : wls) {
+            const auto *b = findJob(SweepSpec::labelFor(w, baseConfig));
+            const auto *o = findJob(SweepSpec::labelFor(w, cfg));
+            if (b && o && b->cycles && o->cycles)
+                v.push_back(double(b->cycles) / double(o->cycles));
+        }
         if (!v.empty())
             geomeans[cfg] = pipeline::geomean(v);
     }
@@ -610,6 +588,63 @@ BenchArtifact::save(const std::string &path, std::string *err) const
 // BenchArtifact: loader
 // --------------------------------------------------------------------------
 
+bool
+jsonFieldU64(const JsonValue &obj, const char *key, uint64_t *out,
+             std::string *err)
+{
+    *out = 0;
+    const auto *v = obj.get(key);
+    if (!v)
+        return true;
+    if (!v->asU64Strict(out)) {
+        if (err)
+            *err = std::string("malformed unsigned integer for '") +
+                   key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+jsonFieldU32(const JsonValue &obj, const char *key, unsigned *out,
+             std::string *err)
+{
+    uint64_t v = 0;
+    *out = 0;
+    if (!jsonFieldU64(obj, key, &v, err))
+        return false;
+    if (v > UINT32_MAX) {
+        if (err)
+            *err = std::string("value out of range for '") + key + "'";
+        return false;
+    }
+    *out = unsigned(v);
+    return true;
+}
+
+bool
+jsonFieldDouble(const JsonValue &obj, const char *key, double *out,
+                std::string *err)
+{
+    *out = 0.0;
+    const auto *v = obj.get(key);
+    if (!v)
+        return true;
+    if (!v->asDoubleStrict(out)) {
+        if (err)
+            *err = std::string("malformed number for '") + key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+jsonFieldBool(const JsonValue &obj, const char *key)
+{
+    const auto *v = obj.get(key);
+    return v && v->kind() == JsonValue::Kind::Bool && v->asBool();
+}
+
 namespace {
 
 std::string
@@ -617,27 +652,6 @@ getStr(const JsonValue &obj, const char *key)
 {
     const auto *v = obj.get(key);
     return v && v->kind() == JsonValue::Kind::String ? v->asString() : "";
-}
-
-uint64_t
-getU64(const JsonValue &obj, const char *key)
-{
-    const auto *v = obj.get(key);
-    return v ? v->asU64() : 0;
-}
-
-double
-getDouble(const JsonValue &obj, const char *key)
-{
-    const auto *v = obj.get(key);
-    return v ? v->asDouble() : 0.0;
-}
-
-bool
-getBool(const JsonValue &obj, const char *key)
-{
-    const auto *v = obj.get(key);
-    return v && v->kind() == JsonValue::Kind::Bool && v->asBool();
 }
 
 } // namespace
@@ -659,21 +673,32 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
                    " document";
         return false;
     }
-    if (getU64(doc, "version") != BenchArtifact::kVersion) {
+    uint64_t version = 0;
+    if (!jsonFieldU64(doc, "version", &version, err))
+        return false;
+    if (version != BenchArtifact::kVersion) {
         if (err)
             *err = "unsupported artifact version " +
-                   std::to_string(getU64(doc, "version"));
+                   std::to_string(version);
         return false;
     }
 
     BenchArtifact art;
     art.bench = getStr(doc, "bench");
-    art.scale = unsigned(getU64(doc, "scale"));
-    art.threads = unsigned(getU64(doc, "threads"));
+    if (!jsonFieldU32(doc, "scale", &art.scale, err) ||
+        !jsonFieldU32(doc, "threads", &art.threads, err))
+        return false;
 
     if (const auto *g = doc.get("geomeans"); g && g->isObject()) {
-        for (const auto &[k, v] : g->object())
-            art.geomeans[k] = v.asDouble();
+        for (const auto &[k, v] : g->object()) {
+            double gv = 0.0;
+            if (!v.asDoubleStrict(&gv)) {
+                if (err)
+                    *err = "malformed number for geomean '" + k + "'";
+                return false;
+            }
+            art.geomeans[k] = gv;
+        }
     }
 
     const auto *jobs = doc.get("jobs");
@@ -707,21 +732,36 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
         j.workload = getStr(o, "workload");
         j.suite = getStr(o, "suite");
         j.config = getStr(o, "config");
-        j.scale = unsigned(getU64(o, "scale"));
-        j.seed = getU64(o, "seed");
-        j.instructions = getU64(o, "instructions");
-        j.cycles = getU64(o, "cycles");
-        j.ipc = getDouble(o, "ipc");
-        j.halted = getBool(o, "halted");
-        j.checksum = getU64(o, "checksum");
+        std::string fieldErr;
+        const bool fieldsOk =
+            jsonFieldU32(o, "scale", &j.scale, &fieldErr) &&
+            jsonFieldU64(o, "seed", &j.seed, &fieldErr) &&
+            jsonFieldU64(o, "instructions", &j.instructions, &fieldErr) &&
+            jsonFieldU64(o, "cycles", &j.cycles, &fieldErr) &&
+            jsonFieldDouble(o, "ipc", &j.ipc, &fieldErr) &&
+            jsonFieldU64(o, "checksum", &j.checksum, &fieldErr);
+        j.halted = jsonFieldBool(o, "halted");
         j.configFingerprint = getStr(o, "config_fingerprint");
+        bool optOk = true;
         if (const auto *opt = o.get("opt"); opt && opt->isObject()) {
-            j.optEarlyExecuted = getU64(*opt, "early_executed");
-            j.optMovesEliminated = getU64(*opt, "moves_eliminated");
-            j.optBranchesResolved = getU64(*opt, "branches_resolved");
-            j.optLoadsRemoved = getU64(*opt, "loads_removed");
-            j.optLoadsSynthesized = getU64(*opt, "loads_synthesized");
-            j.optMbcMisspecs = getU64(*opt, "mbc_misspecs");
+            optOk =
+                jsonFieldU64(*opt, "early_executed", &j.optEarlyExecuted,
+                       &fieldErr) &&
+                jsonFieldU64(*opt, "moves_eliminated", &j.optMovesEliminated,
+                       &fieldErr) &&
+                jsonFieldU64(*opt, "branches_resolved",
+                       &j.optBranchesResolved, &fieldErr) &&
+                jsonFieldU64(*opt, "loads_removed", &j.optLoadsRemoved,
+                       &fieldErr) &&
+                jsonFieldU64(*opt, "loads_synthesized", &j.optLoadsSynthesized,
+                       &fieldErr) &&
+                jsonFieldU64(*opt, "mbc_misspecs", &j.optMbcMisspecs,
+                       &fieldErr);
+        }
+        if (!fieldsOk || !optOk) {
+            if (err)
+                *err = "job '" + j.label + "': " + fieldErr;
+            return false;
         }
         art.jobs.push_back(std::move(j));
     }
@@ -862,6 +902,15 @@ BenchArtifact::merge(const BenchArtifact &shard, std::string *err)
     }
     jobs.insert(jobs.end(), shard.jobs.begin(), shard.jobs.end());
     return true;
+}
+
+void
+BenchArtifact::sortJobsByLabel()
+{
+    std::sort(jobs.begin(), jobs.end(),
+              [](const ArtifactJob &a, const ArtifactJob &b) {
+                  return a.label < b.label;
+              });
 }
 
 // --------------------------------------------------------------------------
@@ -1028,16 +1077,23 @@ benchCheckMain(const std::vector<std::string> &args)
     const auto usage = [] {
         std::fprintf(
             stderr,
-            "usage: conopt_bench_check [--tolerance T] <baseline> "
-            "<candidate>\n"
+            "usage: conopt_bench_check [--tolerance T]\n"
+            "                          [--recompute-geomeans BASE]\n"
+            "                          <baseline> <candidate>\n"
             "  each path is a BENCH_*.json artifact or a directory of\n"
             "  per-shard artifacts for one bench (merged before the\n"
             "  comparison)\n"
+            "  --recompute-geomeans rebuilds the candidate's figure\n"
+            "  geomeans from its per-job records over config BASE, for\n"
+            "  the columns the baseline carries (per-shard artifacts\n"
+            "  defer geomeans to this post-merge step)\n"
             "  exit status: 0 match, 1 drift, 2 usage/parse error\n");
         return 2;
     };
 
     CompareOptions opts;
+    std::string geomeanBase;
+    bool recomputeGeomeans = false;
     std::vector<std::string> paths;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--tolerance") {
@@ -1045,6 +1101,11 @@ benchCheckMain(const std::vector<std::string> &args)
                 return usage();
             if (!parseTolerance(args[i].c_str(), &opts.tolerance))
                 return usage();
+        } else if (args[i] == "--recompute-geomeans") {
+            if (++i >= args.size())
+                return usage();
+            geomeanBase = args[i];
+            recomputeGeomeans = true;
         } else if (!args[i].empty() && args[i][0] == '-') {
             return usage();
         } else {
@@ -1065,6 +1126,16 @@ benchCheckMain(const std::vector<std::string> &args)
         std::fprintf(stderr, "conopt_bench_check: candidate: %s\n",
                      err.c_str());
         return 2;
+    }
+
+    if (recomputeGeomeans) {
+        std::vector<std::string> cols;
+        for (const auto &[k, v] : baseline.geomeans) {
+            (void)v;
+            cols.push_back(k);
+        }
+        candidate.geomeans.clear();
+        candidate.addGeomeansFromJobs(geomeanBase, cols);
     }
 
     const auto res = compareArtifacts(baseline, candidate, opts);

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/pipeline/machine_config.hh"
+#include "src/sim/fingerprint.hh"
 #include "src/sim/sweep.hh"
 
 namespace conopt::sim {
@@ -60,10 +61,21 @@ class JsonValue
     bool isArray() const { return kind_ == Kind::Array; }
 
     bool asBool() const { return bool_; }
-    /** The number as a double (0.0 for non-numbers). */
+    /** The number as a double (0.0 for non-numbers / malformed). */
     double asDouble() const;
-    /** The number as a uint64 (0 for non-numbers / negatives). */
+    /** The number as a uint64 (0 for non-numbers / malformed). */
     uint64_t asU64() const;
+
+    /** The number as a uint64, validated end to end: the node must be
+     *  a Number whose full token is a plain non-negative integer that
+     *  fits in 64 bits. False on fractions ("1.5"), exponents ("1e3"),
+     *  negatives, or out-of-range values ("18446744073709551616"),
+     *  which the lenient asU64() would silently truncate or clamp. */
+    bool asU64Strict(uint64_t *out) const;
+    /** The number as a double; false when the node is not a Number or
+     *  the token overflows to infinity. */
+    bool asDoubleStrict(double *out) const;
+
     const std::string &asString() const { return str_; }
 
     /** Array element count (0 for non-arrays). */
@@ -83,6 +95,23 @@ class JsonValue
     std::vector<JsonValue> arr_;
     std::map<std::string, JsonValue> obj_;
 };
+
+/** Strict object-field readers shared by every parser over JsonValue
+ *  documents (the artifact loader here, the result-cache entries in
+ *  src/sim/result_cache.cc). An absent key reads as the zero default
+ *  (schema tolerance for older writers), but a key that is present
+ *  and not a well-formed in-range number is an error with a
+ *  field-naming diagnostic: a truncated or corrupted token must fail
+ *  the load, never silently read as 0 or clamped garbage. */
+bool jsonFieldU64(const JsonValue &obj, const char *key, uint64_t *out,
+                  std::string *err);
+/** jsonFieldU64 narrowed to 32 bits, for `unsigned` schema fields. */
+bool jsonFieldU32(const JsonValue &obj, const char *key, unsigned *out,
+                  std::string *err);
+bool jsonFieldDouble(const JsonValue &obj, const char *key, double *out,
+                     std::string *err);
+/** True iff @p key is present, a Bool, and true (never an error). */
+bool jsonFieldBool(const JsonValue &obj, const char *key);
 
 // --------------------------------------------------------------------------
 // The artifact schema
@@ -143,6 +172,18 @@ struct BenchArtifact
     void addGeomeans(const SweepResult &res, const std::string &baseConfig,
                      const std::vector<std::string> &configs);
 
+    /** The same figure-level geomeans, recomputed from the persisted
+     *  per-job records instead of a live SweepResult: the post-merge
+     *  half of the sharded workflow (per-shard artifacts defer their
+     *  geomeans; compute them here after merge()). Workloads iterate
+     *  in job order and cells divide the same uint64 cycle counts, so
+     *  on a single-run artifact this reproduces addGeomeans() bit for
+     *  bit; a merged artifact whose job order interleaves differently
+     *  can differ in the last ulp, which the compare gate's 1e-12
+     *  geomean floor absorbs. */
+    void addGeomeansFromJobs(const std::string &baseConfig,
+                             const std::vector<std::string> &configs);
+
     /** Order-independent combination of the per-job config
      *  fingerprints: the artifact-level config identity. */
     std::string fingerprint() const;
@@ -159,6 +200,13 @@ struct BenchArtifact
      *  are not identical across shards (whole-figure aggregates cannot
      *  be merged from per-shard subsets; compute them after merging). */
     bool merge(const BenchArtifact &shard, std::string *err);
+
+    /** Canonical job order (sorted by label). merge() appends shards
+     *  in load order, so a merged artifact is label-identical to the
+     *  single-run artifact but not byte-identical; sorting both sides
+     *  (before any geomean recompute) makes toJson() byte-comparable.
+     *  The compare gate never needs this — it is label-keyed. */
+    void sortJobsByLabel();
 };
 
 /** Parse an artifact from JSON text; schema/version checked, and the
@@ -205,11 +253,6 @@ CompareResult compareArtifacts(const BenchArtifact &baseline,
                                const BenchArtifact &candidate,
                                const CompareOptions &opts = {});
 
-/** Hash of every field of @p cfg (including all optimizer knobs), as a
- *  "0x%016x" string. Two configs compare equal iff they simulate the
- *  same machine. */
-std::string configFingerprint(const pipeline::MachineConfig &cfg);
-
 /** Parse a --tolerance value: a finite, non-negative number with no
  *  trailing garbage. Shared by conopt_bench_check and the bench
  *  harness so the two CLIs accept exactly the same inputs. */
@@ -217,11 +260,16 @@ bool parseTolerance(const char *s, double *out);
 
 /** The `conopt_bench_check` CLI:
  *
- *    conopt_bench_check [--tolerance T] <baseline> <candidate>
+ *    conopt_bench_check [--tolerance T] [--recompute-geomeans BASE]
+ *                       <baseline> <candidate>
  *
  *  where each path is a BENCH_*.json file or a directory of per-shard
- *  artifacts (merged before comparison). Returns the process exit
- *  code: 0 on match, 1 on drift, 2 on usage/parse/I-O errors. */
+ *  artifacts (merged before comparison). --recompute-geomeans rebuilds
+ *  the candidate's figure geomeans from its per-job records, over
+ *  config BASE, for exactly the columns the baseline carries — the
+ *  post-merge step for sharded runs, whose per-shard artifacts defer
+ *  geomeans. Returns the process exit code: 0 on match, 1 on drift,
+ *  2 on usage/parse/I-O errors. */
 int benchCheckMain(const std::vector<std::string> &args);
 
 } // namespace conopt::sim

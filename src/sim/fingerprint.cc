@@ -1,0 +1,122 @@
+#include "src/sim/fingerprint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace conopt::sim {
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+std::string
+configFingerprint(const pipeline::MachineConfig &cfg)
+{
+    Fnv f;
+    // Widths and depths.
+    f.mix(cfg.fetchWidth);
+    f.mix(cfg.renameWidth);
+    f.mix(cfg.retireWidth);
+    f.mix(cfg.frontEndDepth);
+    f.mix(cfg.renameBaseStages);
+    f.mix(cfg.schedMinDelay);
+    f.mix(cfg.regReadDepth);
+    f.mix(cfg.redirectPenalty);
+    f.mix(cfg.resteerPenalty);
+    // Resources.
+    f.mix(cfg.robEntries);
+    f.mix(cfg.schedEntries);
+    f.mix(cfg.dispatchQueueEntries);
+    f.mix(cfg.numSimpleAlu);
+    f.mix(cfg.numComplexAlu);
+    f.mix(cfg.numFpAlu);
+    f.mix(cfg.numAgen);
+    f.mix(cfg.numDCachePorts);
+    f.mix(cfg.intPhysRegs);
+    f.mix(cfg.fpPhysRegs);
+    // Memory hierarchy.
+    for (const auto *c : {&cfg.hier.l1i, &cfg.hier.l1d, &cfg.hier.l2}) {
+        f.mix(c->sizeBytes);
+        f.mix(c->assoc);
+        f.mix(c->lineBytes);
+        f.mix(c->latency);
+    }
+    f.mix(cfg.hier.memLatency);
+    // Branch prediction.
+    f.mix(cfg.bp.historyBits);
+    f.mix(cfg.bp.btbEntries);
+    f.mix(cfg.bp.rasEntries);
+    // Optimizer (every knob, including the family enables).
+    f.mix(cfg.opt.enabled);
+    f.mix(cfg.opt.enableCpRa);
+    f.mix(cfg.opt.enableRleSf);
+    f.mix(cfg.opt.enableValueFeedback);
+    f.mix(cfg.opt.enableBranchInference);
+    f.mix(cfg.opt.enableStrengthReduction);
+    f.mix(cfg.opt.enableMoveElim);
+    f.mix(cfg.opt.addChainDepth);
+    f.mix(cfg.opt.allowChainedMem);
+    f.mix(cfg.opt.extraStages);
+    f.mix(cfg.opt.mbc.entries);
+    f.mix(cfg.opt.mbc.assoc);
+    f.mix(cfg.opt.mbcFlushOnUnknownStore);
+    // Misc timing knobs.
+    f.mix(cfg.vfbDelay);
+    f.mix(cfg.mbcMisspecPenalty);
+    f.mix(cfg.maxCycles);
+    return hex64(f.final());
+}
+
+std::string
+programFingerprint(const assembler::Program &prog)
+{
+    Fnv f;
+    f.mix(prog.entryPc);
+    f.mix(prog.code.size());
+    for (const auto &inst : prog.code) {
+        f.mix(uint64_t(inst.op));
+        f.mix(inst.ra);
+        f.mix(inst.rb);
+        f.mix(inst.rc);
+        f.mix(inst.useImm);
+        f.mix(uint64_t(inst.imm));
+    }
+    f.mix(prog.data.size());
+    for (const auto &seg : prog.data) {
+        f.mix(seg.addr);
+        f.mix(seg.bytes.size());
+        for (uint8_t b : seg.bytes)
+            f.h = fnv1aByte(f.h, b);
+    }
+    return hex64(f.final());
+}
+
+const std::string &
+selfExeFingerprint()
+{
+    static const std::string fp = [] {
+        std::FILE *f = std::fopen("/proc/self/exe", "rb");
+        if (!f) {
+            std::fprintf(stderr,
+                         "[fingerprint] cannot read /proc/self/exe; "
+                         "cached results will not invalidate on "
+                         "simulator rebuilds\n");
+            return std::string("0xunversioned");
+        }
+        Fnv h;
+        uint8_t buf[65536];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            for (size_t i = 0; i < n; ++i)
+                h.h = fnv1aByte(h.h, buf[i]);
+        std::fclose(f);
+        return hex64(h.final());
+    }();
+    return fp;
+}
+
+} // namespace conopt::sim

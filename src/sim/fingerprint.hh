@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Identity fingerprints for the experiment's inputs: a hash of every
+ * MachineConfig field (the simulated machine) and a hash of an
+ * assembled Program (the workload content). Both render as "0x%016x"
+ * strings so they embed directly in artifacts and cache keys.
+ *
+ * Consumers:
+ *   - src/sim/baseline.hh  per-job config fingerprints in BENCH_*.json
+ *   - src/sim/result_cache.hh  (program, config, scale, seed) cache keys
+ *
+ * The FNV-1a helper is exposed because the artifact writer also
+ * combines per-job fingerprints into a whole-artifact identity.
+ */
+
+#ifndef CONOPT_SIM_FINGERPRINT_HH
+#define CONOPT_SIM_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/asm/program.hh"
+#include "src/pipeline/machine_config.hh"
+#include "src/util/bitops.hh"
+
+namespace conopt::sim {
+
+/** Incremental FNV-1a over 64-bit words and strings, avalanched on
+ *  final() so single-bit input changes flip about half the output. */
+struct Fnv
+{
+    uint64_t h = kFnv1aOffsetBasis;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h = fnv1aByte(h, uint8_t(v));
+            v >>= 8;
+        }
+    }
+
+    void
+    mixStr(const std::string &s)
+    {
+        for (char c : s)
+            h = fnv1aByte(h, uint8_t(c));
+        mix(s.size());
+    }
+
+    uint64_t final() const { return avalanche64(h); }
+};
+
+/** @p v as "0x%016x". */
+std::string hex64(uint64_t v);
+
+/** Hash of every field of @p cfg (including all optimizer knobs). Two
+ *  configs compare equal iff they simulate the same machine. */
+std::string configFingerprint(const pipeline::MachineConfig &cfg);
+
+/** Hash of an assembled program: entry pc, every instruction field,
+ *  and every initialized data byte. Two programs compare equal iff the
+ *  simulator sees the same initial machine state, so the fingerprint
+ *  keys cached simulation results across processes. */
+std::string programFingerprint(const assembler::Program &prog);
+
+/** Fingerprint of the running executable's bytes (/proc/self/exe),
+ *  computed once per process. The timing model lives in code, not in
+ *  MachineConfig, so anything that persists simulation results across
+ *  processes must key on the binary identity too: a rebuild with model
+ *  changes cold-starts the result cache instead of silently serving
+ *  stale numbers past the baseline gate. "0xunversioned" (with one
+ *  stderr warning) when the executable cannot be read. */
+const std::string &selfExeFingerprint();
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_FINGERPRINT_HH

@@ -1,0 +1,369 @@
+#include "src/sim/result_cache.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/sim/baseline.hh"
+#include "src/sim/fingerprint.hh"
+#include "src/sim/report.hh"
+
+namespace conopt::sim {
+
+namespace {
+
+/** The persisted counters, named for the JSON document. Pointer-to-
+ *  member tables keep the writer and the parser field lists identical
+ *  by construction. */
+struct StatField
+{
+    const char *name;
+    uint64_t pipeline::SimStats::*p;
+};
+
+constexpr StatField kStatFields[] = {
+    {"cycles", &pipeline::SimStats::cycles},
+    {"retired", &pipeline::SimStats::retired},
+    {"branches", &pipeline::SimStats::branches},
+    {"cond_branches", &pipeline::SimStats::condBranches},
+    {"mispredicted", &pipeline::SimStats::mispredicted},
+    {"early_resolved_branches", &pipeline::SimStats::earlyResolvedBranches},
+    {"early_recovered_mispredicts",
+     &pipeline::SimStats::earlyRecoveredMispredicts},
+    {"btb_resteers", &pipeline::SimStats::btbResteers},
+    {"loads", &pipeline::SimStats::loads},
+    {"stores", &pipeline::SimStats::stores},
+    {"loads_forwarded_from_storeq",
+     &pipeline::SimStats::loadsForwardedFromStoreQ},
+    {"mbc_misspec_flushes", &pipeline::SimStats::mbcMisspecFlushes},
+    {"dl1_hits", &pipeline::SimStats::dl1Hits},
+    {"dl1_misses", &pipeline::SimStats::dl1Misses},
+    {"il1_misses", &pipeline::SimStats::il1Misses},
+    {"fetch_stall_mispredict", &pipeline::SimStats::fetchStallMispredict},
+    {"fetch_stall_icache", &pipeline::SimStats::fetchStallIcache},
+    {"fetch_stall_queue_full", &pipeline::SimStats::fetchStallQueueFull},
+    {"rename_stall_rob", &pipeline::SimStats::renameStallRob},
+    {"rename_stall_dispatchq", &pipeline::SimStats::renameStallDispatchQ},
+    {"rename_stall_pregs", &pipeline::SimStats::renameStallPregs},
+    {"dispatch_stall_sched", &pipeline::SimStats::dispatchStallSched},
+};
+
+struct OptField
+{
+    const char *name;
+    uint64_t core::OptStats::*p;
+};
+
+constexpr OptField kOptFields[] = {
+    {"insts_renamed", &core::OptStats::instsRenamed},
+    {"early_executed", &core::OptStats::earlyExecuted},
+    {"moves_eliminated", &core::OptStats::movesEliminated},
+    {"branches_resolved", &core::OptStats::branchesResolved},
+    {"mem_ops", &core::OptStats::memOps},
+    {"loads", &core::OptStats::loads},
+    {"addr_known", &core::OptStats::addrKnown},
+    {"loads_removed", &core::OptStats::loadsRemoved},
+    {"loads_synthesized", &core::OptStats::loadsSynthesized},
+    {"mbc_misspecs", &core::OptStats::mbcMisspecs},
+    {"sym_rewrites", &core::OptStats::symRewrites},
+    {"depth_blocked", &core::OptStats::depthBlocked},
+    {"strength_reductions", &core::OptStats::strengthReductions},
+    {"branch_inferences", &core::OptStats::branchInferences},
+};
+
+struct MbcField
+{
+    const char *name;
+    uint64_t core::MbcStats::*p;
+};
+
+constexpr MbcField kMbcFields[] = {
+    {"lookups", &core::MbcStats::lookups},
+    {"hits", &core::MbcStats::hits},
+    {"inserts", &core::MbcStats::inserts},
+    {"evictions", &core::MbcStats::evictions},
+    {"invalidations", &core::MbcStats::invalidations},
+    {"flushes", &core::MbcStats::flushes},
+};
+
+} // namespace
+
+std::string
+ResultCache::Key::fileName() const
+{
+    Fnv f;
+    f.mixStr(programFingerprint);
+    f.mixStr(configFingerprint);
+    f.mixStr(simFingerprint);
+    f.mix(scale);
+    f.mix(seed);
+    f.mix(maxInsts);
+    return hex64(f.final()).substr(2) + ".json";
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    usable_ = !ec && std::filesystem::is_directory(dir_, ec);
+    if (!usable_)
+        std::fprintf(stderr,
+                     "[cache] cannot create result cache at %s (%s); "
+                     "caching disabled\n",
+                     dir_.c_str(), ec.message().c_str());
+}
+
+std::string
+ResultCache::entryToJson(const Key &key, const SimResult &r)
+{
+    std::string s;
+    s.reserve(2048);
+    const auto kv = [&](const char *k, const std::string &raw) {
+        s += '"';
+        s += k;
+        s += "\": ";
+        s += raw;
+    };
+    const auto str = [&](const std::string &v) {
+        std::string q(1, '"');
+        q += jsonEscape(v);
+        q += '"';
+        return q;
+    };
+
+    s += "{\n  ";
+    kv("schema", str(kSchema));
+    s += ",\n  ";
+    kv("version", std::to_string(kVersion));
+    s += ",\n  ";
+    kv("program_fingerprint", str(key.programFingerprint));
+    s += ",\n  ";
+    kv("config_fingerprint", str(key.configFingerprint));
+    s += ",\n  ";
+    kv("sim_fingerprint", str(key.simFingerprint));
+    s += ",\n  ";
+    kv("scale", std::to_string(key.scale));
+    s += ", ";
+    kv("seed", std::to_string(key.seed));
+    s += ", ";
+    kv("max_insts", std::to_string(key.maxInsts));
+    s += ",\n  ";
+    kv("instructions", std::to_string(r.instructions));
+    s += ", ";
+    kv("halted", r.halted ? "true" : "false");
+    s += ",\n  \"stats\": {";
+    kv("halted", r.stats.halted ? "true" : "false");
+    for (const auto &f : kStatFields) {
+        s += ",\n    ";
+        kv(f.name, std::to_string(r.stats.*f.p));
+    }
+    s += ",\n    \"opt\": {";
+    for (const auto &f : kOptFields) {
+        if (&f != kOptFields)
+            s += ", ";
+        kv(f.name, std::to_string(r.stats.opt.*f.p));
+    }
+    s += "},\n    \"mbc\": {";
+    for (const auto &f : kMbcFields) {
+        if (&f != kMbcFields)
+            s += ", ";
+        kv(f.name, std::to_string(r.stats.mbc.*f.p));
+    }
+    s += "}\n  }\n}\n";
+    return s;
+}
+
+bool
+ResultCache::parseEntry(const std::string &json, const Key &expect,
+                        SimResult *out, std::string *err)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(json, &doc, err))
+        return false;
+    if (!doc.isObject()) {
+        if (err)
+            *err = "cache entry is not a JSON object";
+        return false;
+    }
+    const auto getStr = [&](const char *key) -> std::string {
+        const auto *v = doc.get(key);
+        return v && v->kind() == JsonValue::Kind::String ? v->asString()
+                                                         : "";
+    };
+    if (getStr("schema") != kSchema) {
+        if (err)
+            *err = "not a " + std::string(kSchema) + " document";
+        return false;
+    }
+    uint64_t version = 0;
+    if (!jsonFieldU64(doc, "version", &version, err))
+        return false;
+    if (version != kVersion) {
+        if (err)
+            *err = "unsupported cache entry version " +
+                   std::to_string(version);
+        return false;
+    }
+    // Verify the *full* key, not just the filename hash: a collision
+    // must degrade to a miss, never to someone else's result.
+    uint64_t scale = 0, seed = 0, maxInsts = 0;
+    std::string keyErr;
+    if (!jsonFieldU64(doc, "scale", &scale, &keyErr) ||
+        !jsonFieldU64(doc, "seed", &seed, &keyErr) ||
+        !jsonFieldU64(doc, "max_insts", &maxInsts, &keyErr)) {
+        if (err)
+            *err = keyErr;
+        return false;
+    }
+    if (getStr("program_fingerprint") != expect.programFingerprint ||
+        getStr("config_fingerprint") != expect.configFingerprint ||
+        getStr("sim_fingerprint") != expect.simFingerprint ||
+        scale != expect.scale || seed != expect.seed ||
+        maxInsts != expect.maxInsts) {
+        if (err)
+            *err = "cache entry key mismatch";
+        return false;
+    }
+
+    SimResult r;
+    std::string fieldErr;
+    if (!jsonFieldU64(doc, "instructions", &r.instructions, &fieldErr)) {
+        if (err)
+            *err = fieldErr;
+        return false;
+    }
+    r.halted = jsonFieldBool(doc, "halted");
+    const auto *stats = doc.get("stats");
+    if (!stats || !stats->isObject()) {
+        if (err)
+            *err = "cache entry has no stats object";
+        return false;
+    }
+    r.stats.halted = jsonFieldBool(*stats, "halted");
+    for (const auto &f : kStatFields) {
+        if (!jsonFieldU64(*stats, f.name, &(r.stats.*f.p), &fieldErr)) {
+            if (err)
+                *err = fieldErr;
+            return false;
+        }
+    }
+    if (const auto *opt = stats->get("opt"); opt && opt->isObject()) {
+        for (const auto &f : kOptFields) {
+            if (!jsonFieldU64(*opt, f.name, &(r.stats.opt.*f.p), &fieldErr)) {
+                if (err)
+                    *err = fieldErr;
+                return false;
+            }
+        }
+    }
+    if (const auto *mbc = stats->get("mbc"); mbc && mbc->isObject()) {
+        for (const auto &f : kMbcFields) {
+            if (!jsonFieldU64(*mbc, f.name, &(r.stats.mbc.*f.p), &fieldErr)) {
+                if (err)
+                    *err = fieldErr;
+                return false;
+            }
+        }
+    }
+    *out = r;
+    return true;
+}
+
+bool
+ResultCache::lookup(const Key &key, SimResult *out)
+{
+    if (!usable_) {
+        misses_.fetch_add(1);
+        return false;
+    }
+    const std::string path =
+        (std::filesystem::path(dir_) / key.fileName()).string();
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        misses_.fetch_add(1);
+        return false;
+    }
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool readOk = !std::ferror(f);
+    std::fclose(f);
+    std::string err;
+    if (!readOk || !parseEntry(text, key, out, &err)) {
+        // Corrupt or foreign entries are misses, never failures: the
+        // cell re-simulates and the next store repairs the entry.
+        errors_.fetch_add(1);
+        misses_.fetch_add(1);
+        return false;
+    }
+    hits_.fetch_add(1);
+    return true;
+}
+
+bool
+ResultCache::store(const Key &key, const SimResult &result,
+                   std::string *err)
+{
+    if (!usable_) {
+        if (err)
+            *err = dir_ + ": cache directory unusable";
+        return false;
+    }
+    namespace fs = std::filesystem;
+    const fs::path dir(dir_);
+    const std::string final = (dir / key.fileName()).string();
+    // Unique temp name per process+thread so concurrent shard processes
+    // sharing one cache directory never interleave writes; rename() is
+    // atomic, so readers see either the old entry or the new one.
+    static std::atomic<uint64_t> counter{0};
+    const std::string tmp =
+        (dir / (key.fileName() + ".tmp." +
+                std::to_string(uint64_t(::getpid())) + "." +
+                std::to_string(counter.fetch_add(1))))
+            .string();
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        if (err)
+            *err = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    const std::string text = entryToJson(key, result);
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    // fclose unconditionally: a short write (ENOSPC) must not leak
+    // the FILE* — one leaked fd per failed store would exhaust the
+    // process fd limit over a long sweep.
+    const bool closed = std::fclose(f) == 0;
+    const bool ok = written == text.size() && closed;
+    if (!ok) {
+        if (err)
+            *err = tmp + ": write failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), final.c_str()) != 0) {
+        if (err)
+            *err = final + ": " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    stores_.fetch_add(1);
+    return true;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.stores = stores_.load();
+    s.errors = errors_.load();
+    return s;
+}
+
+} // namespace conopt::sim

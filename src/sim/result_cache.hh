@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Persistent sweep-level result cache.
+ *
+ * ProgramCache makes each (workload, scale) program build once per
+ * process; this cache persists whole *simulation results* across
+ * processes, keyed by everything that determines them:
+ *
+ *   (program fingerprint, config fingerprint, scale, seed, maxInsts)
+ *
+ * so a repeated or resumed sweep skips every cell whose inputs are
+ * unchanged. The store is a directory (CONOPT_RESULT_CACHE /
+ * --result-cache in the bench harness) holding one small JSON document
+ * per entry, named by the hash of its key; entries verify the full key
+ * on load, so a hash collision degrades to a miss, never a wrong
+ * result. Writes go through a temp file + rename, so concurrent shard
+ * processes can share one cache directory safely.
+ *
+ * The cache is disposable by design: a malformed, truncated, or
+ * version-skewed entry is treated as a miss (counted in
+ * Stats::errors) and the cell is simulated fresh. Deleting the
+ * directory is always safe.
+ */
+
+#ifndef CONOPT_SIM_RESULT_CACHE_HH
+#define CONOPT_SIM_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/simulator.hh"
+
+namespace conopt::sim {
+
+/** A directory of persisted simulation results. */
+class ResultCache
+{
+  public:
+    static constexpr const char *kSchema = "conopt-result-cache";
+    static constexpr unsigned kVersion = 1;
+
+    /** Everything that determines a simulation's outcome. The
+     *  simulator fingerprint is part of the key because the timing
+     *  model lives in code: a rebuilt binary must cold-start the
+     *  cache, not replay numbers the old model produced (which would
+     *  sail through the baseline gate and poison any re-baseline). */
+    struct Key
+    {
+        std::string programFingerprint; ///< sim::programFingerprint()
+        std::string configFingerprint;  ///< sim::configFingerprint()
+        std::string simFingerprint;     ///< sim::selfExeFingerprint()
+        unsigned scale = 0;             ///< absolute iteration scale
+        uint64_t seed = 0;              ///< per-job seed
+        uint64_t maxInsts = 0;          ///< dynamic-instruction limit
+
+        /** Entry filename within the cache directory: "<hash>.json". */
+        std::string fileName() const;
+    };
+
+    /** Hit/miss accounting; "errors" counts unreadable or corrupt
+     *  entries (each also counted as a miss). */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t errors = 0;
+    };
+
+    /** Opens (and creates, if needed) the cache directory. A directory
+     *  that cannot be created disables the cache: lookups miss and
+     *  stores fail, with one warning on stderr. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Fetch the result for @p key into @p out. Thread- and
+     *  process-safe. False on miss (including corrupt entries). */
+    bool lookup(const Key &key, SimResult *out);
+
+    /** Persist @p result under @p key (atomic temp-file + rename).
+     *  False (with @p err) when the entry cannot be written. */
+    bool store(const Key &key, const SimResult &result,
+               std::string *err = nullptr);
+
+    Stats stats() const;
+
+    /** Serialize / parse one cache entry (exposed for tests). */
+    static std::string entryToJson(const Key &key, const SimResult &r);
+    static bool parseEntry(const std::string &json, const Key &expect,
+                           SimResult *out, std::string *err);
+
+  private:
+    std::string dir_;
+    bool usable_ = false;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> stores_{0};
+    std::atomic<uint64_t> errors_{0};
+};
+
+} // namespace conopt::sim
+
+#endif // CONOPT_SIM_RESULT_CACHE_HH

@@ -4,10 +4,13 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <thread>
 
+#include "src/sim/fingerprint.hh"
 #include "src/util/bitops.hh"
 #include "src/util/logging.hh"
 #include "src/workloads/workload.hh"
@@ -17,9 +20,9 @@ namespace conopt::sim {
 namespace {
 
 /** Parse environment variable @p name as an unsigned. Unset, empty,
- *  non-numeric, negative, or zero values yield @p def; values beyond
- *  @p cap clamp to it (so absurd inputs can't overflow downstream
- *  scale/thread arithmetic). */
+ *  non-numeric, negative, zero, or partially-numeric values (e.g.
+ *  "8x", "4,") yield @p def; values beyond @p cap clamp to it (so
+ *  absurd inputs can't overflow downstream scale/thread arithmetic). */
 unsigned
 envUnsigned(const char *name, unsigned def, unsigned cap)
 {
@@ -36,6 +39,14 @@ envUnsigned(const char *name, unsigned def, unsigned cap)
     errno = 0;
     const unsigned long long v = std::strtoull(s, &end, 10);
     if (end == s)
+        return def;
+    // The whole token must be the number: trailing whitespace is fine,
+    // trailing garbage means the value was not what the user intended
+    // ("8x", "4,") and must fall back to the default, not silently
+    // parse as its numeric prefix.
+    while (std::isspace(uint8_t(*end)))
+        ++end;
+    if (*end != '\0')
         return def;
     if (errno == ERANGE || v > cap)
         return cap;
@@ -54,6 +65,33 @@ unsigned
 envThreads()
 {
     return envUnsigned("CONOPT_THREADS", 0, kMaxEnvThreads);
+}
+
+bool
+parseShard(const std::string &s, ShardSpec *out)
+{
+    // Strict "<digits>/<digits>": no sign, no whitespace, no trailing
+    // characters (strtoull alone would accept all three).
+    const char *p = s.c_str();
+    if (!std::isdigit(uint8_t(*p)))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long i = std::strtoull(p, &end, 10);
+    if (*end != '/' || errno == ERANGE)
+        return false;
+    const char *q = end + 1;
+    if (!std::isdigit(uint8_t(*q)))
+        return false;
+    errno = 0;
+    const unsigned long long n = std::strtoull(q, &end, 10);
+    if (*end != '\0' || errno == ERANGE)
+        return false;
+    if (n == 0 || n > kMaxEnvThreads || i >= n)
+        return false;
+    out->index = unsigned(i);
+    out->count = unsigned(n);
+    return true;
 }
 
 namespace {
@@ -87,6 +125,12 @@ normalize(SimJob &job)
                          job.label.c_str(), job.workload.c_str());
         if (job.scale == 0)
             job.scale = w->defaultScale * envScale();
+    } else if (job.scale == 0) {
+        // Pre-built programs have no registry defaultScale, but must
+        // still be fully specified: the scale feeds the seed
+        // derivation, the artifact record, and the result-cache key.
+        // A bare program is the envScale() of a defaultScale-1 job.
+        job.scale = envScale();
     }
     if (job.seed == 0)
         job.seed = seedFor(job.label, job.scale);
@@ -287,6 +331,24 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts)
     }
 }
 
+std::string
+SweepRunner::programFp(const ProgramPtr &program)
+{
+    {
+        std::lock_guard<std::mutex> lock(fpMu_);
+        const auto it = programFps_.find(program.get());
+        if (it != programFps_.end())
+            return it->second;
+    }
+    // Hash outside the lock so distinct programs fingerprint in
+    // parallel; two workers racing on the same program just compute
+    // it twice (identical values, one wins the emplace).
+    std::string fp = programFingerprint(*program);
+    std::lock_guard<std::mutex> lock(fpMu_);
+    return programFps_.emplace(program.get(), std::move(fp))
+        .first->second;
+}
+
 JobResult
 SweepRunner::runOne(const SimJob &job)
 {
@@ -299,7 +361,22 @@ SweepRunner::runOne(const SimJob &job)
             r.suite = w->suite;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    r.sim = simulate(*program, job.config, job.maxInsts);
+    ResultCache *rc = opts_.resultCache.get();
+    ResultCache::Key key;
+    if (rc) {
+        key.programFingerprint = programFp(program);
+        key.configFingerprint = configFingerprint(job.config);
+        key.simFingerprint = selfExeFingerprint();
+        key.scale = job.scale;
+        key.seed = job.seed;
+        key.maxInsts = job.maxInsts;
+        r.fromCache = rc->lookup(key, &r.sim);
+    }
+    if (!r.fromCache) {
+        r.sim = simulate(*program, job.config, job.maxInsts);
+        if (rc)
+            rc->store(key, r.sim);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     r.hostSeconds =
         std::chrono::duration<double>(t1 - t0).count();
@@ -309,8 +386,9 @@ SweepRunner::runOne(const SimJob &job)
 SweepResult
 SweepRunner::run(std::vector<SimJob> jobs)
 {
-    // Normalize and validate on the calling thread so configuration
-    // errors are fatal before any worker starts.
+    // Normalize and validate the FULL job list on the calling thread,
+    // so configuration errors are fatal before any worker starts and
+    // every shard of the same sweep agrees on labels and positions.
     {
         std::set<std::string> seen;
         for (auto &job : jobs) {
@@ -321,11 +399,69 @@ SweepRunner::run(std::vector<SimJob> jobs)
         }
     }
 
+    // Keep only this shard's slice (round-robin over submission order,
+    // so the partition is balanced and depends only on job position).
+    const ShardSpec shard = opts_.shard;
+    if (shard.count == 0 || shard.index >= shard.count)
+        conopt_fatal("invalid sweep shard %u/%u (want index < count)",
+                     shard.index, shard.count);
+    if (shard.active()) {
+        std::vector<SimJob> mine;
+        mine.reserve(jobs.size() / shard.count + 1);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            if (shard.contains(i))
+                mine.push_back(std::move(jobs[i]));
+        jobs.swap(mine);
+    }
+
+    {
+        // Program objects from a previous run() may be gone; never let
+        // the fingerprint memo match a recycled address.
+        std::lock_guard<std::mutex> lock(fpMu_);
+        programFps_.clear();
+    }
+
     std::vector<JobResult> results(jobs.size());
     std::atomic<size_t> next{0};
+
+    // Progress state, shared by workers under one mutex; the callback
+    // itself runs inside the lock so reports are serialized and the
+    // done-counter never goes backwards from a caller's viewpoint.
+    std::mutex progressMu;
+    size_t done = 0;
+    double hostTotal = 0.0, logIpcSum = 0.0;
+    size_t ipcCount = 0;
+    const auto sweepStart = std::chrono::steady_clock::now();
+
     const auto worker = [&] {
-        for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
             results[i] = runOne(jobs[i]);
+            if (!opts_.onProgress)
+                continue;
+            std::lock_guard<std::mutex> lock(progressMu);
+            const JobResult &r = results[i];
+            ++done;
+            hostTotal += r.hostSeconds;
+            if (const double ipc = r.sim.ipc(); ipc > 0.0) {
+                logIpcSum += std::log(ipc);
+                ++ipcCount;
+            }
+            SweepProgress p;
+            p.done = done;
+            p.total = jobs.size();
+            p.label = r.job.label;
+            p.jobHostSeconds = r.hostSeconds;
+            p.totalHostSeconds = hostTotal;
+            p.elapsedSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweepStart)
+                    .count();
+            p.etaSeconds = p.elapsedSeconds / double(done) *
+                           double(jobs.size() - done);
+            p.geomeanIpc =
+                ipcCount ? std::exp(logIpcSum / double(ipcCount)) : 0.0;
+            opts_.onProgress(p);
+        }
     };
 
     unsigned n = opts_.threads ? opts_.threads : envThreads();

@@ -14,7 +14,17 @@
  *   - SweepRunner:  thread-pool executor (std::thread + atomic work
  *                   queue); results land in submission order, so a
  *                   parallel sweep is bit-identical to a serial one
+ *   - ShardSpec:    deterministic round-robin partition of the job
+ *                   list, so one sweep can split across processes or
+ *                   machines; disjoint shard artifacts merge back via
+ *                   BenchArtifact::merge() (src/sim/baseline.hh)
  *   - SweepResult:  label-keyed structured results with speedup helpers
+ *
+ * SweepOptions can also attach a persistent ResultCache
+ * (src/sim/result_cache.hh), which skips simulation for any job whose
+ * (program, config, scale, seed, maxInsts) key was already computed by
+ * an earlier run or another shard, and a ProgressFn callback for
+ * interactive done/total + ETA reporting on long sweeps.
  *
  * Reporters that format a SweepResult (paper-style tables, CSV, JSON)
  * live in src/sim/report.hh.
@@ -32,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -42,6 +53,7 @@
 
 #include "src/asm/program.hh"
 #include "src/pipeline/machine_config.hh"
+#include "src/sim/result_cache.hh"
 #include "src/sim/simulator.hh"
 
 namespace conopt::sim {
@@ -63,6 +75,25 @@ unsigned envScale();
  *  std::thread::hardware_concurrency(); huge values clamp to
  *  kMaxEnvThreads. */
 unsigned envThreads();
+
+/** One shard of a sweep split across processes/machines. The job list
+ *  is partitioned round-robin over submission order (job i belongs to
+ *  shard i % count), so shards are balanced across the workload-major
+ *  cross product and a job's shard depends only on its position, never
+ *  on thread scheduling. {0, 1} is the whole sweep. */
+struct ShardSpec
+{
+    unsigned index = 0; ///< 0-based shard id
+    unsigned count = 1; ///< total shards; 1 = unsharded
+
+    bool active() const { return count > 1; }
+    /** Does submission position @p i fall in this shard? */
+    bool contains(size_t i) const { return i % count == index; }
+};
+
+/** Parse "<i>/<n>" (e.g. "0/2", "1/2") into @p out. False on anything
+ *  else: garbage, trailing characters, n == 0, or i >= n. */
+bool parseShard(const std::string &s, ShardSpec *out);
 
 /** An immutable, shareable assembled program. */
 using ProgramPtr = std::shared_ptr<const assembler::Program>;
@@ -167,7 +198,31 @@ struct JobResult
     std::string suite;   ///< Table 1 suite, when registry-resolved
     SimResult sim;       ///< timing-simulation outcome
     double hostSeconds = 0.0; ///< wall-clock cost on the host
+    bool fromCache = false;   ///< served by the persistent ResultCache
 };
+
+/** Snapshot handed to the progress callback after each job finishes. */
+struct SweepProgress
+{
+    size_t done = 0;   ///< jobs finished so far (including this one)
+    size_t total = 0;  ///< jobs in this runner's shard of the sweep
+    std::string label; ///< the job that just finished
+    double jobHostSeconds = 0.0;   ///< that job's host cost
+    double totalHostSeconds = 0.0; ///< sum of hostSeconds so far
+    double elapsedSeconds = 0.0;   ///< wall clock since run() started
+    /** Estimated wall-clock seconds remaining, extrapolated from the
+     *  elapsed time per finished job (so it already accounts for the
+     *  worker-pool parallelism). */
+    double etaSeconds = 0.0;
+    /** Running geometric mean of per-job IPC over finished jobs with
+     *  nonzero cycles (a cheap scheduling-independent health signal;
+     *  figure-level speedup geomeans still come post-sweep). */
+    double geomeanIpc = 0.0;
+};
+
+/** Invoked after every finished job, serialized under an internal
+ *  mutex (callbacks never run concurrently), from worker threads. */
+using ProgressFn = std::function<void(const SweepProgress &)>;
 
 /** Structured results of a sweep, keyed by job label. */
 class SweepResult
@@ -209,12 +264,33 @@ class SweepResult
 /** Execution knobs for a sweep. */
 struct SweepOptions
 {
+    SweepOptions() = default;
+    /** The common short form: thread count plus a shared program
+     *  cache, everything else defaulted. */
+    SweepOptions(unsigned threads_, ProgramCache *cache_)
+        : threads(threads_), cache(cache_)
+    {}
+
     /** Worker threads; 0 = CONOPT_THREADS from the environment, or
      *  std::thread::hardware_concurrency() when that is unset too. */
     unsigned threads = 0;
 
     /** Program cache to share across sweeps; nullptr = per-runner. */
     ProgramCache *cache = nullptr;
+
+    /** Which slice of the job list this runner executes. The *full*
+     *  job list is still normalized and label-checked, so every shard
+     *  agrees on the partition; only this shard's jobs run (and only
+     *  they appear in the SweepResult). */
+    ShardSpec shard;
+
+    /** Persistent cross-process result cache; nullptr = none. Jobs
+     *  whose (program, config, scale, seed, maxInsts) key hits skip
+     *  simulation entirely and are marked JobResult::fromCache. */
+    std::shared_ptr<ResultCache> resultCache;
+
+    /** Per-finished-job progress callback; empty = none. */
+    ProgressFn onProgress;
 };
 
 /**
@@ -226,9 +302,11 @@ class SweepRunner
   public:
     explicit SweepRunner(SweepOptions opts = {});
 
-    /** Run all jobs, in parallel, and collect structured results.
-     *  Fatal on unknown workload names or duplicate labels (checked
-     *  up front, on the calling thread). */
+    /** Run this runner's shard of @p jobs, in parallel, and collect
+     *  structured results (submission order within the shard). Fatal
+     *  on unknown workload names, duplicate labels (checked up front
+     *  across the FULL job list, on the calling thread), or an
+     *  out-of-range shard. */
     SweepResult run(std::vector<SimJob> jobs);
 
     /** Convenience: expand and run a SweepSpec. */
@@ -237,12 +315,20 @@ class SweepRunner
     /** The program cache in use. */
     ProgramCache &cache() { return *cache_; }
 
+    /** The persistent result cache, or nullptr. */
+    ResultCache *resultCache() { return opts_.resultCache.get(); }
+
   private:
     JobResult runOne(const SimJob &job);
+    /** programFingerprint() memoized per live program object (reset at
+     *  the start of each run(), so pointers never go stale). */
+    std::string programFp(const ProgramPtr &program);
 
     SweepOptions opts_;
     std::unique_ptr<ProgramCache> owned_;
     ProgramCache *cache_;
+    std::mutex fpMu_;
+    std::map<const assembler::Program *, std::string> programFps_;
 };
 
 } // namespace conopt::sim

@@ -153,6 +153,47 @@ TEST(JsonValue, RejectsMalformedInput)
     }
 }
 
+TEST(JsonValue, StrictNumberAccessorsValidateTheFullToken)
+{
+    sim::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(sim::JsonValue::parse(
+        R"([42, 1.5, 1e3, -1, 18446744073709551615,
+            18446744073709551616, 1e999])",
+        &v, &err))
+        << err;
+
+    uint64_t u = 0;
+    EXPECT_TRUE(v.at(0).asU64Strict(&u));
+    EXPECT_EQ(u, 42u);
+    // A fraction, exponent, or sign is not the integer the caller is
+    // about to compare cycle counts against.
+    EXPECT_FALSE(v.at(1).asU64Strict(&u)) << "1.5";
+    EXPECT_FALSE(v.at(2).asU64Strict(&u)) << "1e3";
+    EXPECT_FALSE(v.at(3).asU64Strict(&u)) << "-1";
+    EXPECT_TRUE(v.at(4).asU64Strict(&u));
+    EXPECT_EQ(u, UINT64_MAX);
+    // One past UINT64_MAX used to clamp to ULLONG_MAX silently.
+    EXPECT_FALSE(v.at(5).asU64Strict(&u));
+
+    double d = 0.0;
+    EXPECT_TRUE(v.at(1).asDoubleStrict(&d));
+    EXPECT_DOUBLE_EQ(d, 1.5);
+    EXPECT_TRUE(v.at(3).asDoubleStrict(&d));
+    EXPECT_DOUBLE_EQ(d, -1.0);
+    // Overflow to infinity is rejected, and the lenient accessors now
+    // agree with the strict ones (0 instead of garbage).
+    EXPECT_FALSE(v.at(6).asDoubleStrict(&d));
+    EXPECT_DOUBLE_EQ(v.at(6).asDouble(), 0.0);
+    EXPECT_EQ(v.at(5).asU64(), 0u);
+
+    // Non-number nodes fail strictly too.
+    sim::JsonValue s;
+    ASSERT_TRUE(sim::JsonValue::parse(R"("12")", &s, &err)) << err;
+    EXPECT_FALSE(s.asU64Strict(&u));
+    EXPECT_FALSE(s.asDoubleStrict(&d));
+}
+
 // ---------------------------------------------------------------------------
 // Escaping helpers shared by reporters and the artifact writer.
 // ---------------------------------------------------------------------------
@@ -242,6 +283,64 @@ TEST(BenchArtifact, ParserRejectsDuplicateJobLabels)
     std::string err;
     EXPECT_FALSE(sim::parseArtifact(art.toJson(), &back, &err));
     EXPECT_NE(err.find("duplicate job label"), std::string::npos);
+}
+
+TEST(BenchArtifact, LoaderRejectsMalformedNumbersAsParseErrors)
+{
+    // A truncated or corrupted numeric token used to parse as 0 (or
+    // ULLONG_MAX-clamped garbage) via bare strtoull, and the gate then
+    // compared against the wrong value. Malformed numbers must be
+    // parse errors (CLI exit 2), never a bogus drift/match.
+    const auto art = smallArtifact();
+    const std::string good = art.toJson();
+    const std::string cyclesTok =
+        "\"cycles\": " + std::to_string(art.jobs[0].cycles);
+    ASSERT_NE(good.find(cyclesTok), std::string::npos);
+
+    sim::BenchArtifact back;
+    std::string err;
+    for (const char *bad :
+         {"\"cycles\": 1.5", "\"cycles\": 18446744073709551616",
+          "\"cycles\": 1e3"}) {
+        std::string json = good;
+        json.replace(json.find(cyclesTok), cyclesTok.size(), bad);
+        err.clear();
+        EXPECT_FALSE(sim::parseArtifact(json, &back, &err))
+            << "accepted: " << bad;
+        EXPECT_NE(err.find("cycles"), std::string::npos)
+            << "diagnostic must name the field: " << err;
+    }
+
+    // Top-level scale beyond 32 bits is rejected, not truncated.
+    const std::string scaleTok =
+        "\"scale\": " + std::to_string(art.scale);
+    std::string json = good;
+    json.replace(json.find(scaleTok), scaleTok.size(),
+                 "\"scale\": 8589934592");
+    EXPECT_FALSE(sim::parseArtifact(json, &back, &err));
+    EXPECT_NE(err.find("scale"), std::string::npos);
+}
+
+TEST(BenchCheckCli, MalformedCandidateNumbersExitTwoNotDriftOrMatch)
+{
+    TempDir tmp;
+    const auto art = smallArtifact();
+    std::string err;
+    ASSERT_TRUE(art.save(tmp.file("base.json"), &err)) << err;
+
+    std::string json = art.toJson();
+    const std::string cyclesTok =
+        "\"cycles\": " + std::to_string(art.jobs[0].cycles);
+    json.replace(json.find(cyclesTok), cyclesTok.size(),
+                 "\"cycles\": 0.5");
+    std::FILE *f = std::fopen(tmp.file("corrupt.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("base.json"),
+                                   tmp.file("corrupt.json")}),
+              2);
 }
 
 TEST(BenchArtifact, ParserRejectsCorruptedFingerprint)

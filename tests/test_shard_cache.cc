@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Sharded-sweep and persistent-result-cache tests.
+ *
+ * The load-bearing properties:
+ *   - the round-robin shard partition is balanced, disjoint, and
+ *     complete, and the union of any n shards is label-for-label
+ *     identical to the unsharded sweep (so splitting a sweep across
+ *     processes can never change the science);
+ *   - merged shard artifacts are byte-identical to the single-run
+ *     artifact once both are put in canonical job order and the
+ *     figure geomeans are recomputed post-merge;
+ *   - a repeated sweep against a warm ResultCache performs zero new
+ *     simulations (the hit/miss counters prove it), returns bitwise
+ *     identical results, and invalidates on any key ingredient
+ *     change; corrupt cache entries degrade to misses, never to
+ *     wrong results or crashes;
+ *   - the progress callback reports every job exactly once with a
+ *     monotonic done-counter.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/baseline.hh"
+#include "src/sim/fingerprint.hh"
+#include "src/sim/result_cache.hh"
+#include "src/sim/sweep.hh"
+#include "src/workloads/workload.hh"
+
+using namespace conopt;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A small but non-trivial cross product: 3 workloads x 2 machines. */
+sim::SweepSpec
+smallSpec()
+{
+    sim::SweepSpec spec;
+    spec.workloads({"untst", "mcf", "g721d"})
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("opt", pipeline::MachineConfig::optimized());
+    return spec;
+}
+
+/** Scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("conopt_test_shard_cache_" +
+                std::to_string(uint64_t(::getpid())) + "_" +
+                std::to_string(counter()++));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+
+    static unsigned &
+    counter()
+    {
+        static unsigned c = 0;
+        return c;
+    }
+};
+
+sim::SweepOptions
+shardOpts(unsigned index, unsigned count)
+{
+    sim::SweepOptions o;
+    o.threads = 2;
+    o.shard = {index, count};
+    return o;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// parseShard: the strict "i/n" grammar.
+// ---------------------------------------------------------------------------
+
+TEST(ParseShard, AcceptsWellFormedSpecs)
+{
+    sim::ShardSpec s;
+    ASSERT_TRUE(sim::parseShard("0/2", &s));
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_TRUE(s.active());
+    ASSERT_TRUE(sim::parseShard("1/2", &s));
+    EXPECT_EQ(s.index, 1u);
+    ASSERT_TRUE(sim::parseShard("0/1", &s));
+    EXPECT_FALSE(s.active());
+    ASSERT_TRUE(sim::parseShard("7/8", &s));
+    EXPECT_EQ(s.index, 7u);
+    EXPECT_EQ(s.count, 8u);
+}
+
+TEST(ParseShard, RejectsGarbageAndOutOfRange)
+{
+    sim::ShardSpec s;
+    for (const char *bad :
+         {"", "2", "2/", "/2", "2/2", "3/2", "1/0", "-1/2", "0/-2",
+          "0/2x", "x0/2", " 0/2", "0/2 ", "0 /2", "0/ 2", "1//2",
+          "0.5/2", "0/2/3"})
+        EXPECT_FALSE(sim::parseShard(bad, &s)) << "accepted: " << bad;
+}
+
+// ---------------------------------------------------------------------------
+// Shard partition: balanced, disjoint, complete, label-stable.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSweep, UnionOfShardsMatchesUnshardedJobForJob)
+{
+    sim::SweepRunner full({2, nullptr});
+    const auto whole = full.run(smallSpec());
+    ASSERT_EQ(whole.size(), 6u);
+
+    for (unsigned n : {2u, 3u, 5u}) {
+        std::map<std::string, uint64_t> cycles;
+        size_t minShard = whole.size(), maxShard = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            sim::SweepRunner part(shardOpts(i, n));
+            const auto res = part.run(smallSpec());
+            minShard = std::min(minShard, res.size());
+            maxShard = std::max(maxShard, res.size());
+            for (const auto &r : res.all()) {
+                // Disjoint: no label appears in two shards.
+                const bool inserted =
+                    cycles.emplace(r.job.label, r.sim.stats.cycles)
+                        .second;
+                EXPECT_TRUE(inserted)
+                    << r.job.label << " ran in two shards (n=" << n
+                    << ")";
+            }
+        }
+        // Balanced: round-robin shard sizes differ by at most one.
+        EXPECT_LE(maxShard - minShard, 1u) << "n=" << n;
+        // Complete and identical: every unsharded job, same cycles.
+        ASSERT_EQ(cycles.size(), whole.size()) << "n=" << n;
+        for (const auto &r : whole.all()) {
+            ASSERT_TRUE(cycles.count(r.job.label)) << r.job.label;
+            EXPECT_EQ(cycles.at(r.job.label), r.sim.stats.cycles)
+                << r.job.label << " (n=" << n << ")";
+        }
+    }
+}
+
+TEST(ShardedSweep, ShardJobsKeepSeedsAndScalesOfTheFullSweep)
+{
+    // The shard partition happens after normalization of the FULL job
+    // list, so a job's seed/scale must not depend on which shard (or
+    // no shard) ran it.
+    sim::SweepRunner full({1, nullptr});
+    const auto whole = full.run(smallSpec());
+    for (unsigned i = 0; i < 2; ++i) {
+        sim::SweepRunner part(shardOpts(i, 2));
+        const auto res = part.run(smallSpec());
+        for (const auto &r : res.all()) {
+            const auto &w = whole.at(r.job.label);
+            EXPECT_EQ(r.job.seed, w.job.seed) << r.job.label;
+            EXPECT_EQ(r.job.scale, w.job.scale) << r.job.label;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded artifacts: merge + post-merge geomean recompute.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSweep, MergedShardArtifactsByteIdenticalAfterGeomeanRecompute)
+{
+    const auto spec = smallSpec();
+
+    sim::SweepRunner full({2, nullptr});
+    auto artFull = sim::BenchArtifact::fromSweep(full.run(spec));
+    artFull.bench = "shard_test";
+
+    sim::BenchArtifact merged;
+    for (unsigned i = 0; i < 2; ++i) {
+        sim::SweepRunner part(shardOpts(i, 2));
+        auto shard = sim::BenchArtifact::fromSweep(part.run(spec));
+        shard.bench = "shard_test";
+        std::string err;
+        if (i == 0) {
+            merged = std::move(shard);
+        } else {
+            ASSERT_TRUE(merged.merge(shard, &err)) << err;
+        }
+    }
+    ASSERT_EQ(merged.jobs.size(), artFull.jobs.size());
+
+    // Label-keyed equivalence holds as-is, both directions.
+    EXPECT_TRUE(sim::compareArtifacts(artFull, merged, {0.0}).ok);
+    EXPECT_TRUE(sim::compareArtifacts(merged, artFull, {0.0}).ok);
+
+    // Byte-identical once both sides are canonicalized: merge order
+    // interleaves jobs differently, so sort by label, then recompute
+    // the deferred figure geomeans from the persisted records.
+    const auto canonical = [](sim::BenchArtifact a) {
+        a.sortJobsByLabel();
+        a.addGeomeansFromJobs("base", {"opt"});
+        return a.toJson();
+    };
+    EXPECT_EQ(canonical(merged), canonical(artFull));
+}
+
+TEST(ShardedSweep, GeomeansFromJobsMatchesLiveSweepGeomeans)
+{
+    // On a single-run artifact (job order untouched) the recompute
+    // must reproduce addGeomeans() bit for bit.
+    sim::SweepRunner runner({2, nullptr});
+    const auto res = runner.run(smallSpec());
+    auto live = sim::BenchArtifact::fromSweep(res);
+    live.addGeomeans(res, "base", {"opt"});
+    auto recomputed = sim::BenchArtifact::fromSweep(res);
+    recomputed.addGeomeansFromJobs("base", {"opt"});
+    ASSERT_EQ(live.geomeans.size(), 1u);
+    ASSERT_EQ(recomputed.geomeans.size(), 1u);
+    EXPECT_EQ(live.geomeans.at("opt"), recomputed.geomeans.at("opt"));
+}
+
+TEST(BenchCheckCli, RecomputeGeomeansGatesShardDirAgainstFullBaseline)
+{
+    TempDir tmp;
+    const auto spec = smallSpec();
+
+    sim::SweepRunner full({2, nullptr});
+    const auto res = full.run(spec);
+    auto baseline = sim::BenchArtifact::fromSweep(res);
+    baseline.bench = "shard_test";
+    baseline.addGeomeans(res, "base", {"opt"});
+    std::string err;
+    ASSERT_TRUE(baseline.save(tmp.file("baseline.json"), &err)) << err;
+
+    const auto shardDir = tmp.path / "shards";
+    fs::create_directories(shardDir);
+    for (unsigned i = 0; i < 2; ++i) {
+        sim::SweepRunner part(shardOpts(i, 2));
+        auto shard = sim::BenchArtifact::fromSweep(part.run(spec));
+        shard.bench = "shard_test";
+        // Per the merge contract, shards carry no geomeans.
+        ASSERT_TRUE(shard.save(
+            (shardDir / ("shard" + std::to_string(i) + ".json"))
+                .string(),
+            &err))
+            << err;
+    }
+
+    // Without recompute the merged candidate lacks the figure geomean.
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("baseline.json"),
+                                   shardDir.string()}),
+              1);
+    // With the post-merge recompute the gate passes exactly.
+    EXPECT_EQ(sim::benchCheckMain({"--recompute-geomeans", "base",
+                                   tmp.file("baseline.json"),
+                                   shardDir.string()}),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: hit/miss accounting, persistence, invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, SecondRunPerformsZeroNewSimulations)
+{
+    TempDir tmp;
+    const auto spec = smallSpec();
+
+    sim::SweepOptions cold;
+    cold.threads = 2;
+    cold.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner first(cold);
+    const auto a = first.run(spec);
+    {
+        const auto s = cold.resultCache->stats();
+        EXPECT_EQ(s.hits, 0u);
+        EXPECT_EQ(s.misses, a.size());
+        EXPECT_EQ(s.stores, a.size());
+        EXPECT_EQ(s.errors, 0u);
+        for (const auto &r : a.all())
+            EXPECT_FALSE(r.fromCache) << r.job.label;
+    }
+
+    // A *fresh* cache object over the same directory: the hits below
+    // can only come from the persisted entries, and zero misses means
+    // zero new simulations — the acceptance criterion.
+    sim::SweepOptions warm;
+    warm.threads = 2;
+    warm.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner second(warm);
+    const auto b = second.run(spec);
+    const auto s = warm.resultCache->stats();
+    EXPECT_EQ(s.hits, b.size());
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.stores, 0u);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a.all()[i];
+        const auto &y = b.all()[i];
+        EXPECT_TRUE(y.fromCache) << y.job.label;
+        EXPECT_EQ(x.job.label, y.job.label);
+        EXPECT_EQ(x.sim.instructions, y.sim.instructions);
+        EXPECT_EQ(x.sim.halted, y.sim.halted);
+        EXPECT_EQ(x.sim.stats.cycles, y.sim.stats.cycles);
+        EXPECT_EQ(x.sim.stats.retired, y.sim.stats.retired);
+        EXPECT_EQ(x.sim.stats.mispredicted, y.sim.stats.mispredicted);
+        EXPECT_EQ(x.sim.stats.dl1Misses, y.sim.stats.dl1Misses);
+        EXPECT_EQ(x.sim.stats.opt.earlyExecuted,
+                  y.sim.stats.opt.earlyExecuted);
+        EXPECT_EQ(x.sim.stats.opt.loadsRemoved,
+                  y.sim.stats.opt.loadsRemoved);
+        EXPECT_EQ(x.sim.stats.mbc.hits, y.sim.stats.mbc.hits);
+    }
+}
+
+TEST(ResultCache, CachedRunProducesIdenticalArtifact)
+{
+    TempDir tmp;
+    const auto spec = smallSpec();
+
+    sim::SweepOptions o;
+    o.threads = 2;
+    o.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner runner(o);
+    const auto cold = runner.run(spec);
+    const auto warm = runner.run(spec);
+
+    auto artCold = sim::BenchArtifact::fromSweep(cold);
+    artCold.addGeomeans(cold, "base", {"opt"});
+    auto artWarm = sim::BenchArtifact::fromSweep(warm);
+    artWarm.addGeomeans(warm, "base", {"opt"});
+    EXPECT_EQ(artCold.toJson(), artWarm.toJson());
+}
+
+TEST(ResultCache, InvalidatesOnConfigScaleAndSeedChange)
+{
+    TempDir tmp;
+    const auto cache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepOptions o;
+    o.threads = 1;
+    o.resultCache = cache;
+    sim::SweepRunner runner(o);
+
+    sim::SweepSpec spec;
+    spec.workload("untst").config(
+        "base", pipeline::MachineConfig::baseline());
+    runner.run(spec);
+    auto s = cache->stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 0u);
+
+    // Same job again: hit.
+    runner.run(spec);
+    s = cache->stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+
+    // Any MachineConfig change is a different fingerprint: miss.
+    auto bigger = pipeline::MachineConfig::baseline();
+    bigger.robEntries += 32;
+    sim::SweepSpec changed;
+    changed.workload("untst").config("base", bigger);
+    runner.run(changed);
+    s = cache->stats();
+    EXPECT_EQ(s.misses, 2u);
+
+    // A different scale is a different program and key: miss.
+    sim::SweepSpec scaled;
+    scaled.workload("untst")
+        .config("base", pipeline::MachineConfig::baseline())
+        .scale(2);
+    runner.run(scaled);
+    s = cache->stats();
+    EXPECT_EQ(s.misses, 3u);
+
+    // A different seed (same everything else): miss.
+    sim::SimJob j;
+    j.workload = "untst";
+    j.config = pipeline::MachineConfig::baseline();
+    j.configName = "base";
+    j.seed = 12345;
+    runner.run(std::vector<sim::SimJob>{j});
+    s = cache->stats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMissNotACrash)
+{
+    TempDir tmp;
+    sim::SweepSpec spec;
+    spec.workload("untst").config(
+        "base", pipeline::MachineConfig::baseline());
+
+    sim::SweepOptions o;
+    o.threads = 1;
+    o.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner cold(o);
+    const auto ref = cold.run(spec);
+
+    // Truncate every persisted entry.
+    for (const auto &e :
+         fs::directory_iterator(tmp.file("cache"))) {
+        std::FILE *f = std::fopen(e.path().c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"schema\": \"conopt-result-cache\", \"ver", f);
+        std::fclose(f);
+    }
+
+    sim::SweepOptions o2;
+    o2.threads = 1;
+    o2.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner warm(o2);
+    const auto res = warm.run(spec);
+    const auto s = o2.resultCache->stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.errors, 1u);
+    EXPECT_EQ(s.stores, 1u) << "the re-simulation repairs the entry";
+    EXPECT_EQ(res.at("untst/base").sim.stats.cycles,
+              ref.at("untst/base").sim.stats.cycles);
+    EXPECT_FALSE(res.at("untst/base").fromCache);
+}
+
+TEST(ResultCache, EntryRoundTripsAndVerifiesItsKey)
+{
+    sim::SweepRunner runner({1, nullptr});
+    sim::SweepSpec spec;
+    spec.workload("untst").config(
+        "opt", pipeline::MachineConfig::optimized());
+    const auto res = runner.run(spec);
+    const auto &r = res.at("untst/opt");
+
+    sim::ResultCache::Key key;
+    key.programFingerprint = "0x1111111111111111";
+    key.configFingerprint =
+        sim::configFingerprint(pipeline::MachineConfig::optimized());
+    key.simFingerprint = sim::selfExeFingerprint();
+    key.scale = r.job.scale;
+    key.seed = r.job.seed;
+    key.maxInsts = r.job.maxInsts;
+
+    const std::string json =
+        sim::ResultCache::entryToJson(key, r.sim);
+    sim::SimResult back;
+    std::string err;
+    ASSERT_TRUE(
+        sim::ResultCache::parseEntry(json, key, &back, &err))
+        << err;
+    // Strongest form: re-serialization is byte-identical, so every
+    // persisted counter survived exactly.
+    EXPECT_EQ(sim::ResultCache::entryToJson(key, back), json);
+    EXPECT_EQ(back.stats.cycles, r.sim.stats.cycles);
+    EXPECT_EQ(back.instructions, r.sim.instructions);
+    EXPECT_EQ(back.halted, r.sim.halted);
+
+    // A key mismatch (hash collision, edited file) must be rejected.
+    auto other = key;
+    other.seed ^= 1;
+    EXPECT_FALSE(
+        sim::ResultCache::parseEntry(json, other, &back, &err));
+    EXPECT_NE(err.find("key mismatch"), std::string::npos);
+
+    // A different simulator binary is a different key: stale results
+    // from an older timing model must never replay.
+    auto rebuilt = key;
+    rebuilt.simFingerprint = "0x2222222222222222";
+    EXPECT_NE(rebuilt.fileName(), key.fileName());
+    EXPECT_FALSE(
+        sim::ResultCache::parseEntry(json, rebuilt, &back, &err));
+
+    // Null err is allowed, including on malformed-number paths.
+    EXPECT_FALSE(sim::ResultCache::parseEntry(
+        "{\"schema\": \"conopt-result-cache\", \"version\": 1.5}", key,
+        &back, nullptr));
+    EXPECT_FALSE(
+        sim::ResultCache::parseEntry("not json", key, &back, nullptr));
+}
+
+TEST(ResultCache, ShardsSharingACacheDirWarmEachOther)
+{
+    TempDir tmp;
+    const auto spec = smallSpec();
+    for (unsigned i = 0; i < 2; ++i) {
+        auto o = shardOpts(i, 2);
+        o.resultCache =
+            std::make_shared<sim::ResultCache>(tmp.file("cache"));
+        sim::SweepRunner part(o);
+        part.run(spec);
+    }
+    // An unsharded run over the same directory: every cell cached.
+    sim::SweepOptions o;
+    o.threads = 2;
+    o.resultCache =
+        std::make_shared<sim::ResultCache>(tmp.file("cache"));
+    sim::SweepRunner full(o);
+    const auto res = full.run(spec);
+    const auto s = o.resultCache->stats();
+    EXPECT_EQ(s.hits, res.size());
+    EXPECT_EQ(s.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Progress callback.
+// ---------------------------------------------------------------------------
+
+TEST(SweepProgress, ReportsEveryJobOnceWithMonotonicDoneCounter)
+{
+    std::vector<sim::SweepProgress> seen;
+    sim::SweepOptions o;
+    o.threads = 3;
+    o.onProgress = [&](const sim::SweepProgress &p) {
+        seen.push_back(p);
+    };
+    sim::SweepRunner runner(o);
+    const auto res = runner.run(smallSpec());
+
+    ASSERT_EQ(seen.size(), res.size());
+    std::set<std::string> labels;
+    for (size_t i = 0; i < seen.size(); ++i) {
+        const auto &p = seen[i];
+        EXPECT_EQ(p.done, i + 1) << "done counter must be monotonic";
+        EXPECT_EQ(p.total, res.size());
+        EXPECT_GE(p.etaSeconds, 0.0);
+        EXPECT_GE(p.elapsedSeconds, 0.0);
+        EXPECT_GT(p.geomeanIpc, 0.0);
+        labels.insert(p.label);
+    }
+    EXPECT_EQ(labels.size(), res.size())
+        << "every job must be reported exactly once";
+    EXPECT_DOUBLE_EQ(seen.back().etaSeconds, 0.0);
+    EXPECT_GT(seen.back().totalHostSeconds, 0.0);
+}
+
+TEST(SweepProgress, ShardedRunReportsOnlyItsOwnJobs)
+{
+    size_t calls = 0;
+    auto o = shardOpts(0, 2);
+    o.onProgress = [&](const sim::SweepProgress &p) {
+        ++calls;
+        EXPECT_EQ(p.total, 3u);
+    };
+    sim::SweepRunner runner(o);
+    const auto res = runner.run(smallSpec());
+    EXPECT_EQ(res.size(), 3u);
+    EXPECT_EQ(calls, 3u);
+}

@@ -203,6 +203,43 @@ TEST(SweepRunner, ExplicitProgramJobsBypassTheRegistry)
     EXPECT_DOUBLE_EQ(s, res.speedup("b", "o"));
 }
 
+TEST(SweepRunner, PrebuiltProgramJobsGetAFullySpecifiedScale)
+{
+    // normalize() used to leave scale == 0 for jobs carrying a
+    // pre-built program, so their seed derived from scale 0 and the
+    // artifact/cache records carried an unspecified scale. A bare
+    // program defaults to envScale(), like a defaultScale-1 registry
+    // job.
+    const auto &w = workloads::workloadByName("untst");
+    const auto prog =
+        std::make_shared<const assembler::Program>(w.build(1));
+
+    sim::SimJob j;
+    j.label = "prebuilt";
+    j.program = prog;
+    j.config = pipeline::MachineConfig::baseline();
+
+    unsetenv("CONOPT_SCALE");
+    sim::SweepRunner r1({1, nullptr});
+    const auto res1 = r1.run({j});
+    EXPECT_EQ(res1.at("prebuilt").job.scale, 1u);
+    EXPECT_NE(res1.at("prebuilt").job.seed, 0u);
+
+    setenv("CONOPT_SCALE", "3", 1);
+    sim::SweepRunner r2({1, nullptr});
+    const auto res2 = r2.run({j});
+    unsetenv("CONOPT_SCALE");
+    EXPECT_EQ(res2.at("prebuilt").job.scale, 3u);
+    // The scale feeds the seed derivation, so the seed moves with it.
+    EXPECT_NE(res2.at("prebuilt").job.seed,
+              res1.at("prebuilt").job.seed);
+
+    // An explicit scale is left alone.
+    j.scale = 5;
+    sim::SweepRunner r3({1, nullptr});
+    EXPECT_EQ(r3.run({j}).at("prebuilt").job.scale, 5u);
+}
+
 // ---------------------------------------------------------------------------
 // envScale handling (CONOPT_SCALE moved into the sweep subsystem).
 // ---------------------------------------------------------------------------
@@ -235,6 +272,34 @@ TEST(EnvScale, GarbageNegativeAndHugeValuesAreSafe)
     setenv("CONOPT_SCALE", "99999999999999999999999999", 1);
     EXPECT_EQ(sim::envScale(), sim::kMaxEnvScale);
     unsetenv("CONOPT_SCALE");
+}
+
+TEST(EnvScale, TrailingGarbageFallsBackToDefaultNotThePrefix)
+{
+    // "8x" used to parse as 8: the documented contract is garbage ->
+    // default, and a typo'd scale silently running 8x the work (or a
+    // trailing "," silently dropping a list) is exactly the failure
+    // mode the contract exists for.
+    setenv("CONOPT_SCALE", "8x", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    setenv("CONOPT_SCALE", "4,", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    setenv("CONOPT_SCALE", "2 4", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    setenv("CONOPT_SCALE", "3.5", 1);
+    EXPECT_EQ(sim::envScale(), 1u);
+    // Trailing (and leading) whitespace is not garbage.
+    setenv("CONOPT_SCALE", " 7 \n", 1);
+    EXPECT_EQ(sim::envScale(), 7u);
+    unsetenv("CONOPT_SCALE");
+
+    setenv("CONOPT_THREADS", "4,", 1);
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "6x2", 1);
+    EXPECT_EQ(sim::envThreads(), 0u);
+    setenv("CONOPT_THREADS", "6 ", 1);
+    EXPECT_EQ(sim::envThreads(), 6u);
+    unsetenv("CONOPT_THREADS");
 }
 
 TEST(EnvThreads, EdgeCases)

@@ -3,8 +3,12 @@
  * conopt_bench_check: compare two benchmark artifacts (or directories
  * of per-shard artifacts, merged first) and exit non-zero on drift of
  * the simulated machine. The CI regression gate over the BENCH_*.json
- * trajectory; all logic lives in sim::benchCheckMain so
- * tests/test_baseline.cc covers the exit behaviour in-process.
+ * trajectory, and the merge half of the sharded-sweep workflow:
+ * per-shard artifacts (from `--shard i/n` bench runs) defer their
+ * figure geomeans, which `--recompute-geomeans BASE` rebuilds from
+ * the merged per-job records before comparing. All logic lives in
+ * sim::benchCheckMain so tests/test_baseline.cc and
+ * tests/test_shard_cache.cc cover the exit behaviour in-process.
  */
 
 #include <string>
