@@ -22,6 +22,10 @@
  *                         unchanged (program, config, scale, seed)
  *                         cells skip simulation on repeated sweeps
  *   CONOPT_PROGRESS       non-empty/non-"0": per-job progress + ETA
+ *   CONOPT_PROGRESS_FD    fd number: write one machine-readable
+ *                         CONOPT-PROGRESS line per finished job to
+ *                         that descriptor (the conopt_sweep driver
+ *                         attaches a pipe here to stream shard ETAs)
  *   CONOPT_ARTIFACT_DIR   where BENCH_<name>.json is written
  *                         (default: current directory)
  *   CONOPT_BASELINE_DIR   directory of baseline artifacts to gate
@@ -29,6 +33,7 @@
  *   --shard i/n           flag form of CONOPT_SHARD
  *   --result-cache <dir>  flag form of CONOPT_RESULT_CACHE
  *   --progress            flag form of CONOPT_PROGRESS
+ *   --progress-fd <fd>    flag form of CONOPT_PROGRESS_FD
  *   --artifact-dir <dir>  flag form of CONOPT_ARTIFACT_DIR
  *   --baseline <path>     flag form of CONOPT_BASELINE_DIR; a specific
  *                         artifact file is also accepted
@@ -45,6 +50,7 @@
 #ifndef CONOPT_BENCH_BENCH_COMMON_HH
 #define CONOPT_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -56,6 +62,7 @@
 #include "src/pipeline/machine_config.hh"
 #include "src/pipeline/stats_aggregate.hh"
 #include "src/sim/baseline.hh"
+#include "src/sim/driver.hh"
 #include "src/sim/report.hh"
 #include "src/sim/result_cache.hh"
 #include "src/sim/sweep.hh"
@@ -90,6 +97,10 @@ struct HarnessOptions
     bool emitArtifact = true;
     sim::ShardSpec shard;     ///< {0,1} = whole sweep
     bool progress = false;    ///< per-job progress/ETA on stderr
+    /** Descriptor for machine-readable CONOPT-PROGRESS lines (one per
+     *  finished job); -1 = none. The conopt_sweep driver passes an
+     *  inherited pipe here to multiplex shard ETAs. */
+    int progressFd = -1;
     std::string resultCacheDir;
     /** Created by parse() when a cache dir is configured; shared with
      *  the SweepRunner so finish() can report hit/miss counters. */
@@ -126,6 +137,22 @@ struct HarnessOptions
         };
         if (const char *s = std::getenv("CONOPT_SHARD"); s && *s)
             shardSpec(s, "CONOPT_SHARD");
+        const auto progressFdSpec = [&](const char *s, const char *what) {
+            char *end = nullptr;
+            errno = 0;
+            const long v = std::strtol(s, &end, 10);
+            if (end == s || *end != '\0' || errno == ERANGE || v < 0 ||
+                v > (1 << 20)) {
+                std::fprintf(stderr,
+                             "invalid %s '%s' (want a non-negative "
+                             "file descriptor number)\n",
+                             what, s);
+                std::exit(2);
+            }
+            o.progressFd = int(v);
+        };
+        if (const char *f = std::getenv("CONOPT_PROGRESS_FD"); f && *f)
+            progressFdSpec(f, "CONOPT_PROGRESS_FD");
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             const auto value = [&]() -> const char * {
@@ -146,6 +173,8 @@ struct HarnessOptions
                 o.resultCacheDir = value();
             } else if (a == "--progress") {
                 o.progress = true;
+            } else if (a == "--progress-fd") {
+                progressFdSpec(value(), "--progress-fd");
             } else if (a == "--tolerance") {
                 const char *v = value();
                 if (!sim::parseTolerance(v, &o.tolerance)) {
@@ -162,8 +191,8 @@ struct HarnessOptions
                              "unknown argument '%s' (flags: "
                              "--artifact-dir DIR, --baseline PATH, "
                              "--shard I/N, --result-cache DIR, "
-                             "--progress, --tolerance T, "
-                             "--no-artifact)\n",
+                             "--progress, --progress-fd FD, "
+                             "--tolerance T, --no-artifact)\n",
                              a.c_str());
                 std::exit(2);
             }
@@ -175,15 +204,26 @@ struct HarnessOptions
     }
 
     /** SweepRunner options carrying the shard, the persistent result
-     *  cache, and (with --progress) the stderr progress printer. */
+     *  cache, and the progress sinks: the human stderr printer (with
+     *  --progress) and/or the machine-readable line protocol (with
+     *  --progress-fd, one CONOPT-PROGRESS line per finished job). */
     sim::SweepOptions
     sweepOptions() const
     {
         sim::SweepOptions s;
         s.shard = shard;
         s.resultCache = resultCache;
-        if (progress)
+        if (progressFd >= 0) {
+            const int fd = progressFd;
+            const bool human = progress;
+            s.onProgress = [fd, human](const sim::SweepProgress &p) {
+                if (human)
+                    printProgress(p);
+                sim::writeProgressLine(fd, p);
+            };
+        } else if (progress) {
             s.onProgress = printProgress;
+        }
         return s;
     }
 

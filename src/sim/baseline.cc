@@ -838,8 +838,14 @@ loadArtifactOrShards(const std::string &path, BenchArtifact *out,
         return false;
     }
     if (files.empty()) {
+        // An empty shard directory must be a hard error, never an
+        // empty merge that a later compare could wave through: zero
+        // shard artifacts means the shards did not run (or wrote
+        // somewhere else), not that the bench measured nothing.
         if (err)
-            *err = path + ": no .json artifacts found";
+            *err = path +
+                   ": no .json shard artifacts to merge (expected "
+                   "BENCH_*.shard<i>of<n>.json files)";
         return false;
     }
     std::sort(files.begin(), files.end());
@@ -1125,6 +1131,23 @@ benchCheckMain(const std::vector<std::string> &args)
     if (!loadArtifactOrShards(paths[1], &candidate, &err)) {
         std::fprintf(stderr, "conopt_bench_check: candidate: %s\n",
                      err.c_str());
+        return 2;
+    }
+    // A zero-job artifact can only come from a run (or merge) that
+    // swept nothing; comparing two empty artifacts would "pass" while
+    // gating nothing at all, so it is an error, not a match.
+    if (baseline.jobs.empty()) {
+        std::fprintf(stderr,
+                     "conopt_bench_check: baseline: %s: artifact has "
+                     "zero jobs; nothing to gate against\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    if (candidate.jobs.empty()) {
+        std::fprintf(stderr,
+                     "conopt_bench_check: candidate: %s: artifact has "
+                     "zero jobs; an empty merge cannot pass the gate\n",
+                     paths[1].c_str());
         return 2;
     }
 

@@ -564,6 +564,62 @@ TEST(BenchCheckCli, UsageAndIoErrorsExitTwo)
               2);
 }
 
+TEST(BenchCheckCli, EmptyShardDirectoryExitsTwoNotSuccess)
+{
+    TempDir tmp;
+    const auto base = smallArtifact();
+    std::string err;
+    ASSERT_TRUE(base.save(tmp.file("base.json"), &err)) << err;
+
+    // A shard directory with zero artifacts means the shards never
+    // ran (or wrote elsewhere): a hard error (2), never an "empty
+    // merge" that could pass or merely drift.
+    const auto emptyDir = tmp.path / "empty";
+    fs::create_directories(emptyDir);
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("base.json"),
+                                   emptyDir.string()}),
+              2);
+    EXPECT_EQ(sim::benchCheckMain({emptyDir.string(),
+                                   tmp.file("base.json")}),
+              2);
+
+    // Non-artifact clutter does not count as a shard artifact.
+    const auto junkDir = tmp.path / "junk";
+    fs::create_directories(junkDir);
+    std::FILE *f = std::fopen((junkDir / "notes.txt").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an artifact\n", f);
+    std::fclose(f);
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("base.json"),
+                                   junkDir.string()}),
+              2);
+}
+
+TEST(BenchCheckCli, ZeroJobArtifactsExitTwoNotMatch)
+{
+    // Two zero-job artifacts compare "equal", but such a gate checks
+    // nothing: benchCheckMain must reject them as errors on either
+    // side instead of reporting a vacuous match.
+    TempDir tmp;
+    auto empty = smallArtifact();
+    empty.jobs.clear();
+    empty.geomeans.clear();
+    std::string err;
+    ASSERT_TRUE(empty.save(tmp.file("empty.json"), &err)) << err;
+    const auto full = smallArtifact();
+    ASSERT_TRUE(full.save(tmp.file("full.json"), &err)) << err;
+
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("empty.json"),
+                                   tmp.file("empty.json")}),
+              2);
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("empty.json"),
+                                   tmp.file("full.json")}),
+              2);
+    EXPECT_EQ(sim::benchCheckMain({tmp.file("full.json"),
+                                   tmp.file("empty.json")}),
+              2);
+}
+
 TEST(BenchCheckCli, DirectoryOfShardsIsMergedBeforeComparing)
 {
     TempDir tmp;
