@@ -21,6 +21,10 @@
  *   CONOPT_RESULT_CACHE   directory of persisted simulation results;
  *                         unchanged (program, config, scale, seed)
  *                         cells skip simulation on repeated sweeps
+ *   CONOPT_PERF           non-empty/non-"0": record per-job host
+ *                         wall-seconds and kips (simulated kilo-insts
+ *                         per host second) in the artifact; excluded
+ *                         from baseline comparison by design
  *   CONOPT_PROGRESS       non-empty/non-"0": per-job progress + ETA
  *   CONOPT_PROGRESS_FD    fd number: write one machine-readable
  *                         CONOPT-PROGRESS line per finished job to
@@ -32,6 +36,7 @@
  *                         against (e.g. bench/baselines)
  *   --shard i/n           flag form of CONOPT_SHARD
  *   --result-cache <dir>  flag form of CONOPT_RESULT_CACHE
+ *   --perf                flag form of CONOPT_PERF
  *   --progress            flag form of CONOPT_PROGRESS
  *   --progress-fd <fd>    flag form of CONOPT_PROGRESS_FD
  *   --artifact-dir <dir>  flag form of CONOPT_ARTIFACT_DIR
@@ -97,6 +102,7 @@ struct HarnessOptions
     bool emitArtifact = true;
     sim::ShardSpec shard;     ///< {0,1} = whole sweep
     bool progress = false;    ///< per-job progress/ETA on stderr
+    bool perf = false;        ///< record host_seconds/kips per job
     /** Descriptor for machine-readable CONOPT-PROGRESS lines (one per
      *  finished job); -1 = none. The conopt_sweep driver passes an
      *  inherited pipe here to multiplex shard ETAs. */
@@ -126,6 +132,9 @@ struct HarnessOptions
         if (const char *p = std::getenv("CONOPT_PROGRESS");
             p && *p && std::string(p) != "0")
             o.progress = true;
+        if (const char *p = std::getenv("CONOPT_PERF");
+            p && *p && std::string(p) != "0")
+            o.perf = true;
         const auto shardSpec = [&](const char *s, const char *what) {
             if (!sim::parseShard(s, &o.shard)) {
                 std::fprintf(stderr,
@@ -173,6 +182,8 @@ struct HarnessOptions
                 o.resultCacheDir = value();
             } else if (a == "--progress") {
                 o.progress = true;
+            } else if (a == "--perf") {
+                o.perf = true;
             } else if (a == "--progress-fd") {
                 progressFdSpec(value(), "--progress-fd");
             } else if (a == "--tolerance") {
@@ -191,7 +202,7 @@ struct HarnessOptions
                              "unknown argument '%s' (flags: "
                              "--artifact-dir DIR, --baseline PATH, "
                              "--shard I/N, --result-cache DIR, "
-                             "--progress, --progress-fd FD, "
+                             "--perf, --progress, --progress-fd FD, "
                              "--tolerance T, --no-artifact)\n",
                              a.c_str());
                 std::exit(2);
@@ -368,6 +379,8 @@ finishSweep(const std::string &benchName, const sim::SweepResult &res,
             const HarnessOptions &o)
 {
     auto art = sim::BenchArtifact::fromSweep(res);
+    if (o.perf)
+        art.addPerf(res);
     if (!o.shard.active())
         art.addGeomeans(res, baseConfig, configs);
     return finish(benchName, std::move(art), o);

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Capacity sensitivity study (ROADMAP "scenario diversity"): how the
+ * optimized machine's speedup-relevant structures scale. Three
+ * one-dimensional sweeps off the paper's optimized configuration:
+ *
+ *   - ROB size        48 / 96 / 160 (default) / 256
+ *   - scheduler depth  4 / 8 (default, via the rob160 column) / 16 / 32
+ *   - physical registers (int/fp)  384/160, 512/224, 768/320 (default)
+ *
+ * Cells are cycle ratios against the default machine (column rob160),
+ * so >1.00 means the variant is faster. Everything is a declarative
+ * SweepSpec: shard/cache/progress/baseline support comes from the
+ * bench harness like every other bench binary.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+int
+main(int argc, char **argv)
+{
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
+
+    const auto withRob = [](unsigned entries) {
+        auto cfg = pipeline::MachineConfig::optimized();
+        cfg.robEntries = entries;
+        return cfg;
+    };
+    const auto withSched = [](unsigned entries) {
+        auto cfg = pipeline::MachineConfig::optimized();
+        cfg.schedEntries = entries;
+        return cfg;
+    };
+    const auto withPrf = [](unsigned int_regs, unsigned fp_regs) {
+        auto cfg = pipeline::MachineConfig::optimized();
+        cfg.intPhysRegs = int_regs;
+        cfg.fpPhysRegs = fp_regs;
+        return cfg;
+    };
+
+    sim::SweepSpec spec;
+    spec.workloads({"mcf", "gcc", "eqk", "g721d"})
+        .config("rob48", withRob(48))
+        .config("rob96", withRob(96))
+        .config("rob160", withRob(160)) // the default machine
+        .config("rob256", withRob(256))
+        .config("sched4", withSched(4))
+        .config("sched16", withSched(16))
+        .config("sched32", withSched(32))
+        .config("prf384", withPrf(384, 160))
+        .config("prf512", withPrf(512, 224));
+
+    sim::SweepRunner runner(hopts.sweepOptions());
+    const auto res = runner.run(spec);
+
+    sim::TableOptions t;
+    t.title = "Capacity sensitivity: speedup vs the default optimized "
+              "machine (rob160)";
+    t.baselineConfig = "rob160";
+    t.configs = {"rob48", "rob96",  "rob256", "sched4", "sched16",
+                 "sched32", "prf384", "prf512"};
+    t.rows = sim::TableOptions::Rows::PerWorkloadBySuite;
+    t.colWidth = 8;
+    sim::TableReporter(t).print(res);
+    return bench::finishSweep("micro_capacity", res, t.baselineConfig,
+                              t.configs, hopts);
+}

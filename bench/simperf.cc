@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host-throughput benchmark (simperf): the first point on the repo's
+ * perf trajectory. Not a paper figure — this measures how fast WE
+ * simulate, not what the simulated machine does.
+ *
+ * A representative workload x machine grid (two SPECint, two SPECfp,
+ * two mediabench kernels, each on the baseline and the optimized
+ * machine) runs through the ordinary SweepRunner, and the artifact
+ * records per-job host wall-seconds plus kips (simulated
+ * kilo-instructions per host second). The aggregate kips number — all
+ * simulated instructions over all host seconds — is the headline. CI
+ * runs this on a Release build and uploads BENCH_simperf.json on every
+ * push, non-gating: host perf is machine- and load-dependent, so it is
+ * a trend to read across runs, never a pass/fail.
+ *
+ * Methodology notes:
+ *   - perf recording is on unconditionally (this bench exists to
+ *     measure it);
+ *   - a result cache would replace simulation with artifact loading
+ *     and make kips meaningless, so simperf refuses to run with one;
+ *   - CONOPT_THREADS=1 gives the cleanest per-job numbers; the
+ *     default parallel run still measures per-job wall time correctly
+ *     (each job runs on one worker) but cores contend for memory
+ *     bandwidth, which is representative of real sweep throughput.
+ */
+
+#include <cinttypes>
+
+#include "bench/bench_common.hh"
+
+using namespace conopt;
+
+int
+main(int argc, char **argv)
+{
+    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
+    // Perf recording is unconditional here (the explicit addPerf call
+    // below); no --perf needed.
+    if (hopts.resultCache) {
+        std::fprintf(stderr,
+                     "simperf: refusing to run with a result cache: "
+                     "cache hits measure the artifact loader, not the "
+                     "simulator\n");
+        return 2;
+    }
+
+    bench::header("simperf: host throughput (kips = simulated "
+                  "kilo-insts / host second)");
+
+    sim::SweepSpec spec;
+    spec.workloads({"mcf", "gcc", "eqk", "art", "g721d", "untst"})
+        .config("base", pipeline::MachineConfig::baseline())
+        .config("opt", pipeline::MachineConfig::optimized());
+
+    sim::SweepRunner runner(hopts.sweepOptions());
+    const auto res = runner.run(spec);
+
+    std::printf("%-14s %14s %12s %10s\n", "job", "insts", "host s",
+                "kips");
+    double totalSec = 0.0;
+    uint64_t totalInsts = 0;
+    for (const auto &r : res.all()) {
+        std::printf("%-14s %14" PRIu64 " %12.4f %10.1f\n",
+                    r.job.label.c_str(), r.sim.instructions,
+                    r.simSeconds, r.kips);
+        totalSec += r.simSeconds;
+        totalInsts += r.sim.instructions;
+    }
+    if (totalSec > 0.0) {
+        std::printf("%-14s %14" PRIu64 " %12.4f %10.1f  <- aggregate\n",
+                    "TOTAL", totalInsts, totalSec,
+                    double(totalInsts) / totalSec / 1e3);
+    }
+
+    auto art = sim::BenchArtifact::fromSweep(res);
+    art.addPerf(res);
+    return bench::finish("simperf", std::move(art), hopts);
+}

@@ -15,13 +15,33 @@ using isa::Instruction;
 using isa::Opcode;
 
 Emulator::Emulator(assembler::Program program, uint64_t max_insts)
-    : program_(std::move(program)), maxInsts_(max_insts)
+    : Emulator(std::make_shared<const assembler::Program>(
+                   std::move(program)),
+               max_insts)
+{}
+
+Emulator::Emulator(std::shared_ptr<const assembler::Program> program,
+                   uint64_t max_insts)
 {
-    state_.pc = program_.entryPc;
+    reset(std::move(program), max_insts);
+}
+
+void
+Emulator::reset(std::shared_ptr<const assembler::Program> program,
+                uint64_t max_insts)
+{
+    conopt_assert(program != nullptr);
+    program_ = std::move(program);
+    maxInsts_ = max_insts;
+    instCount_ = 0;
+    done_ = false;
+    halted_ = false;
+    state_.pc = program_->entryPc;
     state_.intRegs.fill(0);
     state_.fpRegs.fill(0);
     state_.writeInt(assembler::SP, assembler::stackTop);
-    for (const auto &seg : program_.data)
+    memory_.reset();
+    for (const auto &seg : program_->data)
         memory_.writeBytes(seg.addr, seg.bytes.data(), seg.bytes.size());
 }
 
@@ -52,12 +72,12 @@ DynInst
 Emulator::step()
 {
     conopt_assert(!done_);
-    if (!program_.contains(state_.pc)) {
+    if (!program_->contains(state_.pc)) {
         conopt_panic("pc 0x%llx outside program",
                      static_cast<unsigned long long>(state_.pc));
     }
 
-    const Instruction &inst = program_.at(state_.pc);
+    const Instruction &inst = program_->at(state_.pc);
     const auto &info = isa::opInfo(inst.op);
 
     DynInst dyn;

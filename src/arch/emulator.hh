@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "src/arch/dyn_inst.hh"
 #include "src/arch/memory.hh"
@@ -55,6 +56,23 @@ class Emulator
     explicit Emulator(assembler::Program program,
                       uint64_t max_insts = uint64_t(1) << 32);
 
+    /** Shared-program form: no copy, ownership shared with the caller
+     *  (the sweep engine hands every job the same cached program). */
+    explicit Emulator(std::shared_ptr<const assembler::Program> program,
+                      uint64_t max_insts = uint64_t(1) << 32);
+
+    /**
+     * Rebind to @p program and return to the program entry state.
+     * Reuses the existing memory image's storage (pages are zeroed in
+     * place, not reallocated), so a long-lived emulator stops paying
+     * allocation churn after its first few programs.
+     */
+    void reset(std::shared_ptr<const assembler::Program> program,
+               uint64_t max_insts = uint64_t(1) << 32);
+
+    /** Rewind to the entry state of the current program. */
+    void reset() { reset(program_, maxInsts_); }
+
     /** Execute and retire one instruction. done() must be false. */
     DynInst step();
 
@@ -74,7 +92,7 @@ class Emulator
     ArchState &state() { return state_; }
     const Memory &memory() const { return memory_; }
     Memory &memory() { return memory_; }
-    const assembler::Program &program() const { return program_; }
+    const assembler::Program &program() const { return *program_; }
 
   private:
     uint64_t readOperandB(const isa::Instruction &inst) const;
@@ -82,7 +100,7 @@ class Emulator
                         uint64_t b) const;
     bool branchTaken(const isa::Instruction &inst, uint64_t a) const;
 
-    const assembler::Program program_;
+    std::shared_ptr<const assembler::Program> program_;
     ArchState state_;
     Memory memory_;
     uint64_t instCount_ = 0;

@@ -63,6 +63,13 @@ Memory::write(uint64_t addr, uint64_t value, unsigned size)
 }
 
 void
+Memory::reset()
+{
+    for (auto &kv : pages_)
+        kv.second->fill(0);
+}
+
+void
 Memory::writeBytes(uint64_t addr, const uint8_t *src, size_t len)
 {
     for (size_t i = 0; i < len; ++i) {

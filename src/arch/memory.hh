@@ -34,6 +34,14 @@ class Memory
     /** Bulk initialization (used to load program data segments). */
     void writeBytes(uint64_t addr, const uint8_t *src, size_t len);
 
+    /**
+     * Return every byte to zero without releasing storage: resident
+     * pages are wiped in place, so a reused emulator re-runs over a
+     * warm page set instead of re-faulting its whole footprint.
+     * Indistinguishable from a fresh Memory through read()/write().
+     */
+    void reset();
+
     /** Number of resident pages (for tests). */
     size_t pageCount() const { return pages_.size(); }
 

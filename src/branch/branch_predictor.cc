@@ -6,13 +6,22 @@
 namespace conopt::branch {
 
 BranchPredictor::BranchPredictor(const PredictorConfig &config)
-    : config_(config),
-      counters_(size_t(1) << config.historyBits, 1), // weakly not-taken
-      btb_(config.btbEntries),
-      ras_(config.rasEntries, 0),
-      historyMask_((uint64_t(1) << config.historyBits) - 1)
+{
+    reset(config);
+}
+
+void
+BranchPredictor::reset(const PredictorConfig &config)
 {
     conopt_assert(isPowerOfTwo(config.btbEntries));
+    config_ = config;
+    counters_.assign(size_t(1) << config.historyBits, 1); // weakly NT
+    btb_.assign(config.btbEntries, BtbEntry{});
+    ras_.assign(config.rasEntries, 0);
+    rasTop_ = 0;
+    history_ = 0;
+    historyMask_ = (uint64_t(1) << config.historyBits) - 1;
+    lookups_ = 0;
 }
 
 unsigned

@@ -43,6 +43,12 @@ class BranchPredictor
   public:
     explicit BranchPredictor(const PredictorConfig &config = {});
 
+    /** Re-initialize for a new simulation under @p config: counters
+     *  back to weakly-not-taken, BTB/RAS/history cleared, exactly as
+     *  freshly constructed. Reallocates only when the new geometry is
+     *  larger than anything seen before. */
+    void reset(const PredictorConfig &config);
+
     /**
      * Predict the branch at @p pc. Call exactly once per fetched branch;
      * speculatively updates the global history for conditional branches

@@ -5,8 +5,15 @@
 
 namespace conopt::cache {
 
-Cache::Cache(const CacheConfig &config) : config_(config)
+Cache::Cache(const CacheConfig &config)
 {
+    reset(config);
+}
+
+void
+Cache::reset(const CacheConfig &config)
+{
+    config_ = config;
     conopt_assert(isPowerOfTwo(config.lineBytes));
     conopt_assert(config.assoc >= 1);
     lineShift_ = log2Exact(config.lineBytes);
@@ -14,7 +21,10 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     conopt_assert(lines % config.assoc == 0);
     numSets_ = lines / config.assoc;
     conopt_assert(isPowerOfTwo(numSets_));
-    ways_.resize(numSets_ * config.assoc);
+    ways_.assign(numSets_ * config.assoc, Way{});
+    stamp_ = 0;
+    hits_ = 0;
+    misses_ = 0;
 }
 
 bool

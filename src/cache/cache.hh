@@ -36,6 +36,11 @@ class Cache
   public:
     explicit Cache(const CacheConfig &config);
 
+    /** Re-initialize for a new simulation under @p config: all lines
+     *  invalid, counters and LRU clock zeroed, as freshly constructed.
+     *  Reallocates only when the new geometry needs more ways. */
+    void reset(const CacheConfig &config);
+
     /**
      * Look up @p addr; on a miss the line is filled (LRU victim evicted).
      * @return true on hit.
@@ -90,6 +95,16 @@ class Hierarchy
 {
   public:
     explicit Hierarchy(const HierarchyConfig &config = {});
+
+    /** Reset all three levels for a new simulation under @p config. */
+    void
+    reset(const HierarchyConfig &config)
+    {
+        config_ = config;
+        l1i_.reset(config.l1i);
+        l1d_.reset(config.l1d);
+        l2_.reset(config.l2);
+    }
 
     /** Fetch-side access; returns total latency in cycles. */
     unsigned accessInst(uint64_t addr);

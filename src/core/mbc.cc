@@ -8,13 +8,22 @@ namespace conopt::core {
 MemoryBypassCache::MemoryBypassCache(const MbcConfig &config,
                                      PhysRegInterface &int_prf,
                                      PhysRegInterface &fp_prf)
-    : config_(config), intPrf_(int_prf), fpPrf_(fp_prf)
+    : intPrf_(int_prf), fpPrf_(fp_prf)
+{
+    reset(config);
+}
+
+void
+MemoryBypassCache::reset(const MbcConfig &config)
 {
     conopt_assert(config.assoc >= 1);
     conopt_assert(config.entries % config.assoc == 0);
+    config_ = config;
     numSets_ = config.entries / config.assoc;
     conopt_assert(isPowerOfTwo(numSets_));
-    entries_.resize(config.entries);
+    entries_.assign(config.entries, Entry{});
+    stamp_ = 0;
+    stats_ = MbcStats{};
 }
 
 MemoryBypassCache::~MemoryBypassCache()

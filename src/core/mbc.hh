@@ -70,6 +70,16 @@ class MemoryBypassCache
     ~MemoryBypassCache();
 
     /**
+     * Re-initialize for a new simulation under @p config: geometry
+     * re-derived, LRU clock and counters zeroed, as freshly
+     * constructed. Entries are dropped WITHOUT releasing their
+     * register references — only valid after the owning register
+     * files were themselves wholesale reset (use flush() to drop
+     * entries against a live register file).
+     */
+    void reset(const MbcConfig &config);
+
+    /**
      * Look up a load at @p addr/@p size. Returns the matching entry (and
      * touches LRU) or nullptr. @p fp selects fp-alias entries (LDT) vs.
      * integer entries.

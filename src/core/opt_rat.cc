@@ -76,6 +76,15 @@ OptRat::clear()
     }
 }
 
+void
+OptRat::forgetAll()
+{
+    for (auto &e : entries_) {
+        e.mapping = invalidPreg;
+        e.sym = SymbolicValue::constant(0);
+    }
+}
+
 FpRat::FpRat(PhysRegInterface &prf) : prf_(prf)
 {
     map_.fill(invalidPreg);

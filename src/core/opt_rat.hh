@@ -59,6 +59,11 @@ class OptRat
     /** Release all held references (end of simulation / reset). */
     void clear();
 
+    /** Drop all entries WITHOUT releasing references: only valid after
+     *  the register file was itself wholesale reset (the refs this
+     *  table held no longer exist to release). */
+    void forgetAll();
+
   private:
     void acquireSym(const SymbolicValue &sym);
     void releaseSym(const SymbolicValue &sym);
@@ -80,6 +85,10 @@ class FpRat
     void write(isa::RegIndex reg, PhysRegId mapping);
 
     void clear();
+
+    /** Drop all mappings without releasing references (see
+     *  OptRat::forgetAll). */
+    void forgetAll() { map_.fill(invalidPreg); }
 
   private:
     PhysRegInterface &prf_;

@@ -55,6 +55,28 @@ RenameUnit::~RenameUnit()
 }
 
 void
+RenameUnit::reset(const OptimizerConfig &config,
+                  const std::array<uint64_t, isa::numIntRegs> &int_init,
+                  const std::array<uint64_t, isa::numFpRegs> &fp_init)
+{
+    config_ = config;
+    // The previous run's table references point into register files
+    // the caller has already wholesale-reset; forget them. The MBC
+    // reset likewise drops entries without releasing.
+    rat_.forgetAll();
+    fpRat_.forgetAll();
+    mbc_.reset(config.mbc);
+    stats_ = OptStats{};
+    bundleLevel_.fill(0);
+    bundleFirstSeq_ = 0;
+    bundleActive_ = false;
+    bundleHasSeq_ = false;
+    chainedMemUsed_ = 0;
+    maxSrcLevel_ = 0;
+    reset(int_init, fp_init);
+}
+
+void
 RenameUnit::reset(const std::array<uint64_t, isa::numIntRegs> &int_init,
                   const std::array<uint64_t, isa::numFpRegs> &fp_init)
 {

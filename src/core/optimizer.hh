@@ -198,6 +198,18 @@ class RenameUnit
     void reset(const std::array<uint64_t, isa::numIntRegs> &int_init,
                const std::array<uint64_t, isa::numFpRegs> &fp_init);
 
+    /**
+     * Full re-initialization for a new simulation: adopt @p config
+     * (feature switches, MBC geometry), zero all optimizer stats and
+     * bundle state, then install the initial architectural state as
+     * above. The caller must have wholesale-reset both register files
+     * first — the RAT/MBC references from the previous run are
+     * forgotten, not released, because they point into the old file.
+     */
+    void reset(const OptimizerConfig &config,
+               const std::array<uint64_t, isa::numIntRegs> &int_init,
+               const std::array<uint64_t, isa::numFpRegs> &fp_init);
+
     /** Start a new rename bundle (clears intra-bundle chaining state). */
     void beginBundle();
 

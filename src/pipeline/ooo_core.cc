@@ -13,21 +13,64 @@ using isa::Opcode;
 
 OooCore::OooCore(const MachineConfig &config, arch::Emulator &emu)
     : cfg_(config),
-      optExtra_(config.opt.enabled ? config.opt.extraStages : 0),
-      renameDepth_(config.renameDepth()),
-      ilineShift_(log2Exact(config.hier.l1i.lineBytes)),
       emu_(emu),
       intPrf_(config.intPhysRegs),
       fpPrf_(config.fpPhysRegs),
       rename_(config.opt, intPrf_, fpPrf_),
       bp_(config.bp),
-      hier_(config.hier),
-      frontPipe_(config.frontEndDepth),
-      dispatchPipe_(renameDepth_)
+      hier_(config.hier)
 {
+    reset(config);
+}
+
+void
+OooCore::reset(const MachineConfig &config)
+{
+    cfg_ = config;
+    optExtra_ = config.opt.enabled ? config.opt.extraStages : 0;
+    renameDepth_ = config.renameDepth();
+    ilineShift_ = log2Exact(config.hier.l1i.lineBytes);
+
+    // Components, wholesale. The register files must reset before the
+    // rename unit: its RAT/MBC references from the previous run point
+    // into the old file contents and are forgotten, not released.
+    intPrf_.reset(config.intPhysRegs);
+    fpPrf_.reset(config.fpPhysRegs);
+    bp_.reset(config.bp);
+    hier_.reset(config.hier);
+
+    // Pipeline state.
+    cycle_ = 0;
+    halted_ = false;
+    stats_ = SimStats{};
+    retiredCount_ = 0;
+    mispredictPending_ = false;
+    pendingMispredictSeq_ = 0;
+    fetchResumeCycle_ = 0;
+    icacheReadyCycle_ = 0;
+    lastFetchLine_ = neverCycle;
+    portsUsedThisCycle_ = 0;
+    agenUsedThisCycle_ = 0;
+    lastRetireCycle_ = 0;
+
+    // Hot containers: capacity reservations sized from the config so
+    // the tick loop never allocates. Each queue's occupancy bound is
+    // enforced by the corresponding stage's resource check.
+    frontPipe_.clear();
+    frontPipe_.setDepth(config.frontEndDepth);
     frontCap_ = size_t(config.frontEndDepth + 2) * config.fetchWidth;
+    frontPipe_.reserve(frontCap_);
+    dispatchPipe_.clear();
+    dispatchPipe_.setDepth(renameDepth_);
     dispatchCap_ = size_t(config.dispatchQueueEntries) +
                    size_t(renameDepth_) * config.renameWidth;
+    dispatchPipe_.reserve(dispatchCap_);
+    rob_.reset(config.robEntries);
+    for (auto &q : sched_)
+        q.reset(config.schedEntries);
+    storeQueue_.reset(config.robEntries); // in-flight stores <= ROB
+    completions_.clear();
+    completions_.reserve(config.robEntries + 1); // <=1 event per entry
 
     // Install the initial architectural register state.
     std::array<uint64_t, isa::numIntRegs> int_init{};
@@ -36,7 +79,7 @@ OooCore::OooCore(const MachineConfig &config, arch::Emulator &emu)
         int_init[r] = emu_.state().readInt(isa::RegIndex(r));
     for (unsigned r = 0; r < isa::numFpRegs; ++r)
         fp_init[r] = emu_.state().fpRegs[r];
-    rename_.reset(int_init, fp_init);
+    rename_.reset(config.opt, int_init, fp_init);
 
     // Initial register values are known from cycle 0 (they are
     // architectural state, not in-flight results).
@@ -97,7 +140,15 @@ OooCore::depsReady(const RobEntry &e) const
 void
 OooCore::completeAt(uint64_t cycle, uint64_t seq)
 {
-    completions_.emplace(cycle, seq);
+    // Keep the flat list sorted descending; the soonest event stays at
+    // back(). Insertion cost is a short memmove over in-flight events,
+    // which profiles cheaper than the heap's alloc-and-sift for the
+    // small windows a real config produces.
+    const std::pair<uint64_t, uint64_t> ev(cycle, seq);
+    const auto it = std::upper_bound(completions_.begin(),
+                                     completions_.end(), ev,
+                                     std::greater<>());
+    completions_.insert(it, ev);
 }
 
 void
@@ -241,9 +292,9 @@ OooCore::retireStage()
 void
 OooCore::writebackStage()
 {
-    while (!completions_.empty() && completions_.top().first <= cycle_) {
-        const uint64_t seq = completions_.top().second;
-        completions_.pop();
+    while (!completions_.empty() && completions_.back().first <= cycle_) {
+        const uint64_t seq = completions_.back().second;
+        completions_.pop_back();
         RobEntry &e = entryOf(seq);
         e.done = true;
         e.doneCycle = cycle_;
@@ -324,10 +375,10 @@ OooCore::tryIssueMem(RobEntry &e)
     const uint64_t lo = e.dyn.memAddr;
     const uint64_t hi = lo + e.dyn.memSize;
     bool forwarded = false;
-    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
-        if (*it >= e.dyn.seq)
+    for (size_t i = storeQueue_.size(); i-- > 0;) {
+        if (storeQueue_[i] >= e.dyn.seq)
             continue;
-        RobEntry &s = entryOf(*it);
+        RobEntry &s = entryOf(storeQueue_[i]);
         const uint64_t s_lo = s.dyn.memAddr;
         const uint64_t s_hi = s_lo + s.dyn.memSize;
         if (s_hi <= lo || hi <= s_lo)
@@ -383,27 +434,27 @@ OooCore::issueStage()
                            cfg_.numFpAlu};
     for (unsigned k = 0; k < 3; ++k) {
         auto &q = sched_[k];
-        for (auto it = q.begin(); it != q.end() && budgets[k] > 0;) {
-            RobEntry &e = entryOf(*it);
+        for (size_t i = 0; i < q.size() && budgets[k] > 0;) {
+            RobEntry &e = entryOf(q[i]);
             if (tryIssueAlu(e, budgets[k]))
-                it = q.erase(it);
+                q.erase(i);
             else
-                ++it;
+                ++i;
         }
     }
 
     // Memory scheduler.
     auto &mq = sched_[3];
-    for (auto it = mq.begin(); it != mq.end();) {
+    for (size_t i = 0; i < mq.size();) {
         if (agenUsedThisCycle_ >= cfg_.numAgen &&
             portsUsedThisCycle_ >= cfg_.numDCachePorts) {
             break;
         }
-        RobEntry &e = entryOf(*it);
+        RobEntry &e = entryOf(mq[i]);
         if (tryIssueMem(e))
-            it = mq.erase(it);
+            mq.erase(i);
         else
-            ++it;
+            ++i;
     }
 }
 

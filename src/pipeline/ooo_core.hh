@@ -17,9 +17,9 @@
 #ifndef CONOPT_PIPELINE_OOO_CORE_HH
 #define CONOPT_PIPELINE_OOO_CORE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/arch/emulator.hh"
@@ -30,6 +30,7 @@
 #include "src/pipeline/phys_reg_file.hh"
 #include "src/pipeline/sim_stats.hh"
 #include "src/util/delay_pipe.hh"
+#include "src/util/ring_buffer.hh"
 
 namespace conopt::pipeline {
 
@@ -45,6 +46,17 @@ class OooCore
      * @param emu functional emulator positioned at the program entry
      */
     OooCore(const MachineConfig &config, arch::Emulator &emu);
+
+    /**
+     * Re-initialize for a new simulation under @p config, reading the
+     * initial architectural state from the emulator (which the caller
+     * must have reset/positioned at the program entry first). All hot
+     * containers are cleared in place; storage is reallocated only
+     * when @p config needs more capacity than any earlier run, so a
+     * warm core starts its steady state with zero heap allocations
+     * per simulated instruction.
+     */
+    void reset(const MachineConfig &config);
 
     /** Simulate until the program's HALT retires (or maxCycles). */
     const SimStats &run();
@@ -139,20 +151,20 @@ class OooCore
     DelayPipe<uint64_t> dispatchPipe_; ///< seqs in rename/optimize stages
     size_t dispatchCap_;
 
-    std::deque<RobEntry> rob_;
+    RingBuffer<RobEntry> rob_;
     uint64_t retiredCount_ = 0;
 
     /** Four schedulers: int-simple, int-complex, fp, mem (Table 2). */
-    std::array<std::deque<uint64_t>, 4> sched_;
+    std::array<RingBuffer<uint64_t>, 4> sched_;
 
     /** In-flight stores (seqs), oldest first, for load ordering. */
-    std::deque<uint64_t> storeQueue_;
+    RingBuffer<uint64_t> storeQueue_;
 
-    /** Completion events: (cycle, seq). */
-    std::priority_queue<std::pair<uint64_t, uint64_t>,
-                        std::vector<std::pair<uint64_t, uint64_t>>,
-                        std::greater<>>
-        completions_;
+    /** Completion events (cycle, seq), kept sorted descending so the
+     *  next event is at back(): a flat sorted-insertion list pops in
+     *  exactly the order of the min-heap it replaces ((cycle, seq)
+     *  pairs are unique), with no per-event heap churn. */
+    std::vector<std::pair<uint64_t, uint64_t>> completions_;
 
     // --- fetch state ---------------------------------------------------------
     bool mispredictPending_ = false;

@@ -6,12 +6,22 @@ namespace conopt::pipeline {
 
 using core::PhysRegId;
 
-PhysRegFile::PhysRegFile(unsigned num_regs) : entries_(num_regs)
+PhysRegFile::PhysRegFile(unsigned num_regs)
 {
+    reset(num_regs);
+}
+
+void
+PhysRegFile::reset(unsigned num_regs)
+{
+    entries_.clear();
+    entries_.resize(num_regs);
+    freeList_.clear();
     freeList_.reserve(num_regs);
     // Allocate low ids first (cosmetic: matches paper examples).
     for (unsigned i = num_regs; i-- > 0;)
         freeList_.push_back(PhysRegId(i));
+    totalAllocs_ = 0;
 }
 
 PhysRegId

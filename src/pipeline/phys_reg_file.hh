@@ -34,6 +34,15 @@ class PhysRegFile final : public core::PhysRegInterface
 
     explicit PhysRegFile(unsigned num_regs);
 
+    /**
+     * Re-initialize for a new simulation: every register free, zeroed
+     * timing state, zeroed alloc counter, exactly as freshly
+     * constructed with @p num_regs (including free-list order, so a
+     * reused file allocates the same ids in the same sequence).
+     * Reallocates only when @p num_regs exceeds the current capacity.
+     */
+    void reset(unsigned num_regs);
+
     // PhysRegInterface ---------------------------------------------------
     core::PhysRegId alloc() override;
     unsigned freeCount() const override { return unsigned(freeList_.size()); }

@@ -408,6 +408,21 @@ BenchArtifact::fromSweep(const SweepResult &res)
 }
 
 void
+BenchArtifact::addPerf(const SweepResult &res)
+{
+    for (auto &j : jobs) {
+        const JobResult *r = res.find(j.label);
+        // Only jobs that actually simulated carry perf: a cache hit's
+        // wall time measures the artifact loader, not the simulator,
+        // and persisting it would fake a ~1000x host-perf "win".
+        if (r && r->kips > 0.0) {
+            j.hostSeconds = r->simSeconds;
+            j.kips = r->kips;
+        }
+    }
+}
+
+void
 BenchArtifact::addGeomeans(const SweepResult &res,
                            const std::string &baseConfig,
                            const std::vector<std::string> &configs)
@@ -542,6 +557,15 @@ BenchArtifact::toJson() const
         s += ", ";
         kv("checksum", std::to_string(j.checksum));
         s += ",\n     ";
+        if (j.hostSeconds > 0.0 || j.kips > 0.0) {
+            // Optional perf fields: only measured jobs carry them, so
+            // unmeasured artifacts (and all pre-perf baselines)
+            // serialize byte-identically to the old schema.
+            kv("host_seconds", fmtDouble(j.hostSeconds));
+            s += ", ";
+            kv("kips", fmtDouble(j.kips));
+            s += ",\n     ";
+        }
         kv("config_fingerprint", str(j.configFingerprint));
         s += ",\n     \"opt\": {";
         kv("early_executed", std::to_string(j.optEarlyExecuted));
@@ -739,7 +763,10 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
             jsonFieldU64(o, "instructions", &j.instructions, &fieldErr) &&
             jsonFieldU64(o, "cycles", &j.cycles, &fieldErr) &&
             jsonFieldDouble(o, "ipc", &j.ipc, &fieldErr) &&
-            jsonFieldU64(o, "checksum", &j.checksum, &fieldErr);
+            jsonFieldU64(o, "checksum", &j.checksum, &fieldErr) &&
+            jsonFieldDouble(o, "host_seconds", &j.hostSeconds,
+                            &fieldErr) &&
+            jsonFieldDouble(o, "kips", &j.kips, &fieldErr);
         j.halted = jsonFieldBool(o, "halted");
         j.configFingerprint = getStr(o, "config_fingerprint");
         bool optOk = true;
@@ -1066,6 +1093,46 @@ compareArtifacts(const BenchArtifact &baseline,
 // conopt_bench_check CLI
 // --------------------------------------------------------------------------
 
+namespace {
+
+/**
+ * Informational host-throughput trend between two artifacts, over the
+ * jobs measured on both sides. Never part of the gate: host perf is a
+ * property of the machine the bench ran on, and noisy. Printed so a
+ * re-baselining run shows the kips trend next to the exactness check.
+ */
+void
+printPerfTrend(const BenchArtifact &baseline,
+               const BenchArtifact &candidate)
+{
+    double baseSec = 0.0, candSec = 0.0;
+    uint64_t baseInsts = 0, candInsts = 0;
+    size_t measured = 0;
+    for (const auto &b : baseline.jobs) {
+        const auto *c = candidate.findJob(b.label);
+        if (!c || b.hostSeconds <= 0.0 || c->hostSeconds <= 0.0)
+            continue;
+        ++measured;
+        baseSec += b.hostSeconds;
+        candSec += c->hostSeconds;
+        baseInsts += b.instructions;
+        candInsts += c->instructions;
+    }
+    if (measured == 0)
+        return;
+    const double baseKips = baseInsts / baseSec / 1e3;
+    const double candKips = candInsts / candSec / 1e3;
+    std::printf("conopt_bench_check: perf (informational, not gated): "
+                "%zu jobs measured in both\n"
+                "  host seconds: %.3f -> %.3f (%+.1f%%)\n"
+                "  aggregate kips: %.1f -> %.1f (%+.1f%%)\n",
+                measured, baseSec, candSec,
+                (candSec / baseSec - 1.0) * 100.0, baseKips, candKips,
+                (candKips / baseKips - 1.0) * 100.0);
+}
+
+} // namespace
+
 bool
 parseTolerance(const char *s, double *out)
 {
@@ -1161,6 +1228,7 @@ benchCheckMain(const std::vector<std::string> &args)
         candidate.addGeomeansFromJobs(geomeanBase, cols);
     }
 
+    printPerfTrend(baseline, candidate);
     const auto res = compareArtifacts(baseline, candidate, opts);
     if (!res.ok) {
         std::fprintf(stderr,

@@ -137,6 +137,16 @@ struct ArtifactJob
      *  the experiment silently changed" as well as config drift. */
     std::string configFingerprint;
 
+    // Host-throughput measurement (optional; 0 = not measured). These
+    // describe the machine the bench ran ON, not the machine it
+    // simulated, so they are EXCLUDED from compareArtifacts(): perf
+    // noise must never trip the tolerance-0 drift gate. They are only
+    // serialized when set, so artifacts without measurements (and all
+    // pre-existing baselines) keep their exact bytes.
+    double hostSeconds = 0.0; ///< host wall-seconds of the simulation
+                              ///< proper (harness overhead excluded)
+    double kips = 0.0; ///< simulated kilo-insts per host second
+
     // Optimizer activity counters (compared like cycles: exact at
     // tolerance 0, relative drift otherwise).
     uint64_t optEarlyExecuted = 0;
@@ -164,8 +174,17 @@ struct BenchArtifact
     /** Figure-level geomean speedups, keyed by config column name. */
     std::map<std::string, double> geomeans;
 
-    /** Build the per-job records from a sweep (no geomeans yet). */
+    /** Build the per-job records from a sweep (no geomeans yet,
+     *  no perf fields — see addPerf). */
     static BenchArtifact fromSweep(const SweepResult &res);
+
+    /** Copy the host-throughput measurements (host_seconds/kips) of
+     *  @p res into the matching jobs, label-keyed. Only jobs that
+     *  actually simulated are copied — result-cache hits measured the
+     *  loader, not the simulator, and stay unmeasured. Opt-in (the
+     *  bench harness's --perf flag) so artifacts stay byte-stable for
+     *  flows that diff them whole. */
+    void addPerf(const SweepResult &res);
 
     /** Append the all-workload geomean speedup of each of @p configs
      *  over @p baseConfig (the figure's headline numbers). */

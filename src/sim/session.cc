@@ -1,0 +1,43 @@
+#include "src/sim/session.hh"
+
+#include "src/arch/emulator.hh"
+#include "src/pipeline/ooo_core.hh"
+#include "src/util/logging.hh"
+
+namespace conopt::sim {
+
+SimSession::SimSession() = default;
+
+SimSession::~SimSession() = default;
+
+void
+SimSession::reset(ProgramPtr program,
+                  const pipeline::MachineConfig &config,
+                  uint64_t max_insts)
+{
+    conopt_assert(program != nullptr);
+    program_ = std::move(program);
+    if (!emu_) {
+        emu_ = std::make_unique<arch::Emulator>(program_, max_insts);
+        core_ = std::make_unique<pipeline::OooCore>(config, *emu_);
+    } else {
+        emu_->reset(program_, max_insts);
+        core_->reset(config);
+    }
+    armed_ = true;
+}
+
+SimResult
+SimSession::run()
+{
+    if (!armed_)
+        conopt_fatal("SimSession::run() without a prior reset()");
+    armed_ = false;
+    SimResult result;
+    result.stats = core_->run();
+    result.instructions = emu_->instCount();
+    result.halted = emu_->halted();
+    return result;
+}
+
+} // namespace conopt::sim

@@ -2,8 +2,7 @@
 
 #include <memory>
 
-#include "src/arch/emulator.hh"
-#include "src/pipeline/ooo_core.hh"
+#include "src/sim/session.hh"
 #include "src/sim/sweep.hh"
 #include "src/util/logging.hh"
 
@@ -13,13 +12,12 @@ SimResult
 simulate(const assembler::Program &program,
          const pipeline::MachineConfig &config, uint64_t max_insts)
 {
-    arch::Emulator emu(program, max_insts);
-    pipeline::OooCore core(config, emu);
-    SimResult result;
-    result.stats = core.run();
-    result.instructions = emu.instCount();
-    result.halted = emu.halted();
-    return result;
+    // One-shot wrapper over a throwaway session. The aliasing
+    // ProgramPtr is non-owning: the program outlives the session,
+    // which dies before this frame returns.
+    SimSession session;
+    return session.simulate(ProgramPtr(ProgramPtr{}, &program), config,
+                            max_insts);
 }
 
 double
@@ -28,10 +26,12 @@ speedup(const assembler::Program &program,
         const pipeline::MachineConfig &config, uint64_t max_insts)
 {
     // A two-job sweep: both machines run in parallel when a second
-    // hardware thread is available. The runner joins its workers before
-    // returning, so a non-owning pointer to the caller's program is safe
-    // and avoids copying it.
-    const ProgramPtr prog(&program, [](const assembler::Program *) {});
+    // hardware thread is available. The program is copied into shared
+    // ownership (not aliased): the runner's thread-local sessions
+    // outlive this call, and they must never be left holding a pointer
+    // into the caller's frame.
+    const ProgramPtr prog =
+        std::make_shared<const assembler::Program>(program);
     SimJob base_job;
     base_job.label = "base";
     base_job.program = prog;
@@ -45,8 +45,19 @@ speedup(const assembler::Program &program,
 
     SweepRunner runner;
     const SweepResult res = runner.run({base_job, opt_job});
-    conopt_assert(res.at("base").sim.instructions ==
-                  res.at("opt").sim.instructions);
+    // A retired-instruction-count mismatch means the two runs did not
+    // execute the same program — every cycle ratio computed from them
+    // would be meaningless. Hard error in every build type (never a
+    // compiled-out assert): speedup() feeds published figures.
+    const uint64_t base_insts = res.at("base").sim.instructions;
+    const uint64_t opt_insts = res.at("opt").sim.instructions;
+    if (base_insts != opt_insts) {
+        conopt_fatal("speedup(): retired instruction counts diverge "
+                     "(base %llu vs opt %llu); the configurations did "
+                     "not run the same program",
+                     static_cast<unsigned long long>(base_insts),
+                     static_cast<unsigned long long>(opt_insts));
+    }
     return res.speedup("base", "opt");
 }
 

@@ -30,6 +30,11 @@ struct SimResult
 /**
  * Run @p program to completion on the machine described by @p config.
  *
+ * One-shot convenience wrapper: constructs a throwaway SimSession
+ * (src/sim/session.hh) per call. Repeated callers — anything sweeping
+ * many jobs — should hold a SimSession and reuse it; results are
+ * bit-identical either way.
+ *
  * @param max_insts safety limit on dynamic instruction count
  */
 SimResult simulate(const assembler::Program &program,

@@ -373,7 +373,19 @@ SweepRunner::runOne(const SimJob &job)
         r.fromCache = rc->lookup(key, &r.sim);
     }
     if (!r.fromCache) {
-        r.sim = simulate(*program, job.config, job.maxInsts);
+        // One long-lived session per worker thread: every job this
+        // thread runs reuses the same emulator/core storage instead of
+        // constructing a fresh pair (bit-identical results either way;
+        // tests/test_session.cc pins the equivalence).
+        static thread_local SimSession session;
+        // Time the simulation alone: the kips trend must not move
+        // with cache fingerprinting or the rc->store() disk write.
+        const auto s0 = std::chrono::steady_clock::now();
+        r.sim = session.simulate(program, job.config, job.maxInsts);
+        const auto s1 = std::chrono::steady_clock::now();
+        r.simSeconds = std::chrono::duration<double>(s1 - s0).count();
+        if (r.simSeconds > 0.0)
+            r.kips = double(r.sim.instructions) / r.simSeconds / 1e3;
         if (rc)
             rc->store(key, r.sim);
     }

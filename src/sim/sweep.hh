@@ -54,6 +54,7 @@
 #include "src/asm/program.hh"
 #include "src/pipeline/machine_config.hh"
 #include "src/sim/result_cache.hh"
+#include "src/sim/session.hh"
 #include "src/sim/simulator.hh"
 
 namespace conopt::sim {
@@ -95,8 +96,8 @@ struct ShardSpec
  *  else: garbage, trailing characters, n == 0, or i >= n. */
 bool parseShard(const std::string &s, ShardSpec *out);
 
-/** An immutable, shareable assembled program. */
-using ProgramPtr = std::shared_ptr<const assembler::Program>;
+// ProgramPtr (an immutable, shareable assembled program) lives in
+// src/sim/session.hh with the session that consumes it.
 
 /** One cell of a sweep: a workload under one machine configuration. */
 struct SimJob
@@ -197,7 +198,16 @@ struct JobResult
     SimJob job;          ///< the (normalized) job description
     std::string suite;   ///< Table 1 suite, when registry-resolved
     SimResult sim;       ///< timing-simulation outcome
-    double hostSeconds = 0.0; ///< wall-clock cost on the host
+    double hostSeconds = 0.0; ///< wall-clock cost of the whole job
+    /** Wall-clock seconds of the simulation proper: excludes harness
+     *  overhead (result-cache fingerprinting, lookup, and store).
+     *  0 for cache hits, which simulate nothing. */
+    double simSeconds = 0.0;
+    /** Host throughput: simulated kilo-instructions retired per
+     *  simSeconds. 0 when unmeasurable (cache hit, zero-length run) —
+     *  a cache hit's wall time measures the artifact loader, not the
+     *  simulator. */
+    double kips = 0.0;
     bool fromCache = false;   ///< served by the persistent ResultCache
 };
 

@@ -4,15 +4,22 @@
  * processor front end (decode stages, the extra optimizer stages, value
  * feedback transmission). Items pushed at cycle C become visible at cycle
  * C + depth.
+ *
+ * Storage is a RingBuffer: a caller that knows its occupancy bound (the
+ * timing core sizes its pipes from the MachineConfig) calls reserve()
+ * once and the pipe never heap-allocates again; without a reservation
+ * the pipe grows geometrically on demand, so casual users keep the old
+ * deque-like behaviour.
  */
 
 #ifndef CONOPT_UTIL_DELAY_PIPE_HH
 #define CONOPT_UTIL_DELAY_PIPE_HH
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 #include <vector>
+
+#include "src/util/ring_buffer.hh"
 
 namespace conopt {
 
@@ -30,10 +37,16 @@ class DelayPipe
     void setDepth(uint32_t depth) { depth_ = depth; }
     uint32_t depth() const { return depth_; }
 
+    /** Pre-size the backing ring (contents kept; never shrinks). */
+    void reserve(size_t capacity) { entries_.reserve(capacity); }
+
     /** Insert an item at cycle @p now; it matures at now + depth. */
     void
     push(uint64_t now, T item)
     {
+        if (entries_.full())
+            entries_.reserve(entries_.capacity() ? entries_.capacity() * 2
+                                                 : 8);
         entries_.push_back(Entry{now + depth_, std::move(item)});
     }
 
@@ -60,23 +73,27 @@ class DelayPipe
     void
     removeIf(Pred pred)
     {
-        std::deque<Entry> kept;
-        for (auto &e : entries_) {
-            if (!pred(e.item))
-                kept.push_back(std::move(e));
+        size_t kept = 0;
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (!pred(entries_[i].item)) {
+                if (kept != i)
+                    entries_[kept] = std::move(entries_[i]);
+                ++kept;
+            }
         }
-        entries_.swap(kept);
+        while (entries_.size() > kept)
+            entries_.erase(entries_.size() - 1);
     }
 
   private:
     struct Entry
     {
-        uint64_t readyCycle;
-        T item;
+        uint64_t readyCycle = 0;
+        T item{};
     };
 
     uint32_t depth_;
-    std::deque<Entry> entries_;
+    RingBuffer<Entry> entries_;
 };
 
 } // namespace conopt
