@@ -93,6 +93,29 @@ printProgress(const sim::SweepProgress &p)
                  p.elapsedSeconds, p.etaSeconds, p.geomeanIpc);
 }
 
+/**
+ * Print the host-seconds distribution across the jobs that actually
+ * simulated (cache hits measure the loader and are excluded), using
+ * the nearest-rank percentiles of PercentileAccumulator. Print-only:
+ * these numbers describe the machine the bench ran ON and never feed
+ * the artifact or the baseline gate.
+ */
+inline void
+printHostPercentiles(const sim::SweepResult &res)
+{
+    pipeline::PercentileAccumulator acc;
+    for (const auto &r : res.all())
+        if (r.simSeconds > 0.0)
+            acc.add(r.simSeconds);
+    if (acc.empty())
+        return;
+    std::fprintf(stderr,
+                 "[perf] host seconds/job: p50 %.4f  p95 %.4f  "
+                 "p99 %.4f  max %.4f  (n=%zu)\n",
+                 acc.percentile(50), acc.percentile(95),
+                 acc.percentile(99), acc.max(), acc.count());
+}
+
 /** Harness options shared by every bench binary (see file header). */
 struct HarnessOptions
 {
@@ -379,8 +402,10 @@ finishSweep(const std::string &benchName, const sim::SweepResult &res,
             const HarnessOptions &o)
 {
     auto art = sim::BenchArtifact::fromSweep(res);
-    if (o.perf)
+    if (o.perf) {
         art.addPerf(res);
+        printHostPercentiles(res);
+    }
     if (!o.shard.active())
         art.addGeomeans(res, baseConfig, configs);
     return finish(benchName, std::move(art), o);

@@ -22,7 +22,12 @@
  *   - CONOPT_THREADS=1 gives the cleanest per-job numbers; the
  *     default parallel run still measures per-job wall time correctly
  *     (each job runs on one worker) but cores contend for memory
- *     bandwidth, which is representative of real sweep throughput.
+ *     bandwidth, which is representative of real sweep throughput;
+ *   - with --baseline/CONOPT_BASELINE_DIR, the previous run's
+ *     BENCH_simperf.json is loaded and per-job + aggregate kips
+ *     deltas are printed. Informational only: the baseline is consumed
+ *     by the delta report and never turned into a gate (a slow CI
+ *     machine is not a regression).
  */
 
 #include <cinttypes>
@@ -30,6 +35,44 @@
 #include "bench/bench_common.hh"
 
 using namespace conopt;
+
+namespace {
+
+/** Print per-job and aggregate kips vs a previous simperf artifact. */
+void
+printKipsDelta(const sim::BenchArtifact &prev, const sim::SweepResult &res)
+{
+    std::printf("\nkips vs previous run (informational, non-gating):\n");
+    std::printf("%-14s %10s %10s %9s\n", "job", "prev", "now", "delta");
+    double prevInsts = 0.0, prevSec = 0.0;
+    double nowInsts = 0.0, nowSec = 0.0;
+    for (const auto &r : res.all()) {
+        const sim::ArtifactJob *match = nullptr;
+        for (const auto &j : prev.jobs)
+            if (j.label == r.job.label && j.kips > 0.0)
+                match = &j;
+        if (!match || r.kips <= 0.0) {
+            std::printf("%-14s %10s %10.1f %9s\n", r.job.label.c_str(),
+                        "-", r.kips, "-");
+            continue;
+        }
+        std::printf("%-14s %10.1f %10.1f %+8.1f%%\n",
+                    r.job.label.c_str(), match->kips, r.kips,
+                    100.0 * (r.kips / match->kips - 1.0));
+        prevInsts += double(match->instructions);
+        prevSec += match->hostSeconds;
+        nowInsts += double(r.sim.instructions);
+        nowSec += r.simSeconds;
+    }
+    if (prevSec > 0.0 && nowSec > 0.0) {
+        const double pk = prevInsts / prevSec / 1e3;
+        const double nk = nowInsts / nowSec / 1e3;
+        std::printf("%-14s %10.1f %10.1f %+8.1f%%  <- aggregate\n",
+                    "TOTAL", pk, nk, 100.0 * (nk / pk - 1.0));
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -73,7 +116,38 @@ main(int argc, char **argv)
                     double(totalInsts) / totalSec / 1e3);
     }
 
+    bench::printHostPercentiles(res);
+
+    // Host-throughput comparison against the previous run's artifact.
+    // The baseline is consumed here and cleared before finish(): host
+    // perf is machine- and load-dependent, so simperf never gates.
+    bench::HarnessOptions opts = hopts;
+    if (!opts.baselinePath.empty()) {
+        namespace fs = std::filesystem;
+        std::string prevPath = opts.baselinePath;
+        std::error_code ec;
+        if (fs::is_directory(prevPath, ec))
+            prevPath =
+                (fs::path(prevPath) / "BENCH_simperf.json").string();
+        sim::BenchArtifact prev;
+        std::string err;
+        if (!fs::exists(prevPath, ec)) {
+            std::fprintf(stderr,
+                         "[perf] no previous BENCH_simperf.json at %s; "
+                         "kips delta skipped\n",
+                         prevPath.c_str());
+        } else if (!sim::loadArtifact(prevPath, &prev, &err)) {
+            std::fprintf(stderr,
+                         "[perf] cannot load %s: %s; kips delta "
+                         "skipped\n",
+                         prevPath.c_str(), err.c_str());
+        } else {
+            printKipsDelta(prev, res);
+        }
+        opts.baselinePath.clear();
+    }
+
     auto art = sim::BenchArtifact::fromSweep(res);
     art.addPerf(res);
-    return bench::finish("simperf", std::move(art), hopts);
+    return bench::finish("simperf", std::move(art), opts);
 }

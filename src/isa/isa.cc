@@ -236,16 +236,11 @@ buildTable()
     return t;
 }
 
-const std::array<OpInfo, size_t(Opcode::NumOpcodes)> opTable = buildTable();
-
 } // namespace
 
-const OpInfo &
-opInfo(Opcode op)
-{
-    conopt_assert(size_t(op) < size_t(Opcode::NumOpcodes));
-    return opTable[size_t(op)];
-}
+namespace detail {
+const std::array<OpInfo, size_t(Opcode::NumOpcodes)> opTable = buildTable();
+} // namespace detail
 
 bool
 isSimpleOp(Opcode op)

@@ -13,6 +13,7 @@
 #ifndef CONOPT_ISA_ISA_HH
 #define CONOPT_ISA_ISA_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -134,8 +135,18 @@ struct OpInfo
     bool rcIsFp;           ///< rc names an fp register
 };
 
-/** Look up the static properties of @p op. */
-const OpInfo &opInfo(Opcode op);
+namespace detail {
+/** The opcode property table (built in isa.cc). */
+extern const std::array<OpInfo, size_t(Opcode::NumOpcodes)> opTable;
+} // namespace detail
+
+/** Look up the static properties of @p op. Inline: this sits on the
+ *  per-instruction hot path of fetch, rename, and retire. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::opTable[size_t(op)];
+}
 
 /** A decoded instruction. */
 struct Instruction

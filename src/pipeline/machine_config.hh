@@ -77,6 +77,21 @@ struct MachineConfig
         return renameBaseStages + (opt.enabled ? opt.extraStages : 0);
     }
 
+    // --- derived capacities (sizing for the event-driven scheduler) ------
+    // Methods only: adding *fields* here would change every persisted
+    // config fingerprint and invalidate the bench baselines.
+
+    /** Occupancy bound across all four schedulers. */
+    unsigned schedTotalEntries() const { return 4 * schedEntries; }
+
+    /**
+     * Concurrent wake-list registrations the core can ever hold per
+     * register file: every waiting scheduler entry registers at most
+     * its (up to 3) source operands, and in the worst case all of
+     * them wait on one file.
+     */
+    unsigned wakeListCapacity() const { return 3 * schedTotalEntries(); }
+
     // --- presets -----------------------------------------------------------
     static MachineConfig baseline();
     static MachineConfig optimized();

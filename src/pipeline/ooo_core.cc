@@ -42,6 +42,7 @@ OooCore::reset(const MachineConfig &config)
     // Pipeline state.
     cycle_ = 0;
     halted_ = false;
+    progress_ = false;
     stats_ = SimStats{};
     retiredCount_ = 0;
     mispredictPending_ = false;
@@ -52,6 +53,7 @@ OooCore::reset(const MachineConfig &config)
     portsUsedThisCycle_ = 0;
     agenUsedThisCycle_ = 0;
     lastRetireCycle_ = 0;
+    ticksExecuted_ = 0;
 
     // Hot containers: capacity reservations sized from the config so
     // the tick loop never allocates. Each queue's occupancy bound is
@@ -66,11 +68,37 @@ OooCore::reset(const MachineConfig &config)
                    size_t(renameDepth_) * config.renameWidth;
     dispatchPipe_.reserve(dispatchCap_);
     rob_.reset(config.robEntries);
-    for (auto &q : sched_)
-        q.reset(config.schedEntries);
     storeQueue_.reset(config.robEntries); // in-flight stores <= ROB
     completions_.clear();
     completions_.reserve(config.robEntries + 1); // <=1 event per entry
+
+    // Hot SoA arrays: one slot per ROB ring slot, indexed seq & mask.
+    // In-flight seqs span at most robEntries <= capacity, so live
+    // entries never collide; each slot is re-initialized at rename.
+    soaMask_ = rob_.capacity() - 1;
+    const size_t soa_n = soaMask_ + 1;
+    hotDone_.assign(soa_n, 0);
+    hotIssued_.assign(soa_n, 0);
+    hotDoneCycle_.assign(soa_n, neverCycle);
+    hotAddrReadyCycle_.assign(soa_n, neverCycle);
+    hotPendingDeps_.assign(soa_n, 0);
+    hotDepBound_.assign(soa_n, 0);
+    hotSched_.assign(soa_n, 0);
+    hotStoreLo_.assign(soa_n, 0);
+    hotStoreHi_.assign(soa_n, 0);
+    hotStoreDataReg_.assign(soa_n, invalidPreg);
+    hotStoreDataFp_.assign(soa_n, 0);
+
+    // Event-driven scheduler state.
+    schedCount_.fill(0);
+    for (auto &q : ready_) {
+        q.clear();
+        q.reserve(config.schedEntries);
+    }
+    readyEvents_.clear();
+    readyEvents_.reserve(config.schedTotalEntries());
+    intWake_.reset(config.intPhysRegs, config.wakeListCapacity());
+    fpWake_.reset(config.fpPhysRegs, config.wakeListCapacity());
 
     // Install the initial architectural register state.
     std::array<uint64_t, isa::numIntRegs> int_init{};
@@ -84,7 +112,8 @@ OooCore::reset(const MachineConfig &config)
     // Initial register values are known from cycle 0 (they are
     // architectural state, not in-flight results).
     // reset() already recorded them as constants; mark the physical
-    // registers ready for issue as well.
+    // registers ready for issue as well. (Plain setReadyAt, not the
+    // waking variant: the wake lists are empty by construction.)
     for (unsigned r = 0; r < isa::numIntRegs; ++r) {
         if (r == isa::zeroReg)
             continue;
@@ -163,13 +192,99 @@ OooCore::resolveMispredict(const RobEntry &e, uint64_t resolve_cycle)
     lastFetchLine_ = neverCycle;
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven wakeup
+// ---------------------------------------------------------------------------
+
+void
+OooCore::insertReady(unsigned sched, uint64_t seq)
+{
+    // Sorted by seq: issue scans each ready queue oldest-first, which
+    // reproduces the age order of the polling scheduler scan exactly.
+    auto &q = ready_[sched];
+    q.insert(std::upper_bound(q.begin(), q.end(), seq), seq);
+}
+
+void
+OooCore::scheduleReady(uint64_t seq, uint64_t ready)
+{
+    if (ready <= cycle_) {
+        // Woken by a producer issuing earlier in this very issue scan
+        // (a consumer is always younger, so it lands ahead of the
+        // cursor): it may still issue this cycle, exactly like the
+        // polling loop, which would reach it later in its scan.
+        insertReady(hotSched_[soaIndex(seq)], seq);
+    } else {
+        const std::pair<uint64_t, uint64_t> ev(ready, seq);
+        const auto it = std::upper_bound(readyEvents_.begin(),
+                                         readyEvents_.end(), ev,
+                                         std::greater<>());
+        readyEvents_.insert(it, ev);
+    }
+}
+
+void
+OooCore::setRegReady(bool fp, core::PhysRegId reg, uint64_t cycle)
+{
+    prfFor(fp).setReadyAt(reg, cycle);
+    WakeList &wl = fp ? fpWake_ : intWake_;
+    if (wl.empty(reg))
+        return;
+    wl.drain(reg, [this, cycle](uint64_t seq) {
+        const size_t ix = soaIndex(seq);
+        if (cycle > hotDepBound_[ix])
+            hotDepBound_[ix] = cycle;
+        conopt_assert(hotPendingDeps_[ix] > 0);
+        if (--hotPendingDeps_[ix] == 0)
+            scheduleReady(seq, hotDepBound_[ix]);
+    });
+}
+
+void
+OooCore::registerWakeups(uint64_t seq, const RobEntry &e, unsigned sched)
+{
+    const size_t ix = soaIndex(seq);
+    hotSched_[ix] = uint8_t(sched);
+    // schedMinDelay gates the first issue opportunity even when every
+    // operand is already ready (the polling loop's dispatchCycle check).
+    uint64_t bound = cycle_ + cfg_.schedMinDelay;
+    unsigned pending = 0;
+    for (unsigned i = 0; i < e.opt.numDeps; ++i) {
+        const core::SrcDep &d = e.opt.deps[i];
+        const uint64_t r = prfFor(d.isFp).readyAt(d.reg);
+        if (r == PhysRegFile::never) {
+            // Producer not issued yet: readiness is monotone (one
+            // setReadyAt per register lifetime), so wait for it. A
+            // repeated operand registers — and later decrements —
+            // once per occurrence.
+            (d.isFp ? fpWake_ : intWake_).add(uint32_t(d.reg), seq);
+            ++pending;
+        } else if (r > bound) {
+            bound = r;
+        }
+    }
+    hotPendingDeps_[ix] = uint8_t(pending);
+    hotDepBound_[ix] = bound;
+    if (pending == 0)
+        scheduleReady(seq, bound);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
 const SimStats &
 OooCore::run()
 {
     while (!halted_) {
         tick();
+        ++ticksExecuted_;
         if (cycle_ >= cfg_.maxCycles)
             conopt_fatal("simulation exceeded maxCycles");
+        // Fast-forward is only worth attempting after a tick in which
+        // no stage did anything: a busy pipeline pays nothing for it.
+        if (fastForwardEnabled_ && !progress_ && !halted_)
+            fastForward();
     }
     finalizeStats();
     return stats_;
@@ -181,6 +296,7 @@ OooCore::tick()
     ++cycle_;
     portsUsedThisCycle_ = 0;
     agenUsedThisCycle_ = 0;
+    progress_ = false;
 
     retireStage();
     writebackStage();
@@ -198,14 +314,177 @@ OooCore::tick()
 
     if (cycle_ - lastRetireCycle_ > 500000 && !rob_.empty()) {
         const RobEntry &h = rob_.front();
+        const size_t hx = soaIndex(h.dyn.seq);
         conopt_panic("pipeline deadlock at cycle %llu: head seq %llu "
                      "pc 0x%llx op %s done=%d issued=%d",
                      static_cast<unsigned long long>(cycle_),
                      static_cast<unsigned long long>(h.dyn.seq),
                      static_cast<unsigned long long>(h.dyn.pc),
-                     isa::opInfo(h.dyn.inst.op).mnemonic, int(h.done),
-                     int(h.issued));
+                     isa::opInfo(h.dyn.inst.op).mnemonic,
+                     int(hotDone_[hx]), int(hotIssued_[hx]));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Idle-cycle fast-forward
+// ---------------------------------------------------------------------------
+
+void
+OooCore::fastForward()
+{
+    // Work is possible next cycle whenever any scheduler holds a ready
+    // entry (per-cycle FU budgets reset every cycle).
+    for (const auto &q : ready_)
+        if (!q.empty())
+            return;
+
+    const uint64_t next = cycle_ + 1;
+    uint64_t target = neverCycle;
+    const auto consider = [&target](uint64_t c) {
+        if (c < target)
+            target = c;
+    };
+
+    // Execution completions (writeback) and operand-ready events.
+    if (!completions_.empty())
+        consider(std::max(completions_.back().first, next));
+    if (!readyEvents_.empty())
+        consider(std::max(readyEvents_.back().first, next));
+
+    // Rename: the oldest front-pipe entry. If it has already matured,
+    // rename is blocked on a resource; every such resource frees only
+    // through retirement or dispatch, whose bounds are considered
+    // below (and on the cycle they free, rename proceeds in the same
+    // tick, since rename runs after both). If rename is NOT blocked,
+    // it renames next cycle: no skip.
+    if (!frontPipe_.empty()) {
+        const uint64_t mature = frontPipe_.nextReadyCycle();
+        if (mature > next) {
+            consider(mature);
+        } else if (rob_.size() < cfg_.robEntries &&
+                   intPrf_.freeCount() >= 2 && fpPrf_.freeCount() >= 2 &&
+                   dispatchPipe_.size() < dispatchCap_) {
+            return;
+        }
+    }
+
+    // Dispatch: same structure. A matured head blocked by a full
+    // scheduler unblocks only when an issue frees a slot — and with
+    // every ready queue empty, the next issue opportunity is the next
+    // ready event, already considered.
+    if (!dispatchPipe_.empty()) {
+        const uint64_t mature = dispatchPipe_.nextReadyCycle();
+        if (mature > next) {
+            consider(mature);
+        } else {
+            const RobEntry &d = entryOf(dispatchPipe_.front());
+            if (schedCount_[schedIndex(d.opt.schedClass)] <
+                cfg_.schedEntries) {
+                return;
+            }
+        }
+    }
+
+    // Retirement at the ROB head. A store commits once its address and
+    // data are ready (ports reset each cycle); a done entry retires at
+    // its doneCycle; a not-yet-done entry is covered by its completion
+    // event or, if unissued, by the wake chain ending in one of the
+    // structures above.
+    if (!rob_.empty()) {
+        const RobEntry &h = rob_.front();
+        const size_t hx = soaIndex(h.dyn.seq);
+        if (h.isStore) {
+            const uint64_t addr_c = hotAddrReadyCycle_[hx];
+            const core::SrcDep &d = h.opt.storeDataDep;
+            const uint64_t data_c =
+                d.reg == invalidPreg ? 0 : prfFor(d.isFp).readyAt(d.reg);
+            if (addr_c != neverCycle && data_c != neverCycle)
+                consider(std::max({addr_c, data_c, next}));
+        } else if (hotDone_[hx]) {
+            consider(std::max(hotDoneCycle_[hx], next));
+        }
+    }
+
+    // Fetch: blocked before max(resume, icache-ready); counters for
+    // the skipped stall cycles are credited below. When fetch can act
+    // next cycle there is no skip. (A pending mispredict stalls fetch
+    // until resolution, which the bounds above cover.) A full front
+    // queue blocks fetch for the whole skip — the queue only drains
+    // through rename, which makes no progress inside a skip — so it
+    // needs no cycle bound at all, just its stall counter.
+    uint64_t fetch_resume = 0, icache_ready = 0;
+    const bool fetch_queue_full =
+        frontPipe_.size() + cfg_.fetchWidth > frontCap_;
+    if (!emu_.done() && !mispredictPending_) {
+        fetch_resume = fetchResumeCycle_;
+        icache_ready = icacheReadyCycle_;
+        if (!fetch_queue_full) {
+            const uint64_t unblocked = std::max(fetch_resume, icache_ready);
+            if (unblocked <= next)
+                return;
+            consider(unblocked);
+        }
+    }
+
+    if (target == neverCycle)
+        return; // nothing scheduled: let the deadlock check handle it
+    target = std::min(target, cfg_.maxCycles);
+    if (target <= next)
+        return;
+
+    // --- account the skipped cycles [next, target-1] --------------------
+    // Every skipped cycle is provably a no-op for every stage except
+    // the stall counters, whose per-cycle increments are replicated
+    // arithmetically here. All inputs are constant across the skipped
+    // range (no stage makes progress in it).
+    const uint64_t a = next;
+    const uint64_t b = target - 1;
+    const uint64_t n = b - a + 1;
+
+    if (!emu_.done()) {
+        if (mispredictPending_) {
+            stats_.fetchStallMispredict += n;
+        } else {
+            // fetchStage checks the resume gate first, then I-cache,
+            // then queue occupancy: cycles below fetch_resume stall on
+            // the mispredict counter, cycles below icache_ready on the
+            // I-cache one, and any cycles past both (possible only
+            // when the front queue is full, which capped no bound) on
+            // the queue-full counter.
+            if (fetch_resume > a)
+                stats_.fetchStallMispredict += std::min(b + 1, fetch_resume) - a;
+            const uint64_t ic_from = std::max(a, fetch_resume);
+            if (icache_ready > ic_from)
+                stats_.fetchStallIcache += std::min(b + 1, icache_ready) - ic_from;
+            const uint64_t qf_from =
+                std::max(a, std::max(fetch_resume, icache_ready));
+            if (b + 1 > qf_from) {
+                conopt_assert(fetch_queue_full);
+                stats_.fetchStallQueueFull += b + 1 - qf_from;
+            }
+        }
+    }
+
+    if (!frontPipe_.empty() && frontPipe_.nextReadyCycle() <= a) {
+        // Matured head, rename blocked (else we returned above); the
+        // blocking reason is stable across the range and checked in
+        // renameStage's priority order.
+        if (rob_.size() >= cfg_.robEntries) {
+            stats_.renameStallRob += n;
+        } else if (intPrf_.freeCount() < 2 || fpPrf_.freeCount() < 2) {
+            stats_.renameStallPregs += n;
+        } else {
+            conopt_assert(dispatchPipe_.size() >= dispatchCap_);
+            stats_.renameStallDispatchQ += n;
+        }
+    }
+
+    if (!dispatchPipe_.empty() && dispatchPipe_.nextReadyCycle() <= a) {
+        // Matured head, scheduler full (else we returned above).
+        stats_.dispatchStallSched += n;
+    }
+
+    cycle_ = target - 1; // the next tick() advances into `target`
 }
 
 // ---------------------------------------------------------------------------
@@ -217,11 +496,12 @@ OooCore::retireStage()
 {
     for (unsigned n = 0; n < cfg_.retireWidth && !rob_.empty(); ++n) {
         RobEntry &e = rob_.front();
+        const size_t ix = soaIndex(e.dyn.seq);
 
         if (e.isStore) {
             // A store commits when its address is generated and its data
             // is ready, and a cache port is free this cycle.
-            const bool addr_ok = e.addrReadyCycle <= cycle_;
+            const bool addr_ok = hotAddrReadyCycle_[ix] <= cycle_;
             const core::SrcDep &d = e.opt.storeDataDep;
             const bool data_ok =
                 d.reg == invalidPreg || prfFor(d.isFp).readyBy(d.reg, cycle_);
@@ -235,7 +515,7 @@ OooCore::retireStage()
                 ++stats_.dl1Hits;
             else
                 ++stats_.dl1Misses;
-        } else if (!e.done || e.doneCycle > cycle_) {
+        } else if (!hotDone_[ix] || hotDoneCycle_[ix] > cycle_) {
             break;
         }
 
@@ -279,6 +559,7 @@ OooCore::retireStage()
         ++stats_.retired;
         ++retiredCount_;
         lastRetireCycle_ = cycle_;
+        progress_ = true;
         rob_.pop_front();
         if (halted_)
             break;
@@ -295,12 +576,14 @@ OooCore::writebackStage()
     while (!completions_.empty() && completions_.back().first <= cycle_) {
         const uint64_t seq = completions_.back().second;
         completions_.pop_back();
+        progress_ = true;
         RobEntry &e = entryOf(seq);
-        e.done = true;
-        e.doneCycle = cycle_;
+        const size_t ix = soaIndex(seq);
+        hotDone_[ix] = 1;
+        hotDoneCycle_[ix] = cycle_;
 
         if (e.isStore) {
-            e.addrReadyCycle = cycle_;
+            hotAddrReadyCycle_[ix] = cycle_;
             if (e.storeAddrWasUnknown) {
                 // Speculative-MBC consistency (paper section 3.2).
                 rename_.onStoreExecuted(e.dyn.memAddr, e.dyn.memSize,
@@ -322,20 +605,20 @@ OooCore::tryIssueAlu(RobEntry &e, unsigned &budget)
 {
     if (budget == 0)
         return false;
-    if (cycle_ < e.dispatchCycle + cfg_.schedMinDelay)
-        return false;
-    if (!depsReady(e))
-        return false;
+    const size_t ix = soaIndex(e.dyn.seq);
+    // Ready-queue membership guarantees the polling preconditions.
+    conopt_assert(cycle_ >= hotDepBound_[ix]);
+    conopt_assert(depsReady(e));
 
     --budget;
-    e.issued = true;
+    hotIssued_[ix] = 1;
     e.issueCycle = cycle_;
+    progress_ = true;
     const unsigned lat = e.opt.execLatency;
     if (e.opt.destPreg != invalidPreg && !e.opt.destAliased) {
-        PhysRegFile &prf = prfFor(e.opt.destIsFp);
-        prf.setReadyAt(e.opt.destPreg, cycle_ + lat);
-        prf.setVfbAt(e.opt.destPreg,
-                     cycle_ + cfg_.regReadDepth + lat + cfg_.vfbDelay);
+        setRegReady(e.opt.destIsFp, e.opt.destPreg, cycle_ + lat);
+        prfFor(e.opt.destIsFp).setVfbAt(
+            e.opt.destPreg, cycle_ + cfg_.regReadDepth + lat + cfg_.vfbDelay);
     }
     completeAt(cycle_ + cfg_.regReadDepth + lat, e.dyn.seq);
     return true;
@@ -344,18 +627,18 @@ OooCore::tryIssueAlu(RobEntry &e, unsigned &budget)
 bool
 OooCore::tryIssueMem(RobEntry &e)
 {
-    if (cycle_ < e.dispatchCycle + cfg_.schedMinDelay)
-        return false;
+    const size_t ix = soaIndex(e.dyn.seq);
+    conopt_assert(cycle_ >= hotDepBound_[ix]);
+    conopt_assert(depsReady(e));
 
     if (e.isStore) {
         // Stores in the mem scheduler only need address generation.
         if (agenUsedThisCycle_ >= cfg_.numAgen)
             return false;
-        if (!depsReady(e))
-            return false;
         ++agenUsedThisCycle_;
-        e.issued = true;
+        hotIssued_[ix] = 1;
         e.issueCycle = cycle_;
+        progress_ = true;
         completeAt(cycle_ + cfg_.regReadDepth + 1, e.dyn.seq);
         return true;
     }
@@ -367,30 +650,30 @@ OooCore::tryIssueMem(RobEntry &e)
         return false;
     if (portsUsedThisCycle_ >= cfg_.numDCachePorts)
         return false;
-    if (!depsReady(e))
-        return false;
 
     // Perfect (oracle) memory disambiguation: only truly overlapping
-    // older stores constrain this load.
+    // older stores constrain this load. The scan reads only the hot
+    // store arrays — no RobEntry pointer chasing.
     const uint64_t lo = e.dyn.memAddr;
     const uint64_t hi = lo + e.dyn.memSize;
     bool forwarded = false;
     for (size_t i = storeQueue_.size(); i-- > 0;) {
-        if (storeQueue_[i] >= e.dyn.seq)
+        const uint64_t s_seq = storeQueue_[i];
+        if (s_seq >= e.dyn.seq)
             continue;
-        RobEntry &s = entryOf(storeQueue_[i]);
-        const uint64_t s_lo = s.dyn.memAddr;
-        const uint64_t s_hi = s_lo + s.dyn.memSize;
+        const size_t sx = soaIndex(s_seq);
+        const uint64_t s_lo = hotStoreLo_[sx];
+        const uint64_t s_hi = hotStoreHi_[sx];
         if (s_hi <= lo || hi <= s_lo)
             continue; // disjoint
         if (s_lo <= lo && hi <= s_hi) {
             // Fully covering store: forward when its address is known
             // and its data is ready.
-            const core::SrcDep &d = s.opt.storeDataDep;
+            const core::PhysRegId dreg = hotStoreDataReg_[sx];
             const bool data_ok =
-                d.reg == invalidPreg ||
-                prfFor(d.isFp).readyBy(d.reg, cycle_);
-            if (s.addrReadyCycle <= cycle_ && data_ok) {
+                dreg == invalidPreg ||
+                prfFor(hotStoreDataFp_[sx] != 0).readyBy(dreg, cycle_);
+            if (hotAddrReadyCycle_[sx] <= cycle_ && data_ok) {
                 forwarded = true;
                 break;
             }
@@ -414,13 +697,15 @@ OooCore::tryIssueMem(RobEntry &e)
     ++portsUsedThisCycle_;
     if (e.opt.needsAgen)
         ++agenUsedThisCycle_;
-    e.issued = true;
+    hotIssued_[ix] = 1;
     e.issueCycle = cycle_;
+    progress_ = true;
     if (e.opt.destPreg != invalidPreg && !e.opt.destAliased) {
-        PhysRegFile &prf = prfFor(e.opt.destIsFp);
-        prf.setReadyAt(e.opt.destPreg, cycle_ + agen_lat + mem_lat);
-        prf.setVfbAt(e.opt.destPreg, cycle_ + cfg_.regReadDepth + agen_lat +
-                                         mem_lat + cfg_.vfbDelay);
+        setRegReady(e.opt.destIsFp, e.opt.destPreg,
+                    cycle_ + agen_lat + mem_lat);
+        prfFor(e.opt.destIsFp).setVfbAt(
+            e.opt.destPreg, cycle_ + cfg_.regReadDepth + agen_lat + mem_lat +
+                                cfg_.vfbDelay);
     }
     completeAt(cycle_ + cfg_.regReadDepth + agen_lat + mem_lat, e.dyn.seq);
     return true;
@@ -429,32 +714,53 @@ OooCore::tryIssueMem(RobEntry &e)
 void
 OooCore::issueStage()
 {
-    // ALU-style schedulers: int-simple, int-complex, fp.
+    // Move entries whose operand-ready cycle has arrived into their
+    // scheduler's ready queue.
+    while (!readyEvents_.empty() && readyEvents_.back().first <= cycle_) {
+        const uint64_t seq = readyEvents_.back().second;
+        readyEvents_.pop_back();
+        progress_ = true;
+        insertReady(hotSched_[soaIndex(seq)], seq);
+    }
+
+    // ALU-style schedulers: int-simple, int-complex, fp. Every queued
+    // entry is issueable, so the scan is bounded by the FU budget. A
+    // zero-latency producer can insert a (younger) consumer into the
+    // queue mid-scan, ahead of the cursor — exactly the entries the
+    // polling scan would have reached later the same cycle.
     unsigned budgets[3] = {cfg_.numSimpleAlu, cfg_.numComplexAlu,
                            cfg_.numFpAlu};
     for (unsigned k = 0; k < 3; ++k) {
-        auto &q = sched_[k];
-        for (size_t i = 0; i < q.size() && budgets[k] > 0;) {
+        auto &q = ready_[k];
+        size_t i = 0;
+        while (i < q.size() && budgets[k] > 0) {
             RobEntry &e = entryOf(q[i]);
-            if (tryIssueAlu(e, budgets[k]))
-                q.erase(i);
-            else
+            if (tryIssueAlu(e, budgets[k])) {
+                q.erase(q.begin() + ptrdiff_t(i));
+                --schedCount_[k];
+            } else {
                 ++i;
+            }
         }
     }
 
-    // Memory scheduler.
-    auto &mq = sched_[3];
-    for (size_t i = 0; i < mq.size();) {
+    // Memory scheduler: entries can still fail on ports, agen, or
+    // memory ordering; those stay queued (and block fast-forward, so
+    // they are re-examined every cycle like the polling loop did).
+    auto &mq = ready_[3];
+    size_t i = 0;
+    while (i < mq.size()) {
         if (agenUsedThisCycle_ >= cfg_.numAgen &&
             portsUsedThisCycle_ >= cfg_.numDCachePorts) {
             break;
         }
         RobEntry &e = entryOf(mq[i]);
-        if (tryIssueMem(e))
-            mq.erase(i);
-        else
+        if (tryIssueMem(e)) {
+            mq.erase(mq.begin() + ptrdiff_t(i));
+            --schedCount_[3];
+        } else {
             ++i;
+        }
     }
 }
 
@@ -469,15 +775,16 @@ OooCore::dispatchStage()
     while (dispatched < cfg_.renameWidth && dispatchPipe_.ready(cycle_)) {
         const uint64_t seq = dispatchPipe_.front();
         RobEntry &e = entryOf(seq);
-        auto &q = sched_[schedIndex(e.opt.schedClass)];
-        if (q.size() >= cfg_.schedEntries) {
+        const unsigned k = schedIndex(e.opt.schedClass);
+        if (schedCount_[k] >= cfg_.schedEntries) {
             ++stats_.dispatchStallSched;
             break;
         }
-        q.push_back(seq);
-        e.dispatchCycle = cycle_;
+        ++schedCount_[k];
+        registerWakeups(seq, e, k);
         dispatchPipe_.pop();
         ++dispatched;
+        progress_ = true;
     }
 }
 
@@ -511,6 +818,17 @@ OooCore::renameStage()
         const uint64_t opt_cycle = cycle_ + optExtra_;
         const core::OptResult opt = rename_.renameInst(fi.dyn, opt_cycle);
 
+        // Re-initialize this seq's slot in the hot arrays (it holds
+        // stale state from the entry robCapacity seqs ago).
+        const size_t ix = soaIndex(fi.dyn.seq);
+        hotDone_[ix] = 0;
+        hotIssued_[ix] = 0;
+        hotDoneCycle_[ix] = neverCycle;
+        hotAddrReadyCycle_[ix] = neverCycle;
+        hotPendingDeps_[ix] = 0;
+        hotDepBound_[ix] = 0;
+        hotSched_[ix] = 0;
+
         RobEntry e;
         e.dyn = fi.dyn;
         e.opt = opt;
@@ -530,31 +848,36 @@ OooCore::renameStage()
         if (opt.schedClass == OpClass::None) {
             // Executed in the optimizer (or nothing to execute): ready at
             // the end of the optimization stage, retires from the ROB.
-            e.done = true;
-            e.doneCycle = opt_cycle;
+            hotDone_[ix] = 1;
+            hotDoneCycle_[ix] = opt_cycle;
             if (opt.destPreg != invalidPreg && !opt.destAliased) {
-                PhysRegFile &prf = prfFor(opt.destIsFp);
-                prf.setReadyAt(opt.destPreg, opt_cycle);
-                prf.setVfbAt(opt.destPreg, opt_cycle);
+                setRegReady(opt.destIsFp, opt.destPreg, opt_cycle);
+                prfFor(opt.destIsFp).setVfbAt(opt.destPreg, opt_cycle);
             }
         } else if (e.isStore && !opt.needsAgen) {
             // Store with a rename-generated address: nothing to execute;
             // it waits at the ROB head for its data, then commits.
-            e.done = true;
-            e.doneCycle = opt_cycle;
-            e.addrReadyCycle = opt_cycle;
+            hotDone_[ix] = 1;
+            hotDoneCycle_[ix] = opt_cycle;
+            hotAddrReadyCycle_[ix] = opt_cycle;
         } else {
             dispatchPipe_.push(cycle_, fi.dyn.seq);
         }
 
         if (e.isStore) {
             storeQueue_.push_back(fi.dyn.seq);
-            if (opt.addrKnown && e.addrReadyCycle == neverCycle)
-                e.addrReadyCycle = opt_cycle;
+            if (opt.addrKnown && hotAddrReadyCycle_[ix] == neverCycle)
+                hotAddrReadyCycle_[ix] = opt_cycle;
             e.storeAddrWasUnknown = !opt.addrKnown;
+            // Hot store fields for the load-ordering scan (oracle
+            // addresses: perfect disambiguation, as before).
+            hotStoreLo_[ix] = fi.dyn.memAddr;
+            hotStoreHi_[ix] = fi.dyn.memAddr + fi.dyn.memSize;
+            hotStoreDataReg_[ix] = opt.storeDataDep.reg;
+            hotStoreDataFp_[ix] = opt.storeDataDep.isFp ? 1 : 0;
         }
         if (e.isLoad && opt.addrKnown)
-            e.addrReadyCycle = opt_cycle;
+            hotAddrReadyCycle_[ix] = opt_cycle;
 
         // Early branch recovery (paper section 2.5.1): a mispredicted
         // branch resolved by the optimizer redirects fetch right after
@@ -573,6 +896,7 @@ OooCore::renameStage()
 
         rob_.push_back(std::move(e));
         ++renamed;
+        progress_ = true;
     }
 }
 
@@ -602,6 +926,7 @@ OooCore::fetchStage()
         return;
     }
 
+    progress_ = true;
     for (unsigned n = 0; n < cfg_.fetchWidth && !emu_.done(); ++n) {
         const uint64_t pc = emu_.state().pc;
         const uint64_t line = pc >> ilineShift_;
@@ -619,9 +944,15 @@ OooCore::fetchStage()
             break; // fetch packets do not cross I-cache lines
         }
 
-        FetchedInst fi;
+        // Fill the pipe slot in place (it holds a stale instruction:
+        // overwrite every field). Each path below keeps the entry, so
+        // pushing up front is safe.
+        FetchedInst &fi = frontPipe_.pushSlot(cycle_);
         fi.dyn = emu_.step();
+        fi.pred = branch::Prediction{};
         fi.fetchCycle = cycle_;
+        fi.mispredicted = false;
+        fi.misfetch = false;
         const auto &info = isa::opInfo(fi.dyn.inst.op);
         fi.isBranch = info.isBranch;
 
@@ -647,7 +978,6 @@ OooCore::fetchStage()
                     bp_.recover(fi.pred, fi.dyn.taken);
                 mispredictPending_ = true;
                 pendingMispredictSeq_ = fi.dyn.seq;
-                frontPipe_.push(cycle_, fi);
                 return;
             }
             if (resteer) {
@@ -656,10 +986,8 @@ OooCore::fetchStage()
                 fetchResumeCycle_ = std::max(
                     fetchResumeCycle_, cycle_ + cfg_.resteerPenalty);
                 lastFetchLine_ = neverCycle;
-                frontPipe_.push(cycle_, fi);
                 return;
             }
-            frontPipe_.push(cycle_, fi);
             if (fi.dyn.taken) {
                 // A correctly predicted taken branch ends the packet.
                 lastFetchLine_ = neverCycle;
@@ -668,7 +996,6 @@ OooCore::fetchStage()
             continue;
         }
 
-        frontPipe_.push(cycle_, fi);
         if (fi.dyn.inst.op == Opcode::HALT)
             return;
     }

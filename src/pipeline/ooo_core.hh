@@ -12,6 +12,36 @@
  * it early), then fetch resumes after a redirect penalty. Wrong-path
  * instructions are never renamed, which matches the paper's recovery
  * model (wrong-path optimizer state is discarded).
+ *
+ * Host-performance architecture (simulated results are unaffected):
+ *
+ *  - Event-driven wakeup. Scheduler occupants are never polled. An
+ *    instruction dispatching with unready operands registers in a
+ *    per-physical-register WakeList; when the producer issues (the
+ *    one setReadyAt call of a register's lifetime), its waiters learn
+ *    their operand-ready cycle. Once every operand has a known ready
+ *    cycle the entry is scheduled onto a (cycle, seq) ready-event
+ *    list, and at that cycle it moves into its scheduler's ready
+ *    queue, kept sorted by age — so issueStage() scans only entries
+ *    that can actually issue, in exactly the age order the polling
+ *    loop used.
+ *
+ *  - Idle-cycle fast-forward. When fetch is provably blocked
+ *    (mispredict resolution, redirect penalty, I-cache miss), no
+ *    scheduler has a ready entry, and the pipes hold no matured
+ *    items, run() computes the next cycle at which anything can
+ *    happen (completion events, ready events, pipe maturities, fetch
+ *    unblock, head-of-ROB retirement) and jumps there, crediting the
+ *    skipped cycles to the same fetch-stall counters the per-cycle
+ *    path would have incremented. Memory-bound workloads spend most
+ *    of their cycles exactly this way.
+ *
+ *  - Hot-field SoA split. The per-cycle-touched state of in-flight
+ *    instructions (done/issued flags, completion and address-ready
+ *    cycles, wakeup bookkeeping, store ranges and data deps) lives in
+ *    parallel arrays indexed by sequence number modulo the ROB
+ *    capacity, so writeback/retire/forwarding touch dense cache lines
+ *    instead of striding over the ~200-byte RobEntry records.
  */
 
 #ifndef CONOPT_PIPELINE_OOO_CORE_HH
@@ -31,6 +61,7 @@
 #include "src/pipeline/sim_stats.hh"
 #include "src/util/delay_pipe.hh"
 #include "src/util/ring_buffer.hh"
+#include "src/util/wake_list.hh"
 
 namespace conopt::pipeline {
 
@@ -61,11 +92,25 @@ class OooCore
     /** Simulate until the program's HALT retires (or maxCycles). */
     const SimStats &run();
 
-    /** Advance one cycle (exposed for fine-grained tests). */
+    /** Advance one cycle (exposed for fine-grained tests). Never
+     *  fast-forwards: a manual tick() loop is the reference per-cycle
+     *  path the equivalence tests compare against. */
     void tick();
+
+    /**
+     * Enable/disable idle-cycle fast-forward in run() (default on).
+     * Purely a host-speed switch — both settings produce identical
+     * SimStats (tests/test_wakeup.cc pins this). Survives reset().
+     */
+    void setFastForward(bool on) { fastForwardEnabled_ = on; }
+    bool fastForwardEnabled() const { return fastForwardEnabled_; }
 
     bool halted() const { return halted_; }
     uint64_t cycle() const { return cycle_; }
+    /** Ticks run() actually executed; cycle() minus this is the number
+     *  of idle cycles fast-forward skipped. Host-side introspection
+     *  only — deliberately not part of SimStats. */
+    uint64_t ticksExecuted() const { return ticksExecuted_; }
     const SimStats &stats() const { return stats_; }
     const PhysRegFile &intPrf() const { return intPrf_; }
     const PhysRegFile &fpPrf() const { return fpPrf_; }
@@ -83,7 +128,11 @@ class OooCore
         bool misfetch = false;     ///< direct-target fixed up at decode
     };
 
-    /** A reorder-buffer entry. */
+    /**
+     * A reorder-buffer entry: the cold, written-once-per-stage record.
+     * Every field the steady state re-reads each cycle lives in the
+     * hot parallel arrays below instead (indexed seq & soaMask_).
+     */
     struct RobEntry
     {
         arch::DynInst dyn;
@@ -98,14 +147,9 @@ class OooCore
         bool storeAddrWasUnknown = false;
         bool forwardedFromStore = false;
 
-        bool done = false;
-        bool issued = false;
         uint64_t fetchCycle = 0;
         uint64_t renameCycle = 0;
-        uint64_t dispatchCycle = neverCycle;
         uint64_t issueCycle = neverCycle;
-        uint64_t doneCycle = neverCycle;
-        uint64_t addrReadyCycle = neverCycle;
     };
 
     // --- stages (called in reverse order each tick) ----------------------
@@ -127,6 +171,24 @@ class OooCore
     void resolveMispredict(const RobEntry &e, uint64_t resolve_cycle);
     void finalizeStats();
 
+    // --- event-driven wakeup ---------------------------------------------
+    size_t soaIndex(uint64_t seq) const { return size_t(seq) & soaMask_; }
+    /** The single write point of a register's ready cycle: updates the
+     *  PRF and wakes every scheduler entry waiting on @p reg. */
+    void setRegReady(bool fp, core::PhysRegId reg, uint64_t cycle);
+    /** Register @p seq's unready operands in the wake lists (or
+     *  schedule its ready event directly), at dispatch time. */
+    void registerWakeups(uint64_t seq, const RobEntry &e, unsigned sched);
+    /** @p seq's operands all have known ready cycles; queue it to
+     *  enter its scheduler's ready queue at cycle @p ready. */
+    void scheduleReady(uint64_t seq, uint64_t ready);
+    /** Insert @p seq into ready queue @p sched, keeping age order. */
+    void insertReady(unsigned sched, uint64_t seq);
+    /** Jump cycle_ to just before the next cycle anything can happen,
+     *  crediting skipped fetch-stall cycles. No-op when any work is
+     *  possible next cycle. */
+    void fastForward();
+
     // --- configuration -----------------------------------------------------
     MachineConfig cfg_;
     unsigned optExtra_;
@@ -144,6 +206,11 @@ class OooCore
     // --- pipeline state -------------------------------------------------------
     uint64_t cycle_ = 0;
     bool halted_ = false;
+    bool fastForwardEnabled_ = true;
+    /** Did any stage do work this tick? Cleared each tick; when still
+     *  false afterwards the run loop attempts a fast-forward, keeping
+     *  the skip logic entirely off the busy-cycle path. */
+    bool progress_ = false;
     SimStats stats_;
 
     DelayPipe<FetchedInst> frontPipe_;
@@ -154,8 +221,41 @@ class OooCore
     RingBuffer<RobEntry> rob_;
     uint64_t retiredCount_ = 0;
 
-    /** Four schedulers: int-simple, int-complex, fp, mem (Table 2). */
-    std::array<RingBuffer<uint64_t>, 4> sched_;
+    // --- hot per-entry state (SoA, indexed seq & soaMask_) -----------------
+    size_t soaMask_ = 0;
+    std::vector<uint8_t> hotDone_;
+    std::vector<uint8_t> hotIssued_;
+    std::vector<uint64_t> hotDoneCycle_;
+    std::vector<uint64_t> hotAddrReadyCycle_;
+    /** Wakeup bookkeeping: operands still waiting for a producer, the
+     *  max known operand-ready cycle (seeded with dispatch cycle +
+     *  schedMinDelay), and which scheduler the entry sits in. */
+    std::vector<uint8_t> hotPendingDeps_;
+    std::vector<uint64_t> hotDepBound_;
+    std::vector<uint8_t> hotSched_;
+    /** Store fields for the load-ordering scan: [lo, hi) address range
+     *  and the commit-data dependency. */
+    std::vector<uint64_t> hotStoreLo_;
+    std::vector<uint64_t> hotStoreHi_;
+    std::vector<core::PhysRegId> hotStoreDataReg_;
+    std::vector<uint8_t> hotStoreDataFp_;
+
+    /** Four schedulers: int-simple, int-complex, fp, mem (Table 2).
+     *  Occupancy is a counter (dispatch checks it); the occupants
+     *  themselves live in the wake lists / ready events until they
+     *  reach their scheduler's ready queue, sorted by seq so issue
+     *  preserves the polling loop's age order exactly. */
+    std::array<unsigned, 4> schedCount_{};
+    std::array<std::vector<uint64_t>, 4> ready_;
+
+    /** Entries whose operands all have known ready cycles, waiting for
+     *  that cycle: (cycle, seq), sorted descending like completions_
+     *  so the soonest event pops from back(). */
+    std::vector<std::pair<uint64_t, uint64_t>> readyEvents_;
+
+    /** Producer wake lists, one per register file. */
+    WakeList intWake_;
+    WakeList fpWake_;
 
     /** In-flight stores (seqs), oldest first, for load ordering. */
     RingBuffer<uint64_t> storeQueue_;
@@ -178,6 +278,7 @@ class OooCore
     unsigned agenUsedThisCycle_ = 0;
 
     uint64_t lastRetireCycle_ = 0;
+    uint64_t ticksExecuted_ = 0;
 };
 
 } // namespace conopt::pipeline

@@ -1,7 +1,5 @@
 #include "src/pipeline/phys_reg_file.hh"
 
-#include "src/util/logging.hh"
-
 namespace conopt::pipeline {
 
 using core::PhysRegId;
@@ -14,119 +12,18 @@ PhysRegFile::PhysRegFile(unsigned num_regs)
 void
 PhysRegFile::reset(unsigned num_regs)
 {
-    entries_.clear();
-    entries_.resize(num_regs);
+    numRegs_ = num_regs;
+    readyAt_.assign(num_regs, never);
+    vfbAt_.assign(num_regs, never);
+    oracle_.assign(num_regs, 0);
+    refs_.assign(num_regs, 0);
+    allocated_.assign(num_regs, 0);
     freeList_.clear();
     freeList_.reserve(num_regs);
     // Allocate low ids first (cosmetic: matches paper examples).
     for (unsigned i = num_regs; i-- > 0;)
         freeList_.push_back(PhysRegId(i));
     totalAllocs_ = 0;
-}
-
-PhysRegId
-PhysRegFile::alloc()
-{
-    if (freeList_.empty())
-        return core::invalidPreg;
-    const PhysRegId reg = freeList_.back();
-    freeList_.pop_back();
-    Entry &e = entries_[reg];
-    conopt_assert(!e.allocated);
-    e = Entry{};
-    e.allocated = true;
-    e.refs = 1;
-    ++totalAllocs_;
-    return reg;
-}
-
-void
-PhysRegFile::addRef(PhysRegId reg)
-{
-    conopt_assert(reg < entries_.size());
-    Entry &e = entries_[reg];
-    conopt_assert(e.allocated);
-    ++e.refs;
-}
-
-void
-PhysRegFile::release(PhysRegId reg)
-{
-    conopt_assert(reg < entries_.size());
-    Entry &e = entries_[reg];
-    conopt_assert(e.allocated && e.refs > 0);
-    if (--e.refs == 0) {
-        e.allocated = false;
-        freeList_.push_back(reg);
-    }
-}
-
-bool
-PhysRegFile::valueKnown(PhysRegId reg, uint64_t cycle,
-                        uint64_t &value) const
-{
-    conopt_assert(reg < entries_.size());
-    const Entry &e = entries_[reg];
-    conopt_assert(e.allocated);
-    if (e.vfbAt <= cycle) {
-        value = e.oracle;
-        return true;
-    }
-    return false;
-}
-
-uint64_t
-PhysRegFile::oracleValue(PhysRegId reg) const
-{
-    conopt_assert(reg < entries_.size());
-    conopt_assert(entries_[reg].allocated);
-    return entries_[reg].oracle;
-}
-
-void
-PhysRegFile::setOracle(PhysRegId reg, uint64_t value)
-{
-    conopt_assert(reg < entries_.size());
-    conopt_assert(entries_[reg].allocated);
-    entries_[reg].oracle = value;
-}
-
-void
-PhysRegFile::setReadyAt(PhysRegId reg, uint64_t cycle)
-{
-    conopt_assert(reg < entries_.size());
-    conopt_assert(entries_[reg].allocated);
-    entries_[reg].readyAt = cycle;
-}
-
-uint64_t
-PhysRegFile::readyAt(PhysRegId reg) const
-{
-    conopt_assert(reg < entries_.size());
-    conopt_assert(entries_[reg].allocated);
-    return entries_[reg].readyAt;
-}
-
-void
-PhysRegFile::setVfbAt(PhysRegId reg, uint64_t cycle)
-{
-    conopt_assert(reg < entries_.size());
-    conopt_assert(entries_[reg].allocated);
-    entries_[reg].vfbAt = cycle;
-}
-
-bool
-PhysRegFile::isAllocated(PhysRegId reg) const
-{
-    conopt_assert(reg < entries_.size());
-    return entries_[reg].allocated;
-}
-
-uint32_t
-PhysRegFile::refCount(PhysRegId reg) const
-{
-    conopt_assert(reg < entries_.size());
-    return entries_[reg].refs;
 }
 
 } // namespace conopt::pipeline

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/core/phys_reg.hh"
+#include "src/util/logging.hh"
 
 namespace conopt::pipeline {
 
@@ -43,46 +44,140 @@ class PhysRegFile final : public core::PhysRegInterface
      */
     void reset(unsigned num_regs);
 
-    // PhysRegInterface ---------------------------------------------------
-    core::PhysRegId alloc() override;
+    // PhysRegInterface. Defined inline: rename/retire call these a
+    // handful of times per instruction, and the cross-TU call overhead
+    // showed up as several percent of host time in profiles.
+    core::PhysRegId
+    alloc() override
+    {
+        if (freeList_.empty())
+            return core::invalidPreg;
+        const core::PhysRegId reg = freeList_.back();
+        freeList_.pop_back();
+        conopt_assert(!allocated_[reg]);
+        allocated_[reg] = 1;
+        refs_[reg] = 1;
+        oracle_[reg] = 0;
+        readyAt_[reg] = never;
+        vfbAt_[reg] = never;
+        ++totalAllocs_;
+        return reg;
+    }
+
     unsigned freeCount() const override { return unsigned(freeList_.size()); }
-    void addRef(core::PhysRegId reg) override;
-    void release(core::PhysRegId reg) override;
-    bool valueKnown(core::PhysRegId reg, uint64_t cycle,
-                    uint64_t &value) const override;
-    uint64_t oracleValue(core::PhysRegId reg) const override;
-    void setOracle(core::PhysRegId reg, uint64_t value) override;
+
+    void
+    addRef(core::PhysRegId reg) override
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        ++refs_[reg];
+    }
+
+    void
+    release(core::PhysRegId reg) override
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg] && refs_[reg] > 0);
+        if (--refs_[reg] == 0) {
+            allocated_[reg] = 0;
+            freeList_.push_back(reg);
+        }
+    }
+
+    bool
+    valueKnown(core::PhysRegId reg, uint64_t cycle,
+               uint64_t &value) const override
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        if (vfbAt_[reg] <= cycle) {
+            value = oracle_[reg];
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t
+    oracleValue(core::PhysRegId reg) const override
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        return oracle_[reg];
+    }
+
+    void
+    setOracle(core::PhysRegId reg, uint64_t value) override
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        oracle_[reg] = value;
+    }
 
     // Timing -------------------------------------------------------------
     /** Dependents of @p reg may issue from @p cycle on. */
-    void setReadyAt(core::PhysRegId reg, uint64_t cycle);
-    uint64_t readyAt(core::PhysRegId reg) const;
+    void
+    setReadyAt(core::PhysRegId reg, uint64_t cycle)
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        readyAt_[reg] = cycle;
+    }
+
+    uint64_t
+    readyAt(core::PhysRegId reg) const
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        return readyAt_[reg];
+    }
+
     bool readyBy(core::PhysRegId reg, uint64_t cycle) const
     {
         return readyAt(reg) <= cycle;
     }
 
     /** The optimizer sees the value from @p cycle on (value feedback). */
-    void setVfbAt(core::PhysRegId reg, uint64_t cycle);
+    void
+    setVfbAt(core::PhysRegId reg, uint64_t cycle)
+    {
+        conopt_assert(reg < numRegs_);
+        conopt_assert(allocated_[reg]);
+        vfbAt_[reg] = cycle;
+    }
 
     // Introspection --------------------------------------------------------
-    unsigned size() const { return unsigned(entries_.size()); }
+    unsigned size() const { return numRegs_; }
     unsigned allocatedCount() const { return size() - freeCount(); }
-    bool isAllocated(core::PhysRegId reg) const;
-    uint32_t refCount(core::PhysRegId reg) const;
+
+    bool
+    isAllocated(core::PhysRegId reg) const
+    {
+        conopt_assert(reg < numRegs_);
+        return allocated_[reg] != 0;
+    }
+
+    uint32_t
+    refCount(core::PhysRegId reg) const
+    {
+        conopt_assert(reg < numRegs_);
+        return refs_[reg];
+    }
+
     uint64_t totalAllocs() const { return totalAllocs_; }
 
   private:
-    struct Entry
-    {
-        uint32_t refs = 0;
-        bool allocated = false;
-        uint64_t oracle = 0;
-        uint64_t readyAt = never;
-        uint64_t vfbAt = never;
-    };
-
-    std::vector<Entry> entries_;
+    // Structure-of-arrays storage: readyAt is read on every wakeup /
+    // store-forward / retire readiness check, so it lives in its own
+    // dense array instead of striding across a fat per-register
+    // record; the rarely-written bookkeeping (refs, oracle values)
+    // stays out of those cache lines.
+    unsigned numRegs_ = 0;
+    std::vector<uint64_t> readyAt_; ///< hot: issue-readiness cycle
+    std::vector<uint64_t> vfbAt_;   ///< warm: value-feedback cycle
+    std::vector<uint64_t> oracle_;  ///< warm: oracle value
+    std::vector<uint32_t> refs_;    ///< cold: reference counts
+    std::vector<uint8_t> allocated_;
     std::vector<core::PhysRegId> freeList_;
     uint64_t totalAllocs_ = 0;
 };

@@ -12,6 +12,7 @@
 #ifndef CONOPT_PIPELINE_STATS_AGGREGATE_HH
 #define CONOPT_PIPELINE_STATS_AGGREGATE_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -43,6 +44,50 @@ mean(const std::vector<double> &v)
         s += x;
     return s / double(v.size());
 }
+
+/**
+ * Exact order-statistics over a sample set: collects values and answers
+ * percentile queries with the nearest-rank method (ceil(p/100 * n)-th
+ * smallest sample), which is deterministic — two runs that feed the
+ * same multiset of samples report identical percentiles regardless of
+ * insertion order. Used for the host-seconds p50/p95/p99 lines the
+ * perf harness prints; sized for that scale (dozens to thousands of
+ * jobs), it simply keeps every sample.
+ */
+class PercentileAccumulator
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+
+    size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** The nearest-rank @p p-th percentile, 0 < p <= 100 (0 when no
+     *  samples have been added). percentile(50) is the median in the
+     *  nearest-rank sense; percentile(100) is the maximum. */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> sorted(samples_);
+        std::sort(sorted.begin(), sorted.end());
+        const double clamped = std::min(std::max(p, 0.0), 100.0);
+        size_t rank = size_t(std::ceil(clamped / 100.0 *
+                                       double(sorted.size())));
+        if (rank == 0)
+            rank = 1;
+        return sorted[rank - 1];
+    }
+
+    double min() const { return percentile(0); }
+    double max() const { return percentile(100); }
+
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<double> samples_;
+};
 
 /**
  * Sums the raw counters of several runs (e.g. one whole suite under one

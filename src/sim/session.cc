@@ -24,7 +24,16 @@ SimSession::reset(ProgramPtr program,
         emu_->reset(program_, max_insts);
         core_->reset(config);
     }
+    core_->setFastForward(fastForward_);
     armed_ = true;
+}
+
+void
+SimSession::setFastForward(bool on)
+{
+    fastForward_ = on;
+    if (core_)
+        core_->setFastForward(on);
 }
 
 SimResult

@@ -81,6 +81,14 @@ class SimSession
     /** True between reset() and run(). */
     bool armed() const { return armed_; }
 
+    /**
+     * Enable/disable the core's idle-cycle fast-forward (default on).
+     * A host-speed switch only: results are bit-identical either way
+     * (tests/test_wakeup.cc). Sticky across reset()/simulate() calls.
+     */
+    void setFastForward(bool on);
+    bool fastForwardEnabled() const { return fastForward_; }
+
     /** Components, for tests (valid after the first reset()). */
     const arch::Emulator &emulator() const { return *emu_; }
     const pipeline::OooCore &core() const { return *core_; }
@@ -90,6 +98,7 @@ class SimSession
     std::unique_ptr<arch::Emulator> emu_;
     std::unique_ptr<pipeline::OooCore> core_;
     bool armed_ = false;
+    bool fastForward_ = true;
 };
 
 } // namespace conopt::sim

@@ -50,6 +50,23 @@ class DelayPipe
         entries_.push_back(Entry{now + depth_, std::move(item)});
     }
 
+    /**
+     * Insert at cycle @p now by exposing the new tail item for
+     * in-place filling (see RingBuffer::pushSlot: the slot holds a
+     * stale previous value, the caller must overwrite what it will
+     * read). Skips the by-value trip through push()'s Entry temporary.
+     */
+    T &
+    pushSlot(uint64_t now)
+    {
+        if (entries_.full())
+            entries_.reserve(entries_.capacity() ? entries_.capacity() * 2
+                                                 : 8);
+        Entry &e = entries_.pushSlot();
+        e.readyCycle = now + depth_;
+        return e.item;
+    }
+
     /** True if an item is available at cycle @p now. */
     bool
     ready(uint64_t now) const
@@ -60,6 +77,15 @@ class DelayPipe
     /** Access the oldest matured item (ready(now) must hold). */
     T &front() { return entries_.front().item; }
     const T &front() const { return entries_.front().item; }
+
+    /** The cycle at which the oldest item matures (the pipe's next
+     *  event, for idle-cycle fast-forward). Must not be empty. */
+    uint64_t
+    nextReadyCycle() const
+    {
+        conopt_assert(!entries_.empty());
+        return entries_.front().readyCycle;
+    }
 
     /** Remove the oldest item. */
     void pop() { entries_.pop_front(); }

@@ -91,6 +91,24 @@ class RingBuffer
         ++size_;
     }
 
+    /**
+     * Append by exposing the next slot for in-place construction: the
+     * returned reference is the new back() element, still holding
+     * whatever stale value the slot last carried — the caller must
+     * overwrite every field it reads back. Avoids the temporary that
+     * push_back(T) moves through, which matters for the fat POD
+     * records travelling the front-end pipes.
+     */
+    T &
+    pushSlot()
+    {
+        if (full())
+            conopt_panic("RingBuffer overflow (capacity %zu)",
+                         data_.size());
+        ++size_;
+        return slot(size_ - 1);
+    }
+
     /** Remove the oldest element. */
     void
     pop_front()

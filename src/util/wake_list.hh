@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fixed-capacity per-key wake list: the event-driven scheduler's
+ * producer -> consumer dependency index. One list per physical
+ * register file; the key is a physical register id and the values are
+ * the ROB sequence numbers waiting for that register's ready cycle.
+ *
+ * The timing core registers a waiter when an instruction dispatches
+ * with an operand whose producer has not issued yet, and drains the
+ * key when the producer finally calls setReadyAt — so a scheduler
+ * entry is touched O(#deps) times total instead of once per cycle.
+ *
+ * Storage is two flat arrays (per-key list heads + a node pool with an
+ * intrusive free list), both sized once from the MachineConfig and
+ * reset in place, so the hot path never allocates. Every waiting
+ * entry holds at most OptResult::deps.size() registrations and at
+ * most schedTotalEntries() entries wait at once, which is exactly
+ * what MachineConfig::wakeListCapacity() reserves; add() on a full
+ * pool is a hard error, not silent growth, the same contract as
+ * RingBuffer.
+ */
+
+#ifndef CONOPT_UTIL_WAKE_LIST_HH
+#define CONOPT_UTIL_WAKE_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.hh"
+
+namespace conopt {
+
+/** Per-key singly-linked waiter lists over a fixed node pool. */
+class WakeList
+{
+  public:
+    WakeList() = default;
+
+    /**
+     * Drop every waiter and size for @p num_keys keys and @p capacity
+     * concurrent registrations. Storage is reused; nothing shrinks,
+     * so a warm reset performs zero heap allocations once the
+     * high-water configuration has been seen.
+     */
+    void
+    reset(size_t num_keys, size_t capacity)
+    {
+        heads_.assign(num_keys, kNil);
+        if (nodes_.size() < capacity)
+            nodes_.resize(capacity);
+        freeHead_ = kNil;
+        for (size_t i = nodes_.size(); i-- > 0;) {
+            nodes_[i].next = freeHead_;
+            freeHead_ = int32_t(i);
+        }
+        size_ = 0;
+    }
+
+    /** Register @p value as waiting on @p key. Panics when the pool is
+     *  exhausted: capacity is an invariant of the caller's sizing, not
+     *  a soft limit. */
+    void
+    add(uint32_t key, uint64_t value)
+    {
+        conopt_assert(key < heads_.size());
+        if (freeHead_ == kNil)
+            conopt_panic("WakeList overflow (capacity %zu)",
+                         nodes_.size());
+        const int32_t n = freeHead_;
+        freeHead_ = nodes_[n].next;
+        nodes_[n].value = value;
+        nodes_[n].next = heads_[key];
+        heads_[key] = n;
+        ++size_;
+    }
+
+    /** Pop every waiter of @p key, invoking fn(value) for each. The
+     *  drain order is unspecified (the core re-sorts woken entries by
+     *  age before they can issue). */
+    template <typename Fn>
+    void
+    drain(uint32_t key, Fn &&fn)
+    {
+        conopt_assert(key < heads_.size());
+        int32_t n = heads_[key];
+        heads_[key] = kNil;
+        while (n != kNil) {
+            const int32_t next = nodes_[n].next;
+            const uint64_t value = nodes_[n].value;
+            nodes_[n].next = freeHead_;
+            freeHead_ = n;
+            --size_;
+            fn(value);
+            n = next;
+        }
+    }
+
+    bool
+    empty(uint32_t key) const
+    {
+        conopt_assert(key < heads_.size());
+        return heads_[key] == kNil;
+    }
+
+    /** Waiters currently registered, across all keys. */
+    size_t size() const { return size_; }
+    size_t capacity() const { return nodes_.size(); }
+
+  private:
+    static constexpr int32_t kNil = -1;
+
+    struct Node
+    {
+        uint64_t value = 0;
+        int32_t next = kNil;
+    };
+
+    std::vector<int32_t> heads_; ///< per-key list head (kNil = empty)
+    std::vector<Node> nodes_;    ///< fixed pool, intrusively free-listed
+    int32_t freeHead_ = kNil;
+    size_t size_ = 0;
+};
+
+} // namespace conopt
+
+#endif // CONOPT_UTIL_WAKE_LIST_HH

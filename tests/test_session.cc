@@ -177,6 +177,71 @@ TEST(RingBuffer, EraseByLogicalIndexPreservesOrder)
     EXPECT_EQ(rb.back(), 5);
 }
 
+TEST(RingBuffer, EraseDuringIndexedIterationVisitsEverySurvivor)
+{
+    // The issue loops walk a queue by logical index and erase entries
+    // that issue, re-testing the same index afterwards. Pin those
+    // semantics: erase(i) makes index i name the next-younger element,
+    // everything older keeps its index, and no survivor is skipped.
+    RingBuffer<int> rb(8);
+    // Wrap the head so the scan crosses the physical seam.
+    for (int i = 0; i < 5; ++i)
+        rb.push_back(-1);
+    for (int i = 0; i < 5; ++i)
+        rb.pop_front();
+    for (int i = 0; i < 8; ++i)
+        rb.push_back(i);
+
+    std::vector<int> visited;
+    size_t i = 0;
+    while (i < rb.size()) {
+        visited.push_back(rb[i]);
+        if (rb[i] % 2 == 0)
+            rb.erase(i); // "issued": index i now names the next entry
+        else
+            ++i;
+    }
+    EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "every element is visited exactly once";
+    ASSERT_EQ(rb.size(), 4u);
+    const int odd[] = {1, 3, 5, 7};
+    for (size_t k = 0; k < rb.size(); ++k)
+        EXPECT_EQ(rb[k], odd[k]) << "survivors keep their age order";
+}
+
+TEST(RingBuffer, PushSlotAppendsInPlace)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(11);
+    int &slot = rb.pushSlot();
+    slot = 22; // caller must overwrite the (stale) slot contents
+    ASSERT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.front(), 11);
+    EXPECT_EQ(rb.back(), 22);
+
+    // A slot freed by pop and re-pushed exposes the stale value — the
+    // contract is "overwrite everything you read back".
+    rb.pop_front();
+    rb.pop_front();
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.push_back(3);
+    rb.pushSlot() = 4;
+    ASSERT_TRUE(rb.full());
+    const int expect[] = {1, 2, 3, 4};
+    for (size_t k = 0; k < rb.size(); ++k)
+        EXPECT_EQ(rb[k], expect[k]);
+}
+
+TEST(RingBufferDeathTest, PushSlotOverflowIsRejectedNotGrown)
+{
+    RingBuffer<int> rb(2);
+    rb.pushSlot() = 1;
+    rb.pushSlot() = 2;
+    ASSERT_TRUE(rb.full());
+    EXPECT_DEATH(rb.pushSlot(), "RingBuffer overflow");
+}
+
 // ---------------------------------------------------------------------------
 // Session reuse determinism
 // ---------------------------------------------------------------------------

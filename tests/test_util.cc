@@ -1,11 +1,13 @@
 /**
  * @file
  * Unit tests for the util substrate: bit helpers, the deterministic RNG,
- * and the DelayPipe latency latch.
+ * the DelayPipe latency latch, and the percentile accumulator the perf
+ * harness prints host-seconds distributions with.
  */
 
 #include <gtest/gtest.h>
 
+#include "src/pipeline/stats_aggregate.hh"
 #include "src/util/bitops.hh"
 #include "src/util/delay_pipe.hh"
 #include "src/util/rng.hh"
@@ -127,4 +129,67 @@ TEST(DelayPipe, RemoveIf)
     EXPECT_EQ(pipe.size(), 3u);
     ASSERT_TRUE(pipe.ready(1));
     EXPECT_EQ(pipe.front(), 1);
+}
+
+TEST(DelayPipe, PushSlotMaturesLikePush)
+{
+    DelayPipe<int> pipe(3);
+    pipe.pushSlot(0) = 42;
+    pipe.push(0, 43);
+    EXPECT_FALSE(pipe.ready(2));
+    ASSERT_TRUE(pipe.ready(3));
+    EXPECT_EQ(pipe.front(), 42);
+    pipe.pop();
+    ASSERT_TRUE(pipe.ready(3));
+    EXPECT_EQ(pipe.front(), 43);
+    pipe.pop();
+    EXPECT_TRUE(pipe.empty());
+}
+
+TEST(DelayPipe, NextReadyCycleTracksOldestEntry)
+{
+    DelayPipe<int> pipe(4);
+    pipe.push(10, 1);
+    pipe.push(12, 2);
+    EXPECT_EQ(pipe.nextReadyCycle(), 14u);
+    pipe.pop();
+    EXPECT_EQ(pipe.nextReadyCycle(), 16u);
+}
+
+TEST(PercentileAccumulator, NearestRankPercentiles)
+{
+    pipeline::PercentileAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_EQ(acc.percentile(50), 0.0) << "no samples: 0 by contract";
+
+    // 10 samples, inserted out of order: nearest-rank p50 of n=10 is
+    // the 5th smallest, p95 the 10th, p99 the 10th.
+    for (double x : {7.0, 1.0, 9.0, 3.0, 10.0, 2.0, 8.0, 4.0, 6.0, 5.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 10u);
+    EXPECT_DOUBLE_EQ(acc.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(95), 10.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(99), 10.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(10), 1.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+
+    acc.clear();
+    EXPECT_TRUE(acc.empty());
+    acc.add(3.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(50), 3.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(99), 3.5);
+}
+
+TEST(PercentileAccumulator, InsertionOrderDoesNotMatter)
+{
+    pipeline::PercentileAccumulator fwd, rev;
+    for (int i = 1; i <= 100; ++i)
+        fwd.add(double(i));
+    for (int i = 100; i >= 1; --i)
+        rev.add(double(i));
+    for (double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(fwd.percentile(p), rev.percentile(p)) << p;
+    EXPECT_DOUBLE_EQ(fwd.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(fwd.percentile(99), 99.0);
 }
