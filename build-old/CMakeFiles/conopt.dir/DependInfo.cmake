@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/emulator.cc" "CMakeFiles/conopt.dir/src/arch/emulator.cc.o" "gcc" "CMakeFiles/conopt.dir/src/arch/emulator.cc.o.d"
+  "/root/repo/src/arch/memory.cc" "CMakeFiles/conopt.dir/src/arch/memory.cc.o" "gcc" "CMakeFiles/conopt.dir/src/arch/memory.cc.o.d"
+  "/root/repo/src/asm/assembler.cc" "CMakeFiles/conopt.dir/src/asm/assembler.cc.o" "gcc" "CMakeFiles/conopt.dir/src/asm/assembler.cc.o.d"
+  "/root/repo/src/branch/branch_predictor.cc" "CMakeFiles/conopt.dir/src/branch/branch_predictor.cc.o" "gcc" "CMakeFiles/conopt.dir/src/branch/branch_predictor.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "CMakeFiles/conopt.dir/src/cache/cache.cc.o" "gcc" "CMakeFiles/conopt.dir/src/cache/cache.cc.o.d"
+  "/root/repo/src/core/mbc.cc" "CMakeFiles/conopt.dir/src/core/mbc.cc.o" "gcc" "CMakeFiles/conopt.dir/src/core/mbc.cc.o.d"
+  "/root/repo/src/core/opt_rat.cc" "CMakeFiles/conopt.dir/src/core/opt_rat.cc.o" "gcc" "CMakeFiles/conopt.dir/src/core/opt_rat.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "CMakeFiles/conopt.dir/src/core/optimizer.cc.o" "gcc" "CMakeFiles/conopt.dir/src/core/optimizer.cc.o.d"
+  "/root/repo/src/core/symbolic.cc" "CMakeFiles/conopt.dir/src/core/symbolic.cc.o" "gcc" "CMakeFiles/conopt.dir/src/core/symbolic.cc.o.d"
+  "/root/repo/src/isa/exec.cc" "CMakeFiles/conopt.dir/src/isa/exec.cc.o" "gcc" "CMakeFiles/conopt.dir/src/isa/exec.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "CMakeFiles/conopt.dir/src/isa/isa.cc.o" "gcc" "CMakeFiles/conopt.dir/src/isa/isa.cc.o.d"
+  "/root/repo/src/pipeline/machine_config.cc" "CMakeFiles/conopt.dir/src/pipeline/machine_config.cc.o" "gcc" "CMakeFiles/conopt.dir/src/pipeline/machine_config.cc.o.d"
+  "/root/repo/src/pipeline/ooo_core.cc" "CMakeFiles/conopt.dir/src/pipeline/ooo_core.cc.o" "gcc" "CMakeFiles/conopt.dir/src/pipeline/ooo_core.cc.o.d"
+  "/root/repo/src/pipeline/phys_reg_file.cc" "CMakeFiles/conopt.dir/src/pipeline/phys_reg_file.cc.o" "gcc" "CMakeFiles/conopt.dir/src/pipeline/phys_reg_file.cc.o.d"
+  "/root/repo/src/pipeline/sim_stats.cc" "CMakeFiles/conopt.dir/src/pipeline/sim_stats.cc.o" "gcc" "CMakeFiles/conopt.dir/src/pipeline/sim_stats.cc.o.d"
+  "/root/repo/src/sim/baseline.cc" "CMakeFiles/conopt.dir/src/sim/baseline.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/baseline.cc.o.d"
+  "/root/repo/src/sim/driver.cc" "CMakeFiles/conopt.dir/src/sim/driver.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/driver.cc.o.d"
+  "/root/repo/src/sim/fingerprint.cc" "CMakeFiles/conopt.dir/src/sim/fingerprint.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/fingerprint.cc.o.d"
+  "/root/repo/src/sim/report.cc" "CMakeFiles/conopt.dir/src/sim/report.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/report.cc.o.d"
+  "/root/repo/src/sim/result_cache.cc" "CMakeFiles/conopt.dir/src/sim/result_cache.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/result_cache.cc.o.d"
+  "/root/repo/src/sim/session.cc" "CMakeFiles/conopt.dir/src/sim/session.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/session.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/conopt.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "CMakeFiles/conopt.dir/src/sim/sweep.cc.o" "gcc" "CMakeFiles/conopt.dir/src/sim/sweep.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/conopt.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/conopt.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/conopt.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/conopt.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/workloads/mediabench.cc" "CMakeFiles/conopt.dir/src/workloads/mediabench.cc.o" "gcc" "CMakeFiles/conopt.dir/src/workloads/mediabench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "CMakeFiles/conopt.dir/src/workloads/registry.cc.o" "gcc" "CMakeFiles/conopt.dir/src/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/specfp.cc" "CMakeFiles/conopt.dir/src/workloads/specfp.cc.o" "gcc" "CMakeFiles/conopt.dir/src/workloads/specfp.cc.o.d"
+  "/root/repo/src/workloads/specint_a.cc" "CMakeFiles/conopt.dir/src/workloads/specint_a.cc.o" "gcc" "CMakeFiles/conopt.dir/src/workloads/specint_a.cc.o.d"
+  "/root/repo/src/workloads/specint_b.cc" "CMakeFiles/conopt.dir/src/workloads/specint_b.cc.o" "gcc" "CMakeFiles/conopt.dir/src/workloads/specint_b.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conopt_bench_check.dir/tools/bench_check.cc.o"
+  "CMakeFiles/conopt_bench_check.dir/tools/bench_check.cc.o.d"
+  "conopt_bench_check"
+  "conopt_bench_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conopt_bench_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

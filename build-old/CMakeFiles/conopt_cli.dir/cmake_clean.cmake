@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conopt_cli.dir/examples/conopt_cli.cpp.o"
+  "CMakeFiles/conopt_cli.dir/examples/conopt_cli.cpp.o.d"
+  "conopt_cli"
+  "conopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

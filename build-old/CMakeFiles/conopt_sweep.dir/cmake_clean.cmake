@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conopt_sweep.dir/tools/sweep_driver.cc.o"
+  "CMakeFiles/conopt_sweep.dir/tools/sweep_driver.cc.o.d"
+  "conopt_sweep"
+  "conopt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conopt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_depth.dir/bench/fig10_depth.cc.o"
+  "CMakeFiles/fig10_depth.dir/bench/fig10_depth.cc.o.d"
+  "fig10_depth"
+  "fig10_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

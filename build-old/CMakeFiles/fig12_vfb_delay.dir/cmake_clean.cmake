@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vfb_delay.dir/bench/fig12_vfb_delay.cc.o"
+  "CMakeFiles/fig12_vfb_delay.dir/bench/fig12_vfb_delay.cc.o.d"
+  "fig12_vfb_delay"
+  "fig12_vfb_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vfb_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_machine_models.dir/bench/fig8_machine_models.cc.o"
+  "CMakeFiles/fig8_machine_models.dir/bench/fig8_machine_models.cc.o.d"
+  "fig8_machine_models"
+  "fig8_machine_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_machine_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

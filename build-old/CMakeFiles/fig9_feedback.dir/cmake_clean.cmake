@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_feedback.dir/bench/fig9_feedback.cc.o"
+  "CMakeFiles/fig9_feedback.dir/bench/fig9_feedback.cc.o.d"
+  "fig9_feedback"
+  "fig9_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsm_filter_untoast.dir/examples/gsm_filter_untoast.cpp.o"
+  "CMakeFiles/gsm_filter_untoast.dir/examples/gsm_filter_untoast.cpp.o.d"
+  "gsm_filter_untoast"
+  "gsm_filter_untoast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsm_filter_untoast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

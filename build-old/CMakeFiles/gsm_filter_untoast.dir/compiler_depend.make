@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gsm_filter_untoast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_capacity.dir/bench/micro_capacity.cc.o"
+  "CMakeFiles/micro_capacity.dir/bench/micro_capacity.cc.o.d"
+  "micro_capacity"
+  "micro_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksort_mcf.dir/examples/quicksort_mcf.cpp.o"
+  "CMakeFiles/quicksort_mcf.dir/examples/quicksort_mcf.cpp.o.d"
+  "quicksort_mcf"
+  "quicksort_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksort_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

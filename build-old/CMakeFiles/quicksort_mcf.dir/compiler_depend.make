@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quicksort_mcf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for quicksort_mcf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_effects.dir/bench/table3_effects.cc.o"
+  "CMakeFiles/table3_effects.dir/bench/table3_effects.cc.o.d"
+  "table3_effects"
+  "table3_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

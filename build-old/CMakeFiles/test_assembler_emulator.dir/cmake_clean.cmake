@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler_emulator.dir/tests/test_assembler_emulator.cc.o"
+  "CMakeFiles/test_assembler_emulator.dir/tests/test_assembler_emulator.cc.o.d"
+  "test_assembler_emulator"
+  "test_assembler_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_cache.dir/tests/test_branch_cache.cc.o"
+  "CMakeFiles/test_branch_cache.dir/tests/test_branch_cache.cc.o.d"
+  "test_branch_cache"
+  "test_branch_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_sweeps.dir/tests/test_config_sweeps.cc.o"
+  "CMakeFiles/test_config_sweeps.dir/tests/test_config_sweeps.cc.o.d"
+  "test_config_sweeps"
+  "test_config_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

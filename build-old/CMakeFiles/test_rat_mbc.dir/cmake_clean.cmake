@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rat_mbc.dir/tests/test_rat_mbc.cc.o"
+  "CMakeFiles/test_rat_mbc.dir/tests/test_rat_mbc.cc.o.d"
+  "test_rat_mbc"
+  "test_rat_mbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rat_mbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard_cache.dir/tests/test_shard_cache.cc.o"
+  "CMakeFiles/test_shard_cache.dir/tests/test_shard_cache.cc.o.d"
+  "test_shard_cache"
+  "test_shard_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

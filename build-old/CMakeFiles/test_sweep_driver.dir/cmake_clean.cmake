@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_driver.dir/tests/test_sweep_driver.cc.o"
+  "CMakeFiles/test_sweep_driver.dir/tests/test_sweep_driver.cc.o.d"
+  "test_sweep_driver"
+  "test_sweep_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_runner.dir/tests/test_sweep_runner.cc.o"
+  "CMakeFiles/test_sweep_runner.dir/tests/test_sweep_runner.cc.o.d"
+  "test_sweep_runner"
+  "test_sweep_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

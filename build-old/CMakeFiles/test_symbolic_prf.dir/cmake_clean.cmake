@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_prf.dir/tests/test_symbolic_prf.cc.o"
+  "CMakeFiles/test_symbolic_prf.dir/tests/test_symbolic_prf.cc.o.d"
+  "test_symbolic_prf"
+  "test_symbolic_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

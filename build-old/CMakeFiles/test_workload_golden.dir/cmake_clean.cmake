@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_golden.dir/tests/test_workload_golden.cc.o"
+  "CMakeFiles/test_workload_golden.dir/tests/test_workload_golden.cc.o.d"
+  "test_workload_golden"
+  "test_workload_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

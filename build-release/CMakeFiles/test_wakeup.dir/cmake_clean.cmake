@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wakeup.dir/tests/test_wakeup.cc.o"
+  "CMakeFiles/test_wakeup.dir/tests/test_wakeup.cc.o.d"
+  "test_wakeup"
+  "test_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
