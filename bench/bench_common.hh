@@ -25,6 +25,13 @@
  *                         wall-seconds and kips (simulated kilo-insts
  *                         per host second) in the artifact; excluded
  *                         from baseline comparison by design
+ *   CONOPT_IPC_SAMPLE     N > 0: sample per-interval IPC every N
+ *                         retired instructions into a bounded per-job
+ *                         reservoir; per-job p50/p95/p99 + samples and
+ *                         the sweep-level distribution block land in
+ *                         the artifact. Off by default (gated runs
+ *                         stay byte-identical) and excluded from
+ *                         baseline comparison like the perf fields
  *   CONOPT_PROGRESS       non-empty/non-"0": per-job progress + ETA
  *   CONOPT_PROGRESS_FD    fd number: write one machine-readable
  *                         CONOPT-PROGRESS line per finished job to
@@ -37,6 +44,7 @@
  *   --shard i/n           flag form of CONOPT_SHARD
  *   --result-cache <dir>  flag form of CONOPT_RESULT_CACHE
  *   --perf                flag form of CONOPT_PERF
+ *   --ipc-sample-interval N  flag form of CONOPT_IPC_SAMPLE
  *   --progress            flag form of CONOPT_PROGRESS
  *   --progress-fd <fd>    flag form of CONOPT_PROGRESS_FD
  *   --artifact-dir <dir>  flag form of CONOPT_ARTIFACT_DIR
@@ -126,6 +134,9 @@ struct HarnessOptions
     sim::ShardSpec shard;     ///< {0,1} = whole sweep
     bool progress = false;    ///< per-job progress/ETA on stderr
     bool perf = false;        ///< record host_seconds/kips per job
+    /** Per-interval IPC sampling stride in retired instructions;
+     *  0 = off (the default — gated artifacts stay byte-identical). */
+    uint64_t ipcSampleInterval = 0;
     /** Descriptor for machine-readable CONOPT-PROGRESS lines (one per
      *  finished job); -1 = none. The conopt_sweep driver passes an
      *  inherited pipe here to multiplex shard ETAs. */
@@ -185,6 +196,21 @@ struct HarnessOptions
         };
         if (const char *f = std::getenv("CONOPT_PROGRESS_FD"); f && *f)
             progressFdSpec(f, "CONOPT_PROGRESS_FD");
+        const auto ipcSampleSpec = [&](const char *s, const char *what) {
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end == s || *end != '\0' || errno == ERANGE) {
+                std::fprintf(stderr,
+                             "invalid %s '%s' (want a sampling stride "
+                             "in retired instructions; 0 = off)\n",
+                             what, s);
+                std::exit(2);
+            }
+            o.ipcSampleInterval = uint64_t(v);
+        };
+        if (const char *s = std::getenv("CONOPT_IPC_SAMPLE"); s && *s)
+            ipcSampleSpec(s, "CONOPT_IPC_SAMPLE");
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             const auto value = [&]() -> const char * {
@@ -207,6 +233,8 @@ struct HarnessOptions
                 o.progress = true;
             } else if (a == "--perf") {
                 o.perf = true;
+            } else if (a == "--ipc-sample-interval") {
+                ipcSampleSpec(value(), "--ipc-sample-interval");
             } else if (a == "--progress-fd") {
                 progressFdSpec(value(), "--progress-fd");
             } else if (a == "--tolerance") {
@@ -225,7 +253,8 @@ struct HarnessOptions
                              "unknown argument '%s' (flags: "
                              "--artifact-dir DIR, --baseline PATH, "
                              "--shard I/N, --result-cache DIR, "
-                             "--perf, --progress, --progress-fd FD, "
+                             "--perf, --ipc-sample-interval N, "
+                             "--progress, --progress-fd FD, "
                              "--tolerance T, --no-artifact)\n",
                              a.c_str());
                 std::exit(2);
@@ -247,6 +276,7 @@ struct HarnessOptions
         sim::SweepOptions s;
         s.shard = shard;
         s.resultCache = resultCache;
+        s.ipcSampleInterval = ipcSampleInterval;
         if (progressFd >= 0) {
             const int fd = progressFd;
             const bool human = progress;
@@ -406,8 +436,17 @@ finishSweep(const std::string &benchName, const sim::SweepResult &res,
         art.addPerf(res);
         printHostPercentiles(res);
     }
-    if (!o.shard.active())
+    // No-op unless --ipc-sample-interval armed sampling: gated runs
+    // keep byte-identical artifacts.
+    art.addIpcSamples(res);
+    if (!o.shard.active()) {
         art.addGeomeans(res, baseConfig, configs);
+        // The sweep-level distribution block. Sharded runs defer it
+        // like the geomeans — a subset's percentiles are wrong for
+        // the whole — and the shard merge recomputes it from the
+        // per-job samples (loadArtifactOrShards).
+        art.addDistributionFromJobs();
+    }
     return finish(benchName, std::move(art), o);
 }
 

@@ -72,6 +72,33 @@ printKipsDelta(const sim::BenchArtifact &prev, const sim::SweepResult &res)
     }
 }
 
+/** Print host-seconds p50/p95/p99/max vs a previous simperf artifact's
+ *  distribution block. Skipped silently when either side predates the
+ *  block (older artifacts simply never grew one). */
+void
+printHostDistDelta(const sim::BenchArtifact &prev,
+                   const sim::BenchArtifact &now)
+{
+    const auto &a = prev.hostDist;
+    const auto &b = now.hostDist;
+    if (!a.measured() || !b.measured())
+        return;
+    std::printf("\nhost-seconds distribution vs previous run "
+                "(informational, non-gating):\n");
+    std::printf("%-6s %10s %10s %9s\n", "pct", "prev", "now", "delta");
+    const auto row = [](const char *name, double p, double n) {
+        if (p > 0.0)
+            std::printf("%-6s %10.4f %10.4f %+8.1f%%\n", name, p, n,
+                        100.0 * (n / p - 1.0));
+        else
+            std::printf("%-6s %10.4f %10.4f %9s\n", name, p, n, "-");
+    };
+    row("p50", a.p50, b.p50);
+    row("p95", a.p95, b.p95);
+    row("p99", a.p99, b.p99);
+    row("max", a.max, b.max);
+}
+
 } // namespace
 
 int
@@ -118,6 +145,12 @@ main(int argc, char **argv)
 
     bench::printHostPercentiles(res);
 
+    auto art = sim::BenchArtifact::fromSweep(res);
+    art.addPerf(res);
+    art.addIpcSamples(res);
+    if (!hopts.shard.active())
+        art.addDistributionFromJobs();
+
     // Host-throughput comparison against the previous run's artifact.
     // The baseline is consumed here and cleared before finish(): host
     // perf is machine- and load-dependent, so simperf never gates.
@@ -143,11 +176,10 @@ main(int argc, char **argv)
                          prevPath.c_str(), err.c_str());
         } else {
             printKipsDelta(prev, res);
+            printHostDistDelta(prev, art);
         }
         opts.baselinePath.clear();
     }
 
-    auto art = sim::BenchArtifact::fromSweep(res);
-    art.addPerf(res);
     return bench::finish("simperf", std::move(art), opts);
 }

@@ -54,6 +54,13 @@ OooCore::reset(const MachineConfig &config)
     agenUsedThisCycle_ = 0;
     lastRetireCycle_ = 0;
     ticksExecuted_ = 0;
+    // Allocation-retaining reset: the zero-allocation warm-path
+    // contract (tests/test_session.cc) covers sampling-off runs, and
+    // keeping it for sampling-on runs costs nothing — a capacity
+    // change goes through setIpcSampling(), which reconstructs.
+    ipcSamples_.reset(ipcSampleSeed_);
+    ipcMarkRetired_ = 0;
+    ipcMarkCycle_ = 0;
 
     // Hot containers: capacity reservations sized from the config so
     // the tick loop never allocates. Each queue's occupancy bound is
@@ -558,6 +565,18 @@ OooCore::retireStage()
 
         ++stats_.retired;
         ++retiredCount_;
+        // Per-interval IPC sampling (host-side observability; one
+        // predictable branch when disabled). The cycle_ > mark guard
+        // defers a sample whose whole interval retired within one
+        // cycle — it folds into the next interval instead.
+        if (ipcSampleInterval_ != 0 &&
+            stats_.retired - ipcMarkRetired_ >= ipcSampleInterval_ &&
+            cycle_ > ipcMarkCycle_) {
+            ipcSamples_.add(double(stats_.retired - ipcMarkRetired_) /
+                            double(cycle_ - ipcMarkCycle_));
+            ipcMarkRetired_ = stats_.retired;
+            ipcMarkCycle_ = cycle_;
+        }
         lastRetireCycle_ = cycle_;
         progress_ = true;
         rob_.pop_front();

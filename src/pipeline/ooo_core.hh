@@ -59,6 +59,7 @@
 #include "src/pipeline/machine_config.hh"
 #include "src/pipeline/phys_reg_file.hh"
 #include "src/pipeline/sim_stats.hh"
+#include "src/pipeline/stats_aggregate.hh"
 #include "src/util/delay_pipe.hh"
 #include "src/util/ring_buffer.hh"
 #include "src/util/wake_list.hh"
@@ -104,6 +105,44 @@ class OooCore
      */
     void setFastForward(bool on) { fastForwardEnabled_ = on; }
     bool fastForwardEnabled() const { return fastForwardEnabled_; }
+
+    /**
+     * Arm per-interval IPC sampling: every @p intervalInsts retired
+     * instructions, the interval's IPC (insts retired / cycles
+     * elapsed) is added to a bounded reservoir of @p reservoirCapacity
+     * samples drawn with the deterministic stream seeded by @p seed.
+     * 0 disables sampling (the default, and the mode gated runs use).
+     *
+     * Host-side observability only: the hook reads the retired and
+     * cycle counters and writes a side accumulator — it never touches
+     * simulated state, so SimStats are bit-identical with sampling on
+     * or off, fast-forward on or off. Settings survive reset() like
+     * setFastForward(); the collected samples clear per run.
+     */
+    void
+    setIpcSampling(uint64_t intervalInsts,
+                   size_t reservoirCapacity =
+                       ReservoirAccumulator::kDefaultCapacity,
+                   uint64_t seed = 0)
+    {
+        ipcSampleInterval_ = intervalInsts;
+        ipcSampleSeed_ = seed;
+        // Reconstruct (and reallocate) only on a capacity change so
+        // re-arming identical sampling per job — SweepRunner does this
+        // on every warm session — stays allocation-free.
+        if (ipcReservoirCap_ != reservoirCapacity) {
+            ipcReservoirCap_ = reservoirCapacity;
+            ipcSamples_ =
+                ReservoirAccumulator(ipcReservoirCap_, ipcSampleSeed_);
+        } else {
+            ipcSamples_.reset(ipcSampleSeed_);
+        }
+        ipcMarkRetired_ = stats_.retired;
+        ipcMarkCycle_ = cycle_;
+    }
+    uint64_t ipcSampleInterval() const { return ipcSampleInterval_; }
+    /** The reservoir of per-interval IPC samples from the last run. */
+    const ReservoirAccumulator &ipcSamples() const { return ipcSamples_; }
 
     bool halted() const { return halted_; }
     uint64_t cycle() const { return cycle_; }
@@ -279,6 +318,14 @@ class OooCore
 
     uint64_t lastRetireCycle_ = 0;
     uint64_t ticksExecuted_ = 0;
+
+    // --- per-interval IPC sampling (host-side observability) --------------
+    uint64_t ipcSampleInterval_ = 0; ///< 0 = off (gated runs)
+    size_t ipcReservoirCap_ = ReservoirAccumulator::kDefaultCapacity;
+    uint64_t ipcSampleSeed_ = 0;
+    ReservoirAccumulator ipcSamples_;
+    uint64_t ipcMarkRetired_ = 0; ///< retired count at last sample
+    uint64_t ipcMarkCycle_ = 0;   ///< cycle at last sample
 };
 
 } // namespace conopt::pipeline

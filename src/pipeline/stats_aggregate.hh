@@ -2,7 +2,10 @@
  * @file
  * Aggregation helpers over per-run statistics: the means the paper's
  * tables report (geometric mean for speedup ratios, arithmetic mean for
- * fractions) and a small accumulator that sums SimStats across runs.
+ * fractions), a small accumulator that sums SimStats across runs, and
+ * the distribution accumulators (exact percentiles, bounded reservoir
+ * sample, trailing moving average) behind the fleet observability
+ * surface — per-interval IPC and host-latency p50/p95/p99.
  *
  * These used to live in bench/bench_common.hh; they are part of the
  * pipeline layer now so the sweep subsystem and the tests can share
@@ -14,10 +17,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "src/pipeline/sim_stats.hh"
+#include "src/util/rng.hh"
 
 namespace conopt::pipeline {
 
@@ -57,36 +62,207 @@ mean(const std::vector<double> &v)
 class PercentileAccumulator
 {
   public:
-    void add(double x) { samples_.push_back(x); }
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
 
     size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
     /** The nearest-rank @p p-th percentile, 0 < p <= 100 (0 when no
      *  samples have been added). percentile(50) is the median in the
-     *  nearest-rank sense; percentile(100) is the maximum. */
+     *  nearest-rank sense; percentile(100) is the maximum. Arguments
+     *  outside the contract are clamped to it: p <= 0 clamps to rank 1
+     *  and thus returns min(), p > 100 returns max(). Prefer min()/
+     *  max() for the extremes — they say what they mean. */
     double
     percentile(double p) const
     {
         if (samples_.empty())
             return 0.0;
-        std::vector<double> sorted(samples_);
-        std::sort(sorted.begin(), sorted.end());
+        ensureSorted();
         const double clamped = std::min(std::max(p, 0.0), 100.0);
         size_t rank = size_t(std::ceil(clamped / 100.0 *
-                                       double(sorted.size())));
+                                       double(samples_.size())));
         if (rank == 0)
             rank = 1;
-        return sorted[rank - 1];
+        return samples_[rank - 1];
     }
 
-    double min() const { return percentile(0); }
-    double max() const { return percentile(100); }
+    /** Smallest sample (0 when empty); not a percentile(0) alias. */
+    double
+    min() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        ensureSorted();
+        return samples_.front();
+    }
 
-    void clear() { samples_.clear(); }
+    /** Largest sample (0 when empty). */
+    double
+    max() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        ensureSorted();
+        return samples_.back();
+    }
+
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
 
   private:
-    std::vector<double> samples_;
+    /* Sort lazily, at most once per batch of adds: a query after k
+     * adds sorts once and every further query until the next add reads
+     * the cached order. Queries stay logically const; the sample
+     * multiset they observe never changes, only its arrangement. */
+    void
+    ensureSorted() const
+    {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Bounded uniform sample of an unbounded stream (Vitter's Algorithm R):
+ * the first @p capacity values are kept verbatim; after that each new
+ * value replaces a random slot with probability capacity/seen. Memory
+ * is O(capacity) no matter how long the stream runs, which is what lets
+ * per-interval IPC samples ride inside artifacts without unbounded
+ * growth.
+ *
+ * Determinism: the replacement draws come from a private seeded
+ * conopt::Rng, so the same (seed, value stream) always yields the same
+ * reservoir — byte-for-byte reproducible artifacts included. Percentile
+ * queries over the reservoir are order-independent (nearest-rank over a
+ * sorted copy), but the reservoir itself is a function of stream order,
+ * as any single-pass bounded sample must be.
+ */
+class ReservoirAccumulator
+{
+  public:
+    explicit ReservoirAccumulator(size_t capacity = kDefaultCapacity,
+                                  uint64_t seed = 0)
+        : capacity_(capacity ? capacity : 1), rng_(seed)
+    {
+        reservoir_.reserve(capacity_);
+    }
+
+    void
+    add(double x)
+    {
+        ++seen_;
+        if (reservoir_.size() < capacity_) {
+            reservoir_.push_back(x);
+        } else {
+            const uint64_t slot = rng_.nextBelow(seen_);
+            if (slot < capacity_)
+                reservoir_[size_t(slot)] = x;
+        }
+    }
+
+    /** Forget every sample and reseed the replacement draws, keeping
+     *  the reservoir's allocation — the warm-path form of constructing
+     *  a fresh accumulator with the same capacity. */
+    void
+    reset(uint64_t seed)
+    {
+        rng_ = Rng(seed);
+        seen_ = 0;
+        reservoir_.clear();
+    }
+
+    /** Total values offered to add(), not the retained count. */
+    uint64_t seen() const { return seen_; }
+    size_t capacity() const { return capacity_; }
+    bool empty() const { return reservoir_.empty(); }
+
+    /** The retained sample, in reservoir slot order. */
+    const std::vector<double> &samples() const { return reservoir_; }
+
+    /** Nearest-rank percentile over the retained sample (0 when
+     *  empty); same clamping contract as PercentileAccumulator. */
+    double
+    percentile(double p) const
+    {
+        PercentileAccumulator acc;
+        for (double x : reservoir_)
+            acc.add(x);
+        return acc.percentile(p);
+    }
+
+    static constexpr size_t kDefaultCapacity = 256;
+
+  private:
+    size_t capacity_;
+    Rng rng_;
+    uint64_t seen_ = 0;
+    std::vector<double> reservoir_;
+};
+
+/**
+ * Arithmetic mean over a fixed trailing window (ring buffer): value()
+ * averages the last min(window, count) samples. The smoothing the live
+ * fleet surface wants for throughput lines — jitter from one slow job
+ * doesn't whipsaw the displayed rate.
+ */
+class MovingAverage
+{
+  public:
+    explicit MovingAverage(size_t window = 32)
+        : ring_(window ? window : 1, 0.0)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        const size_t slot = size_t(count_ % ring_.size());
+        sum_ += x - ring_[slot];
+        ring_[slot] = x;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    size_t window() const { return ring_.size(); }
+
+    /** Mean of the last min(window, count) samples (0 when empty). */
+    double
+    value() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const uint64_t n = std::min<uint64_t>(count_, ring_.size());
+        return sum_ / double(n);
+    }
+
+    void
+    clear()
+    {
+        std::fill(ring_.begin(), ring_.end(), 0.0);
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    std::vector<double> ring_;
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
 };
 
 /**

@@ -423,6 +423,51 @@ BenchArtifact::addPerf(const SweepResult &res)
 }
 
 void
+BenchArtifact::addIpcSamples(const SweepResult &res)
+{
+    for (auto &j : jobs) {
+        const JobResult *r = res.find(j.label);
+        // Cache hits simulated nothing and carry no samples; jobs from
+        // an unsampled sweep likewise stay unmeasured.
+        if (!r || r->sim.ipcSamples.empty())
+            continue;
+        j.ipcSamplesSeen = r->sim.ipcSamplesSeen;
+        j.ipcSamples = r->sim.ipcSamples;
+        pipeline::PercentileAccumulator acc;
+        for (double x : j.ipcSamples)
+            acc.add(x);
+        j.ipcP50 = acc.percentile(50);
+        j.ipcP95 = acc.percentile(95);
+        j.ipcP99 = acc.percentile(99);
+    }
+}
+
+void
+BenchArtifact::addDistributionFromJobs()
+{
+    pipeline::PercentileAccumulator host, ipc;
+    for (const auto &j : jobs) {
+        if (j.hostSeconds > 0.0)
+            host.add(j.hostSeconds);
+        for (double x : j.ipcSamples)
+            ipc.add(x);
+    }
+    const auto summarize = [](const pipeline::PercentileAccumulator &acc,
+                              DistSummary *out) {
+        *out = DistSummary{};
+        if (acc.empty())
+            return;
+        out->count = acc.count();
+        out->p50 = acc.percentile(50);
+        out->p95 = acc.percentile(95);
+        out->p99 = acc.percentile(99);
+        out->max = acc.max();
+    };
+    summarize(host, &hostDist);
+    summarize(ipc, &ipcDist);
+}
+
+void
 BenchArtifact::addGeomeans(const SweepResult &res,
                            const std::string &baseConfig,
                            const std::vector<std::string> &configs)
@@ -531,6 +576,36 @@ BenchArtifact::toJson() const
         kv(jsonEscape(k).c_str(), fmtDouble(v));
     }
     s += first ? "},\n" : "\n  },\n";
+    if (hostDist.measured() || ipcDist.measured()) {
+        // Sweep-level distribution block: optional like the per-job
+        // perf fields, so unmeasured artifacts (every pre-distribution
+        // baseline included) keep their exact bytes. Recomputable from
+        // the per-job records via addDistributionFromJobs().
+        const auto dist = [&](const char *key, const DistSummary &d) {
+            s += "    \"";
+            s += key;
+            s += "\": {";
+            kv("count", std::to_string(d.count));
+            s += ", ";
+            kv("p50", fmtDouble(d.p50));
+            s += ", ";
+            kv("p95", fmtDouble(d.p95));
+            s += ", ";
+            kv("p99", fmtDouble(d.p99));
+            s += ", ";
+            kv("max", fmtDouble(d.max));
+            s += "}";
+        };
+        s += "  \"distribution\": {\n";
+        if (hostDist.measured()) {
+            dist("host_seconds", hostDist);
+            if (ipcDist.measured())
+                s += ",\n";
+        }
+        if (ipcDist.measured())
+            dist("ipc", ipcDist);
+        s += "\n  },\n";
+    }
     s += "  \"jobs\": [";
     for (size_t i = 0; i < jobs.size(); ++i) {
         const auto &j = jobs[i];
@@ -565,6 +640,26 @@ BenchArtifact::toJson() const
             s += ", ";
             kv("kips", fmtDouble(j.kips));
             s += ",\n     ";
+        }
+        if (j.ipcSamplesSeen > 0) {
+            // Optional distribution fields, same contract: sampled
+            // jobs only, byte-stable otherwise. The raw reservoir
+            // rides along so shard merges can recompute sweep-level
+            // percentiles from the union of per-job samples.
+            kv("ipc_samples_seen", std::to_string(j.ipcSamplesSeen));
+            s += ", ";
+            kv("ipc_p50", fmtDouble(j.ipcP50));
+            s += ", ";
+            kv("ipc_p95", fmtDouble(j.ipcP95));
+            s += ", ";
+            kv("ipc_p99", fmtDouble(j.ipcP99));
+            s += ",\n     \"ipc_samples\": [";
+            for (size_t k = 0; k < j.ipcSamples.size(); ++k) {
+                if (k)
+                    s += ", ";
+                s += fmtDouble(j.ipcSamples[k]);
+            }
+            s += "],\n     ";
         }
         kv("config_fingerprint", str(j.configFingerprint));
         s += ",\n     \"opt\": {";
@@ -725,6 +820,40 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
         }
     }
 
+    if (const auto *dist = doc.get("distribution"); dist) {
+        if (!dist->isObject()) {
+            if (err)
+                *err = "distribution is not an object";
+            return false;
+        }
+        const auto summary = [&](const char *key,
+                                 BenchArtifact::DistSummary *out) {
+            const auto *d = dist->get(key);
+            if (!d)
+                return true;
+            if (!d->isObject()) {
+                if (err)
+                    *err = std::string("distribution.") + key +
+                           " is not an object";
+                return false;
+            }
+            std::string fieldErr;
+            const bool ok =
+                jsonFieldU64(*d, "count", &out->count, &fieldErr) &&
+                jsonFieldDouble(*d, "p50", &out->p50, &fieldErr) &&
+                jsonFieldDouble(*d, "p95", &out->p95, &fieldErr) &&
+                jsonFieldDouble(*d, "p99", &out->p99, &fieldErr) &&
+                jsonFieldDouble(*d, "max", &out->max, &fieldErr);
+            if (!ok && err)
+                *err = std::string("distribution.") + key + ": " +
+                       fieldErr;
+            return ok;
+        };
+        if (!summary("host_seconds", &art.hostDist) ||
+            !summary("ipc", &art.ipcDist))
+            return false;
+    }
+
     const auto *jobs = doc.get("jobs");
     if (!jobs || !jobs->isArray()) {
         if (err)
@@ -766,7 +895,35 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
             jsonFieldU64(o, "checksum", &j.checksum, &fieldErr) &&
             jsonFieldDouble(o, "host_seconds", &j.hostSeconds,
                             &fieldErr) &&
-            jsonFieldDouble(o, "kips", &j.kips, &fieldErr);
+            jsonFieldDouble(o, "kips", &j.kips, &fieldErr) &&
+            jsonFieldU64(o, "ipc_samples_seen", &j.ipcSamplesSeen,
+                         &fieldErr) &&
+            jsonFieldDouble(o, "ipc_p50", &j.ipcP50, &fieldErr) &&
+            jsonFieldDouble(o, "ipc_p95", &j.ipcP95, &fieldErr) &&
+            jsonFieldDouble(o, "ipc_p99", &j.ipcP99, &fieldErr);
+        if (const auto *samples = o.get("ipc_samples")) {
+            // Absent for unsampled jobs; when present every element
+            // must be a well-formed number (same strictness as the
+            // scalar fields: corruption fails the load, never reads
+            // as silent zeros).
+            if (!samples->isArray()) {
+                if (err)
+                    *err = "job '" + j.label +
+                           "': ipc_samples is not an array";
+                return false;
+            }
+            j.ipcSamples.reserve(samples->size());
+            for (size_t k = 0; k < samples->size(); ++k) {
+                double x = 0.0;
+                if (!samples->at(k).asDoubleStrict(&x)) {
+                    if (err)
+                        *err = "job '" + j.label +
+                               "': malformed number in ipc_samples";
+                    return false;
+                }
+                j.ipcSamples.push_back(x);
+            }
+        }
         j.halted = jsonFieldBool(o, "halted");
         j.configFingerprint = getStr(o, "config_fingerprint");
         bool optOk = true;
@@ -890,6 +1047,13 @@ loadArtifactOrShards(const std::string &path, BenchArtifact *out,
             return false;
         }
     }
+    // The post-merge half of the distribution workflow: per-shard
+    // artifacts defer the sweep-level block, so rebuild it here from
+    // the merged per-job samples. Percentiles are order-independent —
+    // the merged numbers equal the unsharded run's exactly. A no-op
+    // when no job carries perf or samples, keeping unmeasured merges
+    // byte-stable.
+    merged.addDistributionFromJobs();
     *out = std::move(merged);
     return true;
 }
@@ -931,6 +1095,17 @@ BenchArtifact::merge(const BenchArtifact &shard, std::string *err)
         if (err)
             *err = "geomeans differ across shards; compute geomeans "
                    "after merging, not per shard";
+        return false;
+    }
+    // Same policy for the sweep-level distribution block: a subset's
+    // percentiles are wrong for the whole, so shards either defer it
+    // (the normal flow) or carry identical copies. The merged block is
+    // recomputed from the union of per-job samples afterwards
+    // (loadArtifactOrShards does this).
+    if (!(shard.hostDist == hostDist) || !(shard.ipcDist == ipcDist)) {
+        if (err)
+            *err = "distribution blocks differ across shards; compute "
+                   "the distribution after merging, not per shard";
         return false;
     }
     jobs.insert(jobs.end(), shard.jobs.begin(), shard.jobs.end());
@@ -1131,6 +1306,44 @@ printPerfTrend(const BenchArtifact &baseline,
                 (candKips / baseKips - 1.0) * 100.0);
 }
 
+/**
+ * Informational distribution deltas between two artifacts, per
+ * sweep-level summary both sides carry. Never part of the gate, for
+ * the same reason as the perf trend: the host side is machine noise,
+ * and the IPC side is opt-in observability, not the regression
+ * surface (cycles/IPC per job already gate exactly).
+ */
+void
+printDistTrend(const BenchArtifact &baseline,
+               const BenchArtifact &candidate)
+{
+    const auto line = [](const char *name,
+                         const BenchArtifact::DistSummary &b,
+                         const BenchArtifact::DistSummary &c) {
+        if (!b.measured() || !c.measured())
+            return;
+        const auto pct = [](double bv, double cv) {
+            return bv != 0.0 ? (cv / bv - 1.0) * 100.0 : 0.0;
+        };
+        std::printf("  %s (%" PRIu64 " -> %" PRIu64 " samples): "
+                    "p50 %.4g -> %.4g (%+.1f%%), "
+                    "p95 %.4g -> %.4g (%+.1f%%), "
+                    "p99 %.4g -> %.4g (%+.1f%%)\n",
+                    name, b.count, c.count, b.p50, c.p50,
+                    pct(b.p50, c.p50), b.p95, c.p95, pct(b.p95, c.p95),
+                    b.p99, c.p99, pct(b.p99, c.p99));
+    };
+    const bool any =
+        (baseline.hostDist.measured() && candidate.hostDist.measured()) ||
+        (baseline.ipcDist.measured() && candidate.ipcDist.measured());
+    if (!any)
+        return;
+    std::printf("conopt_bench_check: distribution deltas "
+                "(informational, not gated):\n");
+    line("host_seconds", baseline.hostDist, candidate.hostDist);
+    line("ipc", baseline.ipcDist, candidate.ipcDist);
+}
+
 } // namespace
 
 bool
@@ -1229,6 +1442,7 @@ benchCheckMain(const std::vector<std::string> &args)
     }
 
     printPerfTrend(baseline, candidate);
+    printDistTrend(baseline, candidate);
     const auto res = compareArtifacts(baseline, candidate, opts);
     if (!res.ok) {
         std::fprintf(stderr,

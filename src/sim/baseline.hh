@@ -147,6 +147,20 @@ struct ArtifactJob
                               ///< proper (harness overhead excluded)
     double kips = 0.0; ///< simulated kilo-insts per host second
 
+    // Per-interval IPC distribution (optional; 0 samples = not
+    // sampled). Same contract as the perf fields: EXCLUDED from
+    // compareArtifacts() — sampling is observability, not the
+    // regression surface — and serialized only when measured, so
+    // unsampled artifacts (and all existing baselines) keep their
+    // exact bytes. The bounded reservoir samples themselves persist so
+    // a shard merge can recompute sweep-level percentiles from the
+    // union of per-job samples (see BenchArtifact::addDistributionFromJobs).
+    uint64_t ipcSamplesSeen = 0; ///< interval samples offered pre-reservoir
+    double ipcP50 = 0.0;
+    double ipcP95 = 0.0;
+    double ipcP99 = 0.0;
+    std::vector<double> ipcSamples; ///< retained reservoir, slot order
+
     // Optimizer activity counters (compared like cycles: exact at
     // tolerance 0, relative drift otherwise).
     uint64_t optEarlyExecuted = 0;
@@ -174,6 +188,28 @@ struct BenchArtifact
     /** Figure-level geomean speedups, keyed by config column name. */
     std::map<std::string, double> geomeans;
 
+    /** One sweep-level nearest-rank distribution summary; count == 0
+     *  means "not measured" and the block is not serialized, so
+     *  artifacts without distributions keep their exact bytes. Never
+     *  gated by compareArtifacts() — like the per-job perf fields. */
+    struct DistSummary
+    {
+        uint64_t count = 0; ///< samples the percentiles summarize
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+        double max = 0.0;
+
+        bool measured() const { return count > 0; }
+        bool operator==(const DistSummary &) const = default;
+    };
+
+    /** Distribution of per-job host seconds (jobs with perf). */
+    DistSummary hostDist;
+    /** Distribution of per-interval IPC, pooled over the per-job
+     *  reservoir samples of every sampled job. */
+    DistSummary ipcDist;
+
     /** Build the per-job records from a sweep (no geomeans yet,
      *  no perf fields — see addPerf). */
     static BenchArtifact fromSweep(const SweepResult &res);
@@ -185,6 +221,21 @@ struct BenchArtifact
      *  bench harness's --perf flag) so artifacts stay byte-stable for
      *  flows that diff them whole. */
     void addPerf(const SweepResult &res);
+
+    /** Copy the per-interval IPC reservoirs of @p res into the
+     *  matching jobs (samples, seen count, and nearest-rank
+     *  p50/p95/p99), label-keyed. Jobs that did not sample — sampling
+     *  off, or a result-cache hit — stay unmeasured. No-op when the
+     *  sweep ran without sampling, so gated flows are untouched. */
+    void addIpcSamples(const SweepResult &res);
+
+    /** Recompute the sweep-level distribution block from the persisted
+     *  per-job records: host-seconds percentiles over measured jobs,
+     *  IPC percentiles over the union of per-job reservoir samples.
+     *  Percentiles are order-independent, so a merged shard set yields
+     *  exactly the unsharded run's numbers (tests pin this). No-op —
+     *  both summaries stay unmeasured — when no job carries data. */
+    void addDistributionFromJobs();
 
     /** Append the all-workload geomean speedup of each of @p configs
      *  over @p baseConfig (the figure's headline numbers). */
@@ -215,9 +266,11 @@ struct BenchArtifact
     bool save(const std::string &path, std::string *err) const;
 
     /** Fold a disjoint shard into this artifact. False (with @p err) on
-     *  bench/scale mismatch, duplicate job labels, or geomean maps that
-     *  are not identical across shards (whole-figure aggregates cannot
-     *  be merged from per-shard subsets; compute them after merging). */
+     *  bench/scale mismatch, duplicate job labels, or geomean maps /
+     *  distribution blocks that are not identical across shards
+     *  (whole-sweep aggregates cannot be merged from per-shard subsets;
+     *  compute them after merging — loadArtifactOrShards() recomputes
+     *  the distribution block from the merged per-job samples). */
     bool merge(const BenchArtifact &shard, std::string *err);
 
     /** Canonical job order (sorted by label). merge() appends shards
@@ -238,7 +291,10 @@ bool loadArtifact(const std::string &path, BenchArtifact *out,
                   std::string *err);
 
 /** Load one artifact from @p path: either a single JSON file or a
- *  directory of per-shard artifacts (merged in filename order). */
+ *  directory of per-shard artifacts (merged in filename order, with
+ *  the sweep-level distribution block recomputed from the merged
+ *  per-job samples — per-shard blocks, like per-shard geomeans, are
+ *  deferred to this post-merge step). */
 bool loadArtifactOrShards(const std::string &path, BenchArtifact *out,
                           std::string *err);
 

@@ -73,13 +73,16 @@ parseDoubleToken(const std::string &s, double *out)
 std::string
 formatProgressLine(const SweepProgress &p)
 {
-    char head[512];
+    char head[768];
     std::snprintf(head, sizeof(head),
                   "%s v%u done=%zu total=%zu job_s=%.17g host_s=%.17g "
-                  "elapsed_s=%.17g eta_s=%.17g geomean_ipc=%.17g label=",
+                  "elapsed_s=%.17g eta_s=%.17g geomean_ipc=%.17g "
+                  "kips=%.17g host_p50=%.17g host_p95=%.17g "
+                  "host_p99=%.17g label=",
                   kProgressLineTag, kProgressLineVersion, p.done, p.total,
                   p.jobHostSeconds, p.totalHostSeconds, p.elapsedSeconds,
-                  p.etaSeconds, p.geomeanIpc);
+                  p.etaSeconds, p.geomeanIpc, p.kips, p.hostP50, p.hostP95,
+                  p.hostP99);
     return std::string(head) + p.label;
 }
 
@@ -147,6 +150,22 @@ parseProgressLine(const std::string &lineIn, SweepProgress *out)
             if (!parseDoubleToken(val, &d))
                 return false;
             p.geomeanIpc = d;
+        } else if (key == "kips") {
+            if (!parseDoubleToken(val, &d))
+                return false;
+            p.kips = d;
+        } else if (key == "host_p50") {
+            if (!parseDoubleToken(val, &d))
+                return false;
+            p.hostP50 = d;
+        } else if (key == "host_p95") {
+            if (!parseDoubleToken(val, &d))
+                return false;
+            p.hostP95 = d;
+        } else if (key == "host_p99") {
+            if (!parseDoubleToken(val, &d))
+                return false;
+            p.hostP99 = d;
         }
         // Unknown keys are skipped: a same-major-version harness may
         // append fields without breaking older drivers.
@@ -788,10 +807,20 @@ renderProgress(const std::vector<LiveShard> &shards)
         any = true;
         done += s.progress.done;
         total += s.progress.total;
-        char buf[96];
-        std::snprintf(buf, sizeof(buf), "  shard%u %zu/%zu eta %.0fs",
-                      s.index, s.progress.done, s.progress.total,
-                      s.progress.etaSeconds);
+        char buf[192];
+        int len =
+            std::snprintf(buf, sizeof(buf), "  shard%u %zu/%zu eta %.0fs",
+                          s.index, s.progress.done, s.progress.total,
+                          s.progress.etaSeconds);
+        // Live fleet observability (when the shard's harness measures
+        // it): running host throughput plus per-job host-latency
+        // percentiles, the numbers a served fleet would alert on.
+        if (len > 0 && size_t(len) < sizeof(buf) &&
+            (s.progress.kips > 0.0 || s.progress.hostP99 > 0.0))
+            std::snprintf(buf + len, sizeof(buf) - size_t(len),
+                          " %.0fkips p50/p95/p99 %.3f/%.3f/%.3fs",
+                          s.progress.kips, s.progress.hostP50,
+                          s.progress.hostP95, s.progress.hostP99);
         per += buf;
     }
     if (any)

@@ -57,9 +57,15 @@ constexpr unsigned kProgressLineVersion = 1;
 
 /** @p p as one protocol line (no trailing newline):
  *    CONOPT-PROGRESS v1 done=D total=T job_s=J host_s=H elapsed_s=E
- *      eta_s=X geomean_ipc=G label=LABEL
+ *      eta_s=X geomean_ipc=G kips=K host_p50=A host_p95=B host_p99=C
+ *      label=LABEL
  *  Doubles use %.17g, so format -> parse round-trips exactly; the
- *  label is last and runs to end of line. */
+ *  label is last and runs to end of line. The kips/host_p* fields are
+ *  the fleet-observability extension (running host throughput and
+ *  per-job host-latency percentiles); they ride within v1 because the
+ *  parser has always skipped unknown keys, so older drivers keep
+ *  reading new-harness lines and this parser reads old lines (the
+ *  fields just stay 0). */
 std::string formatProgressLine(const SweepProgress &p);
 
 /** Parse one protocol line (trailing newline tolerated). False on

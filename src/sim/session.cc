@@ -25,6 +25,7 @@ SimSession::reset(ProgramPtr program,
         core_->reset(config);
     }
     core_->setFastForward(fastForward_);
+    core_->setIpcSampling(ipcInterval_, ipcCapacity_, ipcSeed_);
     armed_ = true;
 }
 
@@ -34,6 +35,17 @@ SimSession::setFastForward(bool on)
     fastForward_ = on;
     if (core_)
         core_->setFastForward(on);
+}
+
+void
+SimSession::setIpcSampling(uint64_t interval_insts, size_t reservoir_capacity,
+                           uint64_t seed)
+{
+    ipcInterval_ = interval_insts;
+    ipcCapacity_ = reservoir_capacity;
+    ipcSeed_ = seed;
+    if (core_)
+        core_->setIpcSampling(interval_insts, reservoir_capacity, seed);
 }
 
 SimResult
@@ -46,6 +58,10 @@ SimSession::run()
     result.stats = core_->run();
     result.instructions = emu_->instCount();
     result.halted = emu_->halted();
+    if (core_->ipcSampleInterval() != 0) {
+        result.ipcSamples = core_->ipcSamples().samples();
+        result.ipcSamplesSeen = core_->ipcSamples().seen();
+    }
     return result;
 }
 

@@ -89,6 +89,19 @@ class SimSession
     void setFastForward(bool on);
     bool fastForwardEnabled() const { return fastForward_; }
 
+    /**
+     * Arm per-interval IPC sampling on the core: every @p intervalInsts
+     * retired instructions one IPC sample enters a bounded reservoir of
+     * @p reservoirCapacity slots drawn deterministically from @p seed
+     * (0 interval = off, the default). Sticky across reset()/simulate()
+     * like setFastForward(). Host-side observability only — simulated
+     * results are bit-identical with sampling on or off; the samples
+     * come back in SimResult::ipcSamples.
+     */
+    void setIpcSampling(uint64_t intervalInsts,
+                        size_t reservoirCapacity = 256, uint64_t seed = 0);
+    uint64_t ipcSampleInterval() const { return ipcInterval_; }
+
     /** Components, for tests (valid after the first reset()). */
     const arch::Emulator &emulator() const { return *emu_; }
     const pipeline::OooCore &core() const { return *core_; }
@@ -99,6 +112,9 @@ class SimSession
     std::unique_ptr<pipeline::OooCore> core_;
     bool armed_ = false;
     bool fastForward_ = true;
+    uint64_t ipcInterval_ = 0;
+    size_t ipcCapacity_ = 256;
+    uint64_t ipcSeed_ = 0;
 };
 
 } // namespace conopt::sim

@@ -10,6 +10,7 @@
 #define CONOPT_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "src/asm/program.hh"
 #include "src/pipeline/machine_config.hh"
@@ -23,6 +24,16 @@ struct SimResult
     pipeline::SimStats stats;
     uint64_t instructions = 0; ///< dynamic instructions retired
     bool halted = false;       ///< program ended via HALT
+
+    /**
+     * Per-interval IPC samples (bounded reservoir), filled only when
+     * the session armed sampling (SimSession::setIpcSampling); empty
+     * otherwise. Host-side observability, deliberately kept out of
+     * SimStats and out of the result-cache schema — a cache hit
+     * carries no samples, exactly like it carries no host timings.
+     */
+    std::vector<double> ipcSamples;
+    uint64_t ipcSamplesSeen = 0; ///< interval samples offered, pre-reservoir
 
     double ipc() const { return stats.ipc(); }
 };

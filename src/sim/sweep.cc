@@ -10,6 +10,7 @@
 #include <set>
 #include <thread>
 
+#include "src/pipeline/stats_aggregate.hh"
 #include "src/sim/fingerprint.hh"
 #include "src/util/bitops.hh"
 #include "src/util/logging.hh"
@@ -378,6 +379,12 @@ SweepRunner::runOne(const SimJob &job)
         // constructing a fresh pair (bit-identical results either way;
         // tests/test_session.cc pins the equivalence).
         static thread_local SimSession session;
+        // The session is sticky across jobs, so sampling must be
+        // (re)armed — or disarmed — for every job, with the job's own
+        // deterministic seed: per-job reservoirs never depend on which
+        // worker thread ran the job or what ran on it before.
+        session.setIpcSampling(opts_.ipcSampleInterval,
+                               opts_.ipcReservoirCapacity, job.seed);
         // Time the simulation alone: the kips trend must not move
         // with cache fingerprinting or the rc->store() disk write.
         const auto s0 = std::chrono::steady_clock::now();
@@ -443,6 +450,9 @@ SweepRunner::run(std::vector<SimJob> jobs)
     size_t done = 0;
     double hostTotal = 0.0, logIpcSum = 0.0;
     size_t ipcCount = 0;
+    double simSecTotal = 0.0;
+    uint64_t simInstTotal = 0;
+    pipeline::PercentileAccumulator hostLatency;
     const auto sweepStart = std::chrono::steady_clock::now();
 
     const auto worker = [&] {
@@ -458,6 +468,11 @@ SweepRunner::run(std::vector<SimJob> jobs)
                 logIpcSum += std::log(ipc);
                 ++ipcCount;
             }
+            if (r.simSeconds > 0.0) {
+                simSecTotal += r.simSeconds;
+                simInstTotal += r.sim.instructions;
+            }
+            hostLatency.add(r.hostSeconds);
             SweepProgress p;
             p.done = done;
             p.total = jobs.size();
@@ -472,6 +487,11 @@ SweepRunner::run(std::vector<SimJob> jobs)
                            double(jobs.size() - done);
             p.geomeanIpc =
                 ipcCount ? std::exp(logIpcSum / double(ipcCount)) : 0.0;
+            if (simSecTotal > 0.0)
+                p.kips = double(simInstTotal) / simSecTotal / 1e3;
+            p.hostP50 = hostLatency.percentile(50);
+            p.hostP95 = hostLatency.percentile(95);
+            p.hostP99 = hostLatency.percentile(99);
             opts_.onProgress(p);
         }
     };

@@ -228,6 +228,16 @@ struct SweepProgress
      *  nonzero cycles (a cheap scheduling-independent health signal;
      *  figure-level speedup geomeans still come post-sweep). */
     double geomeanIpc = 0.0;
+    /** Running aggregate host throughput: simulated kilo-instructions
+     *  per simulation-second over jobs that actually simulated. 0
+     *  until the first non-cache-hit job finishes. */
+    double kips = 0.0;
+    /** Nearest-rank percentiles of per-job host seconds over finished
+     *  jobs (cache hits included — a served fleet's latency counts the
+     *  cache path too). 0 until the first job finishes. */
+    double hostP50 = 0.0;
+    double hostP95 = 0.0;
+    double hostP99 = 0.0;
 };
 
 /** Invoked after every finished job, serialized under an internal
@@ -301,6 +311,17 @@ struct SweepOptions
 
     /** Per-finished-job progress callback; empty = none. */
     ProgressFn onProgress;
+
+    /** Per-interval IPC sampling: one sample per this many retired
+     *  instructions, drawn into a bounded per-job reservoir seeded
+     *  with the job's deterministic seed. 0 (default) = off — gated
+     *  runs stay sample-free. Host-side observability only; simulated
+     *  results are bit-identical either way. Cache hits carry no
+     *  samples, exactly as they carry no host timings. */
+    uint64_t ipcSampleInterval = 0;
+
+    /** Reservoir capacity per job when sampling is on. */
+    size_t ipcReservoirCapacity = 256;
 };
 
 /**
