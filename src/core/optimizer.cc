@@ -439,6 +439,12 @@ RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
         return r;
     }
 
+    // GCC 12 at -O2 cannot prove the optional payload of va.known is
+    // written before the engaged-guarded reads below when readsRa is
+    // false, and warns -Wmaybe-uninitialized; every *va.known read is
+    // dominated by an `if (va.known)` check.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
     View va;
     if (info.readsRa)
         va = readIntSource(inst.ra, opt_cycle);
@@ -483,6 +489,7 @@ RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
         if (cpra_on && va.sym.isExpr() && va.sym.base != va.mapping)
             r.wasOptimized = true;
     }
+#pragma GCC diagnostic pop
 
     // Calls write the return address, a PC-derived constant the
     // optimizer always knows. (Written after the dependence was held so

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small comment- and string-aware C++ tokenizer for conopt_lint.
+ *
+ * This is deliberately NOT a full C++ lexer (no libclang, no
+ * preprocessing): it splits a translation unit into identifier /
+ * number / string / character / punctuation tokens, skips the inside
+ * of string literals (including raw strings) and comments so that
+ * banned identifiers mentioned in documentation or test fixtures can
+ * never false-positive, and records every comment verbatim so the
+ * suppression syntax (an `allow(<rule>) reason` clause after the
+ * conopt-lint marker) can be parsed from the same pass. That token stream is exactly enough for
+ * the project-invariant rules in rules.cc, which match identifier
+ * patterns rather than the grammar.
+ */
+
+#ifndef CONOPT_LINT_LEXER_HH
+#define CONOPT_LINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace conopt::lint {
+
+/** Lexical class of a Token. */
+enum class TokKind {
+    Identifier,  ///< identifiers and keywords (no keyword table needed)
+    Number,      ///< integer/float literals, incl. hex and separators
+    String,      ///< "..." or R"tag(...)tag"; text is the *contents*
+    CharLit,     ///< '...'
+    Punct,       ///< one operator/punctuator character sequence
+};
+
+/** One lexed token. Line numbers are 1-based. */
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line = 0;
+};
+
+/** One comment, verbatim without the // or slash-star delimiters.
+ *  Block comments spanning multiple lines keep their interior
+ *  newlines; `line` is the line the comment starts on. */
+struct Comment {
+    std::string text;
+    int line = 0;
+};
+
+/** Result of lexing one file. */
+struct LexedFile {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    int lineCount = 0;
+};
+
+/**
+ * Tokenize C++ source text. Never fails: unterminated literals are
+ * closed at end of file (the linter must degrade gracefully on code
+ * that does not compile yet).
+ */
+LexedFile lex(std::string_view source);
+
+} // namespace conopt::lint
+
+#endif // CONOPT_LINT_LEXER_HH

@@ -1,0 +1,279 @@
+#include "src/lint/lint.hh"
+
+#include <fnmatch.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/lint/lexer.hh"
+
+namespace fs = std::filesystem;
+
+namespace conopt::lint {
+
+namespace {
+
+/** One parsed `.conopt-lint` directive. */
+struct Directive {
+    enum Kind { Disable, Enable, Hot, Serialize, Output } kind;
+    std::string arg;
+};
+
+/** Parsed config file, cached per directory (an absent file is an
+ *  empty directive list). */
+struct DirConfig {
+    bool parsed = false;
+    std::vector<Directive> directives;
+    std::string error;
+};
+
+std::map<std::string, DirConfig> &
+dirConfigCache()
+{
+    static std::map<std::string, DirConfig> cache;
+    return cache;
+}
+
+const DirConfig &
+loadDirConfig(const fs::path &dir)
+{
+    const std::string key = dir.string();
+    auto [it, inserted] = dirConfigCache().try_emplace(key);
+    DirConfig &cfg = it->second;
+    if (cfg.parsed)
+        return cfg;
+    cfg.parsed = true;
+
+    std::ifstream in(dir / ".conopt-lint");
+    if (!in)
+        return cfg;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string word, arg;
+        if (!(ls >> word))
+            continue;
+        ls >> arg;
+        const auto fail = [&](const std::string &why) {
+            cfg.error = (dir / ".conopt-lint").string() + ":" +
+                        std::to_string(lineNo) + ": " + why;
+        };
+        if (arg.empty()) {
+            fail("directive '" + word + "' needs an argument");
+            return cfg;
+        }
+        if (word == "disable" || word == "enable") {
+            if (!isKnownRule(arg)) {
+                fail("unknown rule '" + arg + "'");
+                return cfg;
+            }
+            if (arg == "suppression") {
+                fail("rule 'suppression' cannot be disabled");
+                return cfg;
+            }
+            cfg.directives.push_back(
+                {word == "disable" ? Directive::Disable : Directive::Enable,
+                 arg});
+        } else if (word == "hot") {
+            cfg.directives.push_back({Directive::Hot, arg});
+        } else if (word == "serialize") {
+            cfg.directives.push_back({Directive::Serialize, arg});
+        } else if (word == "output") {
+            cfg.directives.push_back({Directive::Output, arg});
+        } else {
+            fail("unknown directive '" + word + "'");
+            return cfg;
+        }
+    }
+    return cfg;
+}
+
+bool
+globMatches(const std::string &glob, const std::string &baseName)
+{
+    return ::fnmatch(glob.c_str(), baseName.c_str(), 0) == 0;
+}
+
+bool
+isHeaderPath(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp";
+}
+
+bool
+isSourcePath(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || isHeaderPath(p);
+}
+
+} // namespace
+
+std::vector<Violation>
+lintSource(const std::string &displayPath, const std::string &source,
+           const RuleConfig &config)
+{
+    const LexedFile lexed = lex(source);
+    FileCheckInput in;
+    in.displayPath = displayPath;
+    in.baseName = fs::path(displayPath).filename().string();
+    in.isHeader = isHeaderPath(fs::path(displayPath));
+    in.config = config;
+    in.lexed = &lexed;
+    std::vector<Violation> out;
+    runRules(in, &out);
+    return out;
+}
+
+bool
+effectiveConfig(const std::string &filePath, RuleConfig *out, std::string *err)
+{
+    const fs::path abs =
+        fs::absolute(fs::path(filePath)).lexically_normal();
+    const std::string baseName = abs.filename().string();
+
+    // Ancestors, outermost first, so inner directives override.
+    std::vector<fs::path> dirs;
+    for (fs::path d = abs.parent_path();; d = d.parent_path()) {
+        dirs.push_back(d);
+        if (d == d.root_path() || d.parent_path() == d)
+            break;
+    }
+    std::reverse(dirs.begin(), dirs.end());
+
+    *out = RuleConfig{};
+    for (const fs::path &d : dirs) {
+        const DirConfig &cfg = loadDirConfig(d);
+        if (!cfg.error.empty()) {
+            *err = cfg.error;
+            return false;
+        }
+        for (const Directive &dir : cfg.directives) {
+            switch (dir.kind) {
+              case Directive::Disable:
+                out->disabled.insert(dir.arg);
+                break;
+              case Directive::Enable:
+                out->disabled.erase(dir.arg);
+                break;
+              case Directive::Hot:
+                if (globMatches(dir.arg, baseName))
+                    out->hot = true;
+                break;
+              case Directive::Serialize:
+                if (globMatches(dir.arg, baseName))
+                    out->serialize = true;
+                break;
+              case Directive::Output:
+                if (globMatches(dir.arg, baseName))
+                    out->output = true;
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+int
+lintMain(const std::vector<std::string> &args)
+{
+    std::vector<std::string> paths;
+    for (const std::string &a : args) {
+        if (a == "--list-rules") {
+            for (const std::string &r : allRuleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        }
+        if (a == "--help" || a == "-h" || (!a.empty() && a[0] == '-')) {
+            std::fprintf(stderr,
+                         "usage: conopt_lint [--list-rules] "
+                         "<file-or-dir>...\n"
+                         "exit: 0 clean, 1 violations, 2 error\n");
+            return a == "--help" || a == "-h" ? 0 : 2;
+        }
+        paths.push_back(a);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "conopt_lint: no paths given\n");
+        return 2;
+    }
+
+    // Expand directories; sort for deterministic report order.
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const std::string &p : paths) {
+        const fs::path path(p);
+        if (fs::is_directory(path, ec)) {
+            auto it = fs::recursive_directory_iterator(
+                path, fs::directory_options::skip_permission_denied, ec);
+            if (ec) {
+                std::fprintf(stderr, "conopt_lint: cannot walk %s: %s\n",
+                             p.c_str(), ec.message().c_str());
+                return 2;
+            }
+            for (auto end = fs::end(it); it != end; ++it) {
+                const std::string name = it->path().filename().string();
+                if (it->is_directory(ec) &&
+                    (name.rfind("build", 0) == 0 ||
+                     (!name.empty() && name[0] == '.'))) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file(ec) && isSourcePath(it->path()))
+                    files.push_back(it->path());
+            }
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(path);
+        } else {
+            std::fprintf(stderr, "conopt_lint: no such file or directory: "
+                         "%s\n", p.c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Violation> violations;
+    for (const fs::path &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "conopt_lint: cannot read %s\n",
+                         f.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+
+        RuleConfig config;
+        std::string err;
+        if (!effectiveConfig(f.string(), &config, &err)) {
+            std::fprintf(stderr, "conopt_lint: %s\n", err.c_str());
+            return 2;
+        }
+        for (Violation &v : lintSource(f.string(), ss.str(), config))
+            violations.push_back(std::move(v));
+    }
+
+    for (const Violation &v : violations)
+        std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+    if (violations.empty()) {
+        std::fprintf(stderr, "conopt_lint: OK (%zu files)\n", files.size());
+        return 0;
+    }
+    std::fprintf(stderr, "conopt_lint: %zu violation(s) in %zu file(s)\n",
+                 violations.size(), files.size());
+    return 1;
+}
+
+} // namespace conopt::lint

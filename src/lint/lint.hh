@@ -1,0 +1,61 @@
+/**
+ * @file
+ * conopt_lint driver: file discovery, per-directory configuration,
+ * and the CLI entry point (tools/lint.cc is a thin main; tests call
+ * lintMain in-process, the same pattern as sim::benchCheckMain).
+ *
+ * Configuration: every directory on the path from the filesystem root
+ * down to a linted file may hold a `.conopt-lint` file; directives
+ * apply to the whole subtree and inner files override outer ones.
+ * Directives, one per line (`#` starts a comment):
+ *
+ *   disable <rule>        switch a rule off for this subtree
+ *   enable <rule>         switch it back on further down
+ *   hot <glob>            mark matching basenames hot-path
+ *                         (activates hotpath-alloc)
+ *   serialize <glob>      mark files that serialize artifacts or
+ *                         compute geomeans (activates unordered-iter)
+ *   output <glob>         mark files that legitimately own stdout
+ *                         (deactivates stray-output)
+ *
+ * Exit codes match conopt_bench_check: 0 clean, 1 violations found,
+ * 2 usage or I/O error.
+ */
+
+#ifndef CONOPT_LINT_LINT_HH
+#define CONOPT_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "src/lint/rules.hh"
+
+namespace conopt::lint {
+
+/**
+ * Lint one in-memory source file under an explicit config (the unit
+ * seam for tests/test_lint.cc: no filesystem required).
+ */
+std::vector<Violation> lintSource(const std::string &displayPath,
+                                  const std::string &source,
+                                  const RuleConfig &config);
+
+/**
+ * Compute the effective config for @p filePath by merging the
+ * `.conopt-lint` files of every ancestor directory, outermost first.
+ * Returns false (with a message in *err) on a malformed config file.
+ */
+bool effectiveConfig(const std::string &filePath, RuleConfig *out,
+                     std::string *err);
+
+/**
+ * CLI: conopt_lint [--list-rules] <file-or-dir>...
+ * Directories are walked recursively for .cc/.hh/.cpp/.h sources
+ * (skipping dot-directories and build trees); findings are printed
+ * to stdout as `file:line: [rule] message`. Returns the exit code.
+ */
+int lintMain(const std::vector<std::string> &args);
+
+} // namespace conopt::lint
+
+#endif // CONOPT_LINT_LINT_HH

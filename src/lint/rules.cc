@@ -1,0 +1,584 @@
+#include "src/lint/rules.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+namespace conopt::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/** Is token @p i an identifier with exactly this text? */
+bool
+isIdent(const Tokens &t, size_t i, const char *text)
+{
+    return i < t.size() && t[i].kind == TokKind::Identifier &&
+           t[i].text == text;
+}
+
+bool
+isPunct(const Tokens &t, size_t i, const char *text)
+{
+    return i < t.size() && t[i].kind == TokKind::Punct && t[i].text == text;
+}
+
+/** True when token @p i is the target of a member access (`.x` or
+ *  `->x`) — such names belong to some object, not the global/std
+ *  function the determinism and signal-safety tables describe. */
+bool
+isMemberAccess(const Tokens &t, size_t i)
+{
+    return i > 0 && t[i - 1].kind == TokKind::Punct &&
+           (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+/** Skip a balanced template-argument list starting at `<` (token @p i);
+ *  returns the index just past the matching `>`. Treats `>>` as two
+ *  closers. Returns @p i unchanged if @p i is not `<`. */
+size_t
+skipTemplateArgs(const Tokens &t, size_t i)
+{
+    if (!isPunct(t, i, "<"))
+        return i;
+    int depth = 0;
+    while (i < t.size()) {
+        const Token &tok = t[i];
+        if (tok.kind == TokKind::Punct) {
+            if (tok.text == "<" || tok.text == "<<")
+                depth += static_cast<int>(tok.text.size());
+            else if (tok.text == ">" || tok.text == ">>") {
+                depth -= static_cast<int>(tok.text.size());
+                if (depth <= 0)
+                    return i + 1;
+            } else if (tok.text == ";") {
+                return i;  // malformed; bail without scanning the file
+            }
+        }
+        ++i;
+    }
+    return i;
+}
+
+/** Index of the token after the `)` matching the `(` at @p i (which
+ *  must be `(`); tolerates EOF. */
+size_t
+skipParens(const Tokens &t, size_t i)
+{
+    if (!isPunct(t, i, "("))
+        return i;
+    int depth = 0;
+    for (; i < t.size(); ++i) {
+        if (isPunct(t, i, "("))
+            ++depth;
+        else if (isPunct(t, i, ")") && --depth == 0)
+            return i + 1;
+    }
+    return i;
+}
+
+/** Does the argument list whose `(` is at @p i mention identifier
+ *  @p name at any nesting depth? */
+bool
+argListMentions(const Tokens &t, size_t i, const char *name)
+{
+    const size_t end = skipParens(t, i);
+    for (size_t j = i; j < end; ++j)
+        if (isIdent(t, j, name))
+            return true;
+    return false;
+}
+
+void
+addViolation(const FileCheckInput &in, std::vector<Violation> *out,
+             int line, const char *rule, std::string message)
+{
+    out->push_back({in.displayPath, line, rule, std::move(message)});
+}
+
+// ------------------------------------------------------------------
+// determinism
+// ------------------------------------------------------------------
+
+/** Functions whose *call* injects host nondeterminism. Matched only as
+ *  free calls (`name(` not preceded by `.`/`->`), so a field that
+ *  happens to be called `time` is not flagged. */
+const std::set<std::string> kNondetCalls = {
+    "rand",       "srand",      "rand_r",        "random",
+    "srandom",    "drand48",    "lrand48",       "mrand48",
+    "time",       "clock",      "gettimeofday",  "clock_gettime",
+    "localtime",  "gmtime",     "ctime",         "asctime",
+    "getrandom",  "timespec_get",
+};
+
+/** Types/namespaces that are nondeterministic on sight. steady_clock
+ *  is deliberately absent: monotonic host timing (kips, timeouts)
+ *  never feeds simulated results. high_resolution_clock is banned
+ *  because the standard lets it alias system_clock. */
+const std::set<std::string> kNondetTypes = {
+    "random_device",
+    "system_clock",
+    "high_resolution_clock",
+};
+
+void
+ruleDeterminism(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind == TokKind::String) {
+            // Pointer-value formatting: the %p bytes differ run to
+            // run (ASLR), so they must never reach serialized output.
+            // conopt-lint: allow(determinism) the rule's own needle
+            if (t[i].text.find("%p") != std::string::npos)
+                addViolation(
+                    in, out, t[i].line, "determinism",
+                    // conopt-lint: allow(determinism) names the pattern
+                    "pointer-value format (%p) in simulation code; "
+                    "pointer bytes vary run to run");
+            continue;
+        }
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        if (kNondetTypes.count(t[i].text)) {
+            addViolation(in, out, t[i].line, "determinism",
+                         "use of nondeterministic '" + t[i].text +
+                             "' in simulation code (steady_clock is "
+                             "the only allowed clock)");
+            continue;
+        }
+        if (kNondetCalls.count(t[i].text) && isPunct(t, i + 1, "(") &&
+            !isMemberAccess(t, i)) {
+            addViolation(in, out, t[i].line, "determinism",
+                         "call to nondeterministic '" + t[i].text +
+                             "()' in simulation code");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// unordered-iter
+// ------------------------------------------------------------------
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+void
+ruleUnorderedIter(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+
+    // Pass 1: names declared with an unordered container type in this
+    // file (`std::unordered_map<K, V> name`, members included).
+    std::set<std::string> unordered;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            !kUnorderedTypes.count(t[i].text))
+            continue;
+        size_t j = skipTemplateArgs(t, i + 1);
+        // Tolerate `&`/`*`/`const` between type and declared name.
+        while (j < t.size() &&
+               (isPunct(t, j, "&") || isPunct(t, j, "*") ||
+                isIdent(t, j, "const")))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Identifier)
+            unordered.insert(t[j].text);
+    }
+    if (unordered.empty())
+        return;
+
+    // Pass 2a: range-for whose sequence expression mentions one of
+    // those names: `for (decl : expr)`.
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!isIdent(t, i, "for") || !isPunct(t, i + 1, "("))
+            continue;
+        const size_t end = skipParens(t, i + 1);
+        size_t colon = 0;
+        int depth = 0;
+        for (size_t j = i + 1; j < end; ++j) {
+            if (isPunct(t, j, "("))
+                ++depth;
+            else if (isPunct(t, j, ")"))
+                --depth;
+            else if (depth == 1 && isPunct(t, j, ":")) {
+                colon = j;
+                break;
+            }
+        }
+        if (!colon)
+            continue;
+        for (size_t j = colon + 1; j < end; ++j) {
+            if (t[j].kind == TokKind::Identifier &&
+                unordered.count(t[j].text)) {
+                addViolation(
+                    in, out, t[i].line, "unordered-iter",
+                    "iteration over unordered container '" + t[j].text +
+                        "' in a file that serializes results; the "
+                        "visit order is not deterministic");
+                break;
+            }
+        }
+    }
+
+    // Pass 2b: explicit iterator walks: `name.begin()` / `name.cbegin()`.
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Identifier && unordered.count(t[i].text) &&
+            (isPunct(t, i + 1, ".") || isPunct(t, i + 1, "->")) &&
+            (isIdent(t, i + 2, "begin") || isIdent(t, i + 2, "cbegin"))) {
+            addViolation(in, out, t[i].line, "unordered-iter",
+                         "iterator walk over unordered container '" +
+                             t[i].text + "' in a file that serializes "
+                             "results");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// hotpath-alloc
+// ------------------------------------------------------------------
+
+const std::set<std::string> kAllocCalls = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_unique", "make_shared",
+};
+
+/** Container growth members that may allocate per element. Capacity
+ *  setup (`reserve`, `resize`, `assign`, `clear`) is allowed: the hot
+ *  files do exactly that in their reset() paths, and
+ *  tests/test_session.cc pins the warm cycle allocation-free. */
+const std::set<std::string> kGrowthMembers = {
+    "push_back", "emplace_back", "push_front", "emplace_front",
+    "emplace",   "insert",
+};
+
+void
+ruleHotpathAlloc(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        const std::string &s = t[i].text;
+        if (s == "new" && !isMemberAccess(t, i)) {
+            addViolation(in, out, t[i].line, "hotpath-alloc",
+                         "'new' in a hot-path file; hot state must be "
+                         "preallocated in reset()");
+            continue;
+        }
+        if (kAllocCalls.count(s) && !isMemberAccess(t, i) &&
+            (isPunct(t, i + 1, "(") || isPunct(t, i + 1, "<"))) {
+            addViolation(in, out, t[i].line, "hotpath-alloc",
+                         "allocation call '" + s + "' in a hot-path file");
+            continue;
+        }
+        if (kGrowthMembers.count(s) && isMemberAccess(t, i) &&
+            isPunct(t, i + 1, "(")) {
+            addViolation(
+                in, out, t[i].line, "hotpath-alloc",
+                "container growth call '." + s +
+                    "()' in a hot-path file; prove it cannot allocate "
+                    "(fixed-capacity or reserved) and suppress with a "
+                    "reason, or preallocate");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// signal-safety
+// ------------------------------------------------------------------
+
+/** Async-signal-safe functions (POSIX.1 list, the subset plausible in
+ *  this codebase) plus value-ish identifiers that look like calls to
+ *  a token matcher: casts and common integer type names. */
+const std::set<std::string> kSignalSafe = {
+    // POSIX async-signal-safe
+    "_exit", "_Exit", "abort", "close", "dup", "dup2", "fsync",
+    "getpid", "getppid", "kill", "open", "pipe", "raise", "read",
+    "sigaction", "sigaddset", "sigdelset", "sigemptyset", "sigfillset",
+    "sigismember", "signal", "sigprocmask", "unlink", "waitpid",
+    "write",
+    // function-style casts / constructions that allocate nothing
+    "int", "long", "short", "unsigned", "char", "bool", "size_t",
+    "ssize_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t",
+    "int16_t", "int32_t", "int64_t", "sig_atomic_t",
+};
+
+void
+ruleSignalSafety(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+
+    // Handlers: `.sa_handler = name` / `.sa_sigaction = name` and
+    // `signal(SIG..., name)`.
+    std::set<std::string> handlers;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+        if ((isIdent(t, i, "sa_handler") || isIdent(t, i, "sa_sigaction")) &&
+            isPunct(t, i + 1, "=") &&
+            t[i + 2].kind == TokKind::Identifier)
+            handlers.insert(t[i + 2].text);
+        if (isIdent(t, i, "signal") && isPunct(t, i + 1, "(")) {
+            const size_t end = skipParens(t, i + 1);
+            if (end >= 2 && t[end - 2].kind == TokKind::Identifier &&
+                !isIdent(t, end - 2, "SIG_IGN") &&
+                !isIdent(t, end - 2, "SIG_DFL"))
+                handlers.insert(t[end - 2].text);
+        }
+    }
+
+    for (const std::string &h : handlers) {
+        // Find the definition: `h (...)` followed by `{`.
+        for (size_t i = 0; i + 1 < t.size(); ++i) {
+            if (!isIdent(t, i, h.c_str()) || !isPunct(t, i + 1, "(") ||
+                isMemberAccess(t, i))
+                continue;
+            size_t j = skipParens(t, i + 1);
+            if (!isPunct(t, j, "{"))
+                continue;
+            // Scan the body for calls.
+            int depth = 0;
+            for (; j < t.size(); ++j) {
+                if (isPunct(t, j, "{"))
+                    ++depth;
+                else if (isPunct(t, j, "}")) {
+                    if (--depth == 0)
+                        break;
+                } else if (t[j].kind == TokKind::Identifier &&
+                           isPunct(t, j + 1, "(") &&
+                           !kSignalSafe.count(t[j].text)) {
+                    addViolation(
+                        in, out, t[j].line, "signal-safety",
+                        "'" + t[j].text + "' called inside signal "
+                        "handler '" + h + "' is not on the "
+                        "async-signal-safe list");
+                }
+            }
+            break;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// include-guard
+// ------------------------------------------------------------------
+
+void
+ruleIncludeGuard(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    if (!in.isHeader)
+        return;
+    const Tokens &t = in.lexed->tokens;
+    if (t.empty())
+        return;
+    // `#pragma once` anywhere before the first non-directive token,
+    // or the classic `#ifndef X` / `#define X` opening pair.
+    if (isPunct(t, 0, "#") && isIdent(t, 1, "pragma") &&
+        isIdent(t, 2, "once"))
+        return;
+    if (isPunct(t, 0, "#") && isIdent(t, 1, "ifndef") && t.size() > 5 &&
+        t[2].kind == TokKind::Identifier && isPunct(t, 3, "#") &&
+        isIdent(t, 4, "define") && t[5].kind == TokKind::Identifier &&
+        t[5].text == t[2].text)
+        return;
+    addViolation(in, out, 1, "include-guard",
+                 "header does not open with an #ifndef/#define guard "
+                 "or #pragma once");
+}
+
+// ------------------------------------------------------------------
+// namespace-hygiene
+// ------------------------------------------------------------------
+
+void
+ruleNamespaceHygiene(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!isIdent(t, i, "using") || !isIdent(t, i + 1, "namespace"))
+            continue;
+        if (isIdent(t, i + 2, "std")) {
+            addViolation(in, out, t[i].line, "namespace-hygiene",
+                         "'using namespace std' is banned everywhere");
+        } else if (in.isHeader) {
+            addViolation(in, out, t[i].line, "namespace-hygiene",
+                         "'using namespace' at header scope leaks "
+                         "into every includer");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// stray-output
+// ------------------------------------------------------------------
+
+const std::set<std::string> kStdoutCalls = {
+    "printf", "puts", "putchar", "vprintf",
+};
+
+const std::set<std::string> kStreamCalls = {
+    "fprintf", "fputs", "fputc", "fwrite", "vfprintf",
+};
+
+void
+ruleStrayOutput(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    const Tokens &t = in.lexed->tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        const std::string &s = t[i].text;
+        if (s == "cout") {
+            addViolation(in, out, t[i].line, "stray-output",
+                         "std::cout in a file not annotated 'output'");
+            continue;
+        }
+        if (isMemberAccess(t, i) || !isPunct(t, i + 1, "("))
+            continue;
+        if (kStdoutCalls.count(s)) {
+            addViolation(in, out, t[i].line, "stray-output",
+                         "'" + s + "' writes to stdout in a file not "
+                         "annotated 'output'");
+        } else if (kStreamCalls.count(s) &&
+                   argListMentions(t, i + 1, "stdout")) {
+            // The stream argument's position varies (first for
+            // fprintf, last for fputs/fwrite); any stdout in the
+            // argument list means stdout output either way.
+            addViolation(in, out, t[i].line, "stray-output",
+                         "'" + s + "(..., stdout)' in a file not "
+                         "annotated 'output'");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Suppressions
+// ------------------------------------------------------------------
+
+struct Suppression {
+    int line = 0;
+    std::string rule;
+};
+
+/** Parse suppression comments: an `allow(<rule>) reason` clause after
+ *  the conopt-lint marker. Malformed ones (unknown rule, missing
+ *  reason) become `suppression` violations — the one rule that can
+ *  never be disabled or suppressed. */
+std::vector<Suppression>
+collectSuppressions(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    std::vector<Suppression> sups;
+    for (const Comment &c : in.lexed->comments) {
+        const size_t at = c.text.find("conopt-lint:");
+        if (at == std::string::npos)
+            continue;
+        std::string rest = c.text.substr(at + 12);
+        const auto firstNonSpace = rest.find_first_not_of(" \t");
+        rest = (firstNonSpace == std::string::npos)
+                   ? std::string()
+                   : rest.substr(firstNonSpace);
+        if (rest.rfind("allow(", 0) != 0) {
+            addViolation(in, out, c.line, "suppression",
+                         "malformed conopt-lint comment; expected "
+                         "'conopt-lint: allow(<rule>) reason'");
+            continue;
+        }
+        const size_t close = rest.find(')');
+        if (close == std::string::npos) {
+            addViolation(in, out, c.line, "suppression",
+                         "unterminated allow(...) in conopt-lint "
+                         "comment");
+            continue;
+        }
+        const std::string rule = rest.substr(6, close - 6);
+        if (!isKnownRule(rule) || rule == "suppression") {
+            addViolation(in, out, c.line, "suppression",
+                         "allow(" + rule + ") names " +
+                             (rule == "suppression"
+                                  ? std::string("a rule that cannot be "
+                                                "suppressed")
+                                  : std::string("an unknown rule")));
+            continue;
+        }
+        std::string reason = rest.substr(close + 1);
+        const auto r0 = reason.find_first_not_of(" \t\r\n");
+        if (r0 == std::string::npos) {
+            addViolation(in, out, c.line, "suppression",
+                         "allow(" + rule + ") carries no reason; a "
+                         "suppression must say why the pattern is safe");
+            continue;
+        }
+        sups.push_back({c.line, rule});
+    }
+    return sups;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allRuleNames()
+{
+    static const std::vector<std::string> names = {
+        "determinism",       "hotpath-alloc",  "include-guard",
+        "namespace-hygiene", "signal-safety",  "stray-output",
+        "suppression",       "unordered-iter",
+    };
+    return names;
+}
+
+bool
+isKnownRule(const std::string &rule)
+{
+    const auto &names = allRuleNames();
+    return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+void
+runRules(const FileCheckInput &in, std::vector<Violation> *out)
+{
+    std::vector<Violation> found;
+    const auto enabled = [&](const char *rule) {
+        return !in.config.disabled.count(rule);
+    };
+
+    if (enabled("determinism"))
+        ruleDeterminism(in, &found);
+    if (enabled("unordered-iter") && in.config.serialize)
+        ruleUnorderedIter(in, &found);
+    if (enabled("hotpath-alloc") && in.config.hot)
+        ruleHotpathAlloc(in, &found);
+    if (enabled("signal-safety"))
+        ruleSignalSafety(in, &found);
+    if (enabled("include-guard"))
+        ruleIncludeGuard(in, &found);
+    if (enabled("namespace-hygiene"))
+        ruleNamespaceHygiene(in, &found);
+    if (enabled("stray-output") && !in.config.output)
+        ruleStrayOutput(in, &found);
+
+    // Suppression parsing always runs: malformed suppressions are
+    // violations in their own right and are appended directly.
+    const std::vector<Suppression> sups = collectSuppressions(in, out);
+
+    for (Violation &v : found) {
+        const bool suppressed =
+            std::any_of(sups.begin(), sups.end(), [&](const Suppression &s) {
+                return s.rule == v.rule &&
+                       (s.line == v.line || s.line + 1 == v.line);
+            });
+        if (!suppressed)
+            out->push_back(std::move(v));
+    }
+
+    std::sort(out->begin(), out->end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+} // namespace conopt::lint

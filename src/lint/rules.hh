@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Project-invariant rules for conopt_lint.
+ *
+ * Every rule enforces something the repo's bit-exact gate depends on
+ * but the compiler cannot check:
+ *
+ *   determinism        no wall-clock / rand / pointer-value formatting
+ *                      in code that produces simulated results
+ *   unordered-iter     no iteration over unordered containers in files
+ *                      that serialize artifacts or compute geomeans
+ *                      (iteration order would leak into output bytes)
+ *   hotpath-alloc      no new/malloc/container-growth calls in files
+ *                      annotated `hot` (the SimSession warm path is
+ *                      pinned allocation-free by tests/test_session.cc)
+ *   signal-safety      only async-signal-safe calls inside functions
+ *                      installed as sigaction handlers
+ *   include-guard      headers carry a classic #ifndef guard (or
+ *                      #pragma once)
+ *   namespace-hygiene  no `using namespace` at header scope, no
+ *                      `using namespace std` anywhere
+ *   stray-output       no printf/std::cout/fprintf(stdout,...) outside
+ *                      files annotated `output` (stdout bytes are part
+ *                      of the artifact/report contract)
+ *   suppression        every inline suppression names a known rule and
+ *                      carries a non-empty reason
+ *
+ * Rules are token-pattern matchers over lexer.hh output — deliberately
+ * simple, reviewable, and fast; the false-positive escape hatch is the
+ * inline suppression syntax, which costs a written reason:
+ *
+ *   code();  // conopt-lint: allow(hotpath-alloc) <why this is safe>
+ *
+ * A suppression comment on its own line covers the following line.
+ */
+
+#ifndef CONOPT_LINT_RULES_HH
+#define CONOPT_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/lexer.hh"
+
+namespace conopt::lint {
+
+/** Effective per-file rule configuration (defaults + the merged
+ *  `.conopt-lint` directives from every ancestor directory). */
+struct RuleConfig {
+    std::set<std::string> disabled;  ///< rule names switched off
+    bool hot = false;        ///< file is hot-path annotated
+    bool serialize = false;  ///< file serializes artifacts / geomeans
+    bool output = false;     ///< file legitimately owns stdout
+};
+
+/** One finding, reported as file:line: [rule] message. */
+struct Violation {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Everything a rule needs to know about one file. */
+struct FileCheckInput {
+    std::string displayPath;  ///< path used in messages
+    std::string baseName;     ///< final path component
+    bool isHeader = false;    ///< .hh/.h/.hpp
+    RuleConfig config;
+    const LexedFile *lexed = nullptr;
+};
+
+/** All rule names, sorted; `suppression` is always-on and not
+ *  disableable (a broken suppression must never hide itself). */
+const std::vector<std::string> &allRuleNames();
+
+/** True iff @p rule is a known rule name. */
+bool isKnownRule(const std::string &rule);
+
+/**
+ * Run every enabled rule over one lexed file and append findings to
+ * @p out, after applying (and validating) inline suppressions.
+ */
+void runRules(const FileCheckInput &in, std::vector<Violation> *out);
+
+} // namespace conopt::lint
+
+#endif // CONOPT_LINT_RULES_HH

@@ -184,7 +184,8 @@ OooCore::completeAt(uint64_t cycle, uint64_t seq)
     const auto it = std::upper_bound(completions_.begin(),
                                      completions_.end(), ev,
                                      std::greater<>());
-    completions_.insert(it, ev);
+    // conopt-lint: allow(hotpath-alloc) sorted insert into a vector
+    completions_.insert(it, ev);  // reserved to window size in reset()
 }
 
 void
@@ -209,6 +210,7 @@ OooCore::insertReady(unsigned sched, uint64_t seq)
     // Sorted by seq: issue scans each ready queue oldest-first, which
     // reproduces the age order of the polling scheduler scan exactly.
     auto &q = ready_[sched];
+    // conopt-lint: allow(hotpath-alloc) reserved to scheduler size in reset()
     q.insert(std::upper_bound(q.begin(), q.end(), seq), seq);
 }
 
@@ -226,7 +228,8 @@ OooCore::scheduleReady(uint64_t seq, uint64_t ready)
         const auto it = std::upper_bound(readyEvents_.begin(),
                                          readyEvents_.end(), ev,
                                          std::greater<>());
-        readyEvents_.insert(it, ev);
+        // conopt-lint: allow(hotpath-alloc) reserved to total scheduler
+        readyEvents_.insert(it, ev);  // entries in reset()
     }
 }
 
@@ -884,7 +887,8 @@ OooCore::renameStage()
         }
 
         if (e.isStore) {
-            storeQueue_.push_back(fi.dyn.seq);
+            // conopt-lint: allow(hotpath-alloc) fixed-capacity RingBuffer
+            storeQueue_.push_back(fi.dyn.seq);  // panics on overflow
             if (opt.addrKnown && hotAddrReadyCycle_[ix] == neverCycle)
                 hotAddrReadyCycle_[ix] = opt_cycle;
             e.storeAddrWasUnknown = !opt.addrKnown;
@@ -913,7 +917,8 @@ OooCore::renameStage()
                 fetchResumeCycle_, cycle_ + cfg_.mbcMisspecPenalty);
         }
 
-        rob_.push_back(std::move(e));
+        // conopt-lint: allow(hotpath-alloc) fixed-capacity RingBuffer
+        rob_.push_back(std::move(e));  // panics on overflow
         ++renamed;
         progress_ = true;
     }

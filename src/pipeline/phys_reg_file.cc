@@ -22,6 +22,7 @@ PhysRegFile::reset(unsigned num_regs)
     freeList_.reserve(num_regs);
     // Allocate low ids first (cosmetic: matches paper examples).
     for (unsigned i = num_regs; i-- > 0;)
+        // conopt-lint: allow(hotpath-alloc) reset() fill, reserved above
         freeList_.push_back(PhysRegId(i));
     totalAllocs_ = 0;
 }

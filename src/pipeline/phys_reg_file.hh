@@ -81,7 +81,8 @@ class PhysRegFile final : public core::PhysRegInterface
         conopt_assert(allocated_[reg] && refs_[reg] > 0);
         if (--refs_[reg] == 0) {
             allocated_[reg] = 0;
-            freeList_.push_back(reg);
+            // conopt-lint: allow(hotpath-alloc) reserved to numRegs_ in
+            freeList_.push_back(reg);  // reset(); can never exceed it
         }
     }
 

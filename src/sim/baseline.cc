@@ -827,7 +827,7 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
             return false;
         }
         const auto summary = [&](const char *key,
-                                 BenchArtifact::DistSummary *out) {
+                                 BenchArtifact::DistSummary *dst) {
             const auto *d = dist->get(key);
             if (!d)
                 return true;
@@ -839,11 +839,11 @@ parseArtifact(const std::string &json, BenchArtifact *out, std::string *err)
             }
             std::string fieldErr;
             const bool ok =
-                jsonFieldU64(*d, "count", &out->count, &fieldErr) &&
-                jsonFieldDouble(*d, "p50", &out->p50, &fieldErr) &&
-                jsonFieldDouble(*d, "p95", &out->p95, &fieldErr) &&
-                jsonFieldDouble(*d, "p99", &out->p99, &fieldErr) &&
-                jsonFieldDouble(*d, "max", &out->max, &fieldErr);
+                jsonFieldU64(*d, "count", &dst->count, &fieldErr) &&
+                jsonFieldDouble(*d, "p50", &dst->p50, &fieldErr) &&
+                jsonFieldDouble(*d, "p95", &dst->p95, &fieldErr) &&
+                jsonFieldDouble(*d, "p99", &dst->p99, &fieldErr) &&
+                jsonFieldDouble(*d, "max", &dst->max, &fieldErr);
             if (!ok && err)
                 *err = std::string("distribution.") + key + ": " +
                        fieldErr;
@@ -1295,8 +1295,8 @@ printPerfTrend(const BenchArtifact &baseline,
     }
     if (measured == 0)
         return;
-    const double baseKips = baseInsts / baseSec / 1e3;
-    const double candKips = candInsts / candSec / 1e3;
+    const double baseKips = double(baseInsts) / baseSec / 1e3;
+    const double candKips = double(candInsts) / candSec / 1e3;
     std::printf("conopt_bench_check: perf (informational, not gated): "
                 "%zu jobs measured in both\n"
                 "  host seconds: %.3f -> %.3f (%+.1f%%)\n"

@@ -1308,6 +1308,7 @@ sweepDriverMain(const std::vector<std::string> &args)
 {
     for (const auto &a : args) {
         if (a == "--help" || a == "-h") {
+            // conopt-lint: allow(stray-output) --help goes to stdout
             std::fputs(kUsage, stdout);
             return 0;
         }

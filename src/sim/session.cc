@@ -18,7 +18,9 @@ SimSession::reset(ProgramPtr program,
     conopt_assert(program != nullptr);
     program_ = std::move(program);
     if (!emu_) {
+        // conopt-lint: allow(hotpath-alloc) first reset() only
         emu_ = std::make_unique<arch::Emulator>(program_, max_insts);
+        // conopt-lint: allow(hotpath-alloc) first reset() only; warm
         core_ = std::make_unique<pipeline::OooCore>(config, *emu_);
     } else {
         emu_->reset(program_, max_insts);

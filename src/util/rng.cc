@@ -72,7 +72,7 @@ Rng::nextRange(int64_t lo, int64_t hi)
 double
 Rng::nextDouble()
 {
-    return (next() >> 11) * 0x1.0p-53;
+    return double(next() >> 11) * 0x1.0p-53;
 }
 
 bool

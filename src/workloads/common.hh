@@ -18,6 +18,7 @@ namespace conopt::workloads {
 // Workload sources are assembly-dense; pull in the register names and
 // assembler vocabulary wholesale. This header is only included by the
 // kernel translation units, never by library headers.
+// conopt-lint: allow(namespace-hygiene) see above; kernel-TU-only DSL
 using namespace conopt::assembler;
 
 /**

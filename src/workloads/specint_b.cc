@@ -314,7 +314,7 @@ buildTwolf(unsigned scale)
 
     const Reg x = R1, tmp = R2, i = R3, j = R4, pi = R5, pj = R6;
     const Reg vi = R7, vj = R8, delta = R9, sum = R10, base = R11;
-    const Reg iter = R12, acc = R13, cmp = R14, np = R15, rnd = R16;
+    const Reg iter = R12, acc = R13, np = R15, rnd = R16;
 
     a.li(base, int64_t(cell_addr));
     a.li(np, int64_t(noise));

@@ -77,8 +77,9 @@ TEST(Btb, TaggedNoAliasingFalseHits)
     for (int i = 0; i < 8; ++i) {
         auto pb = bp.predict(pc_b, inst, pc_b + 4);
         bp.update(pc_b, inst, pb, true, 0x30000);
-        if (pb.taken && pb.targetValid)
+        if (pb.taken && pb.targetValid) {
             EXPECT_EQ(pb.target, 0x30000u);
+        }
     }
 }
 

@@ -60,9 +60,10 @@ TEST(OptLatency, MoreStagesNeverFaster)
         oc.extraStages = stages;
         const uint64_t c =
             cyclesFor("gcc", pipeline::MachineConfig::withOptimizer(oc));
-        if (prev)
+        if (prev) {
             EXPECT_GE(c + c / 50, prev)
                 << "adding rename stages should not speed gcc up";
+        }
         prev = c;
     }
 }

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * conopt_lint unit tests: the lexer never false-positives inside
+ * strings/comments/raw strings, every rule fires on a crafted
+ * snippet, suppressions require a reason, the per-directory config
+ * merge works, the CLI honours the 0/1/2 exit contract, and — the
+ * meta-test — the real repository tree lints clean with its checked-in
+ * `.conopt-lint` configuration (the same invocation CI gates on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lexer.hh"
+#include "src/lint/lint.hh"
+#include "src/lint/rules.hh"
+
+namespace fs = std::filesystem;
+using conopt::lint::lex;
+using conopt::lint::lintMain;
+using conopt::lint::lintSource;
+using conopt::lint::RuleConfig;
+using conopt::lint::TokKind;
+using conopt::lint::Violation;
+
+namespace {
+
+/** Identifier texts of a lexed snippet, in order. */
+std::vector<std::string>
+identifiers(const std::string &src)
+{
+    std::vector<std::string> out;
+    for (const auto &t : lex(src).tokens)
+        if (t.kind == TokKind::Identifier)
+            out.push_back(t.text);
+    return out;
+}
+
+bool
+hasIdent(const std::string &src, const std::string &name)
+{
+    const auto ids = identifiers(src);
+    return std::find(ids.begin(), ids.end(), name) != ids.end();
+}
+
+/** Rules fired by linting @p src as `test.cc` (or a header) under
+ *  @p config; returns just the rule names, sorted by the driver. */
+std::vector<std::string>
+firedRules(const std::string &src, const RuleConfig &config,
+           const std::string &path = "test.cc")
+{
+    std::vector<std::string> out;
+    for (const Violation &v : lintSource(path, src, config))
+        out.push_back(v.rule);
+    return out;
+}
+
+RuleConfig
+onlyRule(const std::string &keep)
+{
+    RuleConfig c;
+    for (const std::string &r : conopt::lint::allRuleNames())
+        if (r != keep && r != "suppression")
+            c.disabled.insert(r);
+    c.hot = true;
+    c.serialize = true;
+    return c;
+}
+
+/** Unique scratch directory under the build tree's tmp. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/conopt_lint_test.XXXXXX";
+        const char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path_ = p;
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+    fs::path
+    write(const std::string &rel, const std::string &contents) const
+    {
+        const fs::path p = path_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream(p) << contents;
+        return p;
+    }
+
+  private:
+    fs::path path_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, BannedNamesInsideStringsAndCommentsAreNotTokens)
+{
+    const std::string src =
+        "const char *s = \"rand() time() system_clock\";\n"
+        "// rand() in a line comment\n"
+        "/* time() in a block\n   comment */\n"
+        "int x = 0;\n";
+    EXPECT_FALSE(hasIdent(src, "rand"));
+    EXPECT_FALSE(hasIdent(src, "time"));
+    EXPECT_FALSE(hasIdent(src, "system_clock"));
+    EXPECT_TRUE(hasIdent(src, "x"));
+}
+
+TEST(Lexer, RawStringsAreSkippedWhole)
+{
+    const std::string src =
+        "auto j = R\"json({\"rand\": \"time()\"})json\";\n"
+        "auto k = R\"(plain rand())\";\n"
+        "int after = 1;\n";
+    EXPECT_FALSE(hasIdent(src, "rand"));
+    EXPECT_FALSE(hasIdent(src, "time"));
+    EXPECT_TRUE(hasIdent(src, "after"));
+}
+
+TEST(Lexer, EscapedQuotesDoNotEndStrings)
+{
+    EXPECT_FALSE(hasIdent("auto s = \"a \\\" rand() b\"; int y;", "rand"));
+    EXPECT_FALSE(hasIdent("char c = '\\''; int z = rand0;", "rand"));
+}
+
+TEST(Lexer, CommentsAreCapturedWithLines)
+{
+    const auto lexed = lex("int a; // first\nint b;\n/* second */\n");
+    ASSERT_EQ(lexed.comments.size(), 2u);
+    EXPECT_EQ(lexed.comments[0].text, " first");
+    EXPECT_EQ(lexed.comments[0].line, 1);
+    EXPECT_EQ(lexed.comments[1].text, " second ");
+    EXPECT_EQ(lexed.comments[1].line, 3);
+}
+
+TEST(Lexer, TokenLinesAndDigitSeparators)
+{
+    const auto lexed = lex("int a;\nuint64_t big = 1'000'000;\n");
+    bool sawBig = false;
+    for (const auto &t : lexed.tokens) {
+        if (t.text == "big") {
+            sawBig = true;
+            EXPECT_EQ(t.line, 2);
+        }
+        if (t.kind == TokKind::Number) {
+            EXPECT_EQ(t.text, "1'000'000");
+        }
+    }
+    EXPECT_TRUE(sawBig);
+}
+
+// ---------------------------------------------------------------------------
+// Rules: each one fires on a crafted snippet and stays quiet on the
+// corresponding clean variant.
+// ---------------------------------------------------------------------------
+
+TEST(RuleDeterminism, FlagsRandAndWallClock)
+{
+    const auto cfg = onlyRule("determinism");
+    EXPECT_EQ(firedRules("int x = rand();", cfg),
+              std::vector<std::string>{"determinism"});
+    EXPECT_EQ(firedRules("srand(42);", cfg),
+              std::vector<std::string>{"determinism"});
+    EXPECT_EQ(firedRules("auto t = time(nullptr);", cfg),
+              std::vector<std::string>{"determinism"});
+    EXPECT_EQ(firedRules("std::random_device rd;", cfg),
+              std::vector<std::string>{"determinism"});
+    EXPECT_EQ(
+        firedRules("auto n = std::chrono::system_clock::now();", cfg),
+        std::vector<std::string>{"determinism"});
+}
+
+TEST(RuleDeterminism, AllowsSteadyClockMembersAndPlainNames)
+{
+    const auto cfg = onlyRule("determinism");
+    EXPECT_TRUE(
+        firedRules("auto n = std::chrono::steady_clock::now();", cfg)
+            .empty());
+    // A member called .time() belongs to some object, not libc.
+    EXPECT_TRUE(firedRules("double d = stats.time();", cfg).empty());
+    // `time` as a variable name, never called.
+    EXPECT_TRUE(firedRules("uint64_t time = 0; use(time);", cfg).empty());
+}
+
+TEST(RuleDeterminism, FlagsPointerValueFormatting)
+{
+    const auto cfg = onlyRule("determinism");
+    EXPECT_EQ(firedRules("std::snprintf(b, n, \"at %p\", ptr);", cfg),
+              std::vector<std::string>{"determinism"});
+    EXPECT_TRUE(firedRules("std::snprintf(b, n, \"%d%%\", v);", cfg)
+                    .empty());
+}
+
+TEST(RuleUnorderedIter, FlagsRangeForAndBeginOnUnordered)
+{
+    const auto cfg = onlyRule("unordered-iter");
+    const std::string decl =
+        "std::unordered_map<uint64_t, int> pages;\n";
+    EXPECT_EQ(firedRules(decl + "for (auto &kv : pages) use(kv);", cfg),
+              std::vector<std::string>{"unordered-iter"});
+    EXPECT_EQ(firedRules(decl + "auto it = pages.begin();", cfg),
+              std::vector<std::string>{"unordered-iter"});
+    // Lookup is fine; so is iterating an ordered map.
+    EXPECT_TRUE(firedRules(decl + "auto it = pages.find(k);", cfg).empty());
+    EXPECT_TRUE(
+        firedRules("std::map<int, int> m;\nfor (auto &kv : m) use(kv);",
+                   cfg)
+            .empty());
+}
+
+TEST(RuleUnorderedIter, OnlyInSerializeMarkedFiles)
+{
+    auto cfg = onlyRule("unordered-iter");
+    cfg.serialize = false;
+    EXPECT_TRUE(
+        firedRules("std::unordered_set<int> s;\nfor (int v : s) use(v);",
+                   cfg)
+            .empty());
+}
+
+TEST(RuleHotpathAlloc, FlagsNewMallocAndGrowth)
+{
+    const auto cfg = onlyRule("hotpath-alloc");
+    EXPECT_EQ(firedRules("auto *p = new Entry;", cfg),
+              std::vector<std::string>{"hotpath-alloc"});
+    EXPECT_EQ(firedRules("void *p = malloc(64);", cfg),
+              std::vector<std::string>{"hotpath-alloc"});
+    EXPECT_EQ(firedRules("q.push_back(x);", cfg),
+              std::vector<std::string>{"hotpath-alloc"});
+    EXPECT_EQ(firedRules("auto e = std::make_unique<Entry>();", cfg),
+              std::vector<std::string>{"hotpath-alloc"});
+}
+
+TEST(RuleHotpathAlloc, AllowsCapacitySetupAndDefinitions)
+{
+    const auto cfg = onlyRule("hotpath-alloc");
+    EXPECT_TRUE(firedRules("q.reserve(n); q.resize(n); q.clear();", cfg)
+                    .empty());
+    // A *definition* of push_back (RingBuffer) is not a growth call.
+    EXPECT_TRUE(firedRules("T &push_back(T value) { return slot(); }",
+                           cfg)
+                    .empty());
+    auto cold = cfg;
+    cold.hot = false;
+    EXPECT_TRUE(firedRules("q.push_back(x);", cold).empty());
+}
+
+TEST(RuleSignalSafety, FlagsUnsafeCallsInHandlerBodyOnly)
+{
+    const auto cfg = onlyRule("signal-safety");
+    const std::string unsafe =
+        "void onSig(int) { std::fprintf(stderr, \"die\\n\"); }\n"
+        "void install() {\n"
+        "  struct sigaction sa{};\n"
+        "  sa.sa_handler = onSig;\n"
+        "  sigaction(SIGTERM, &sa, nullptr);\n"
+        "}\n";
+    const auto fired = firedRules(unsafe, cfg);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], "signal-safety");
+
+    const std::string safe =
+        "volatile std::sig_atomic_t gStop = 0;\n"
+        "void onSig(int sig) { gStop = 1; kill(getpid(), sig); }\n"
+        "void install() {\n"
+        "  struct sigaction sa{};\n"
+        "  sa.sa_handler = onSig;\n"
+        "}\n";
+    EXPECT_TRUE(firedRules(safe, cfg).empty());
+
+    // The same unsafe call OUTSIDE a handler is not this rule's
+    // business.
+    EXPECT_TRUE(
+        firedRules("void log() { std::fprintf(stderr, \"x\\n\"); }", cfg)
+            .empty());
+}
+
+TEST(RuleIncludeGuard, HeadersNeedGuardOrPragmaOnce)
+{
+    const auto cfg = onlyRule("include-guard");
+    EXPECT_EQ(firedRules("int x;\n", cfg, "test.hh"),
+              std::vector<std::string>{"include-guard"});
+    EXPECT_TRUE(firedRules("#ifndef A_HH\n#define A_HH\nint x;\n#endif\n",
+                           cfg, "test.hh")
+                    .empty());
+    EXPECT_TRUE(firedRules("#pragma once\nint x;\n", cfg, "test.hh")
+                    .empty());
+    // Mismatched guard name is no guard.
+    EXPECT_EQ(firedRules("#ifndef A_HH\n#define B_HH\nint x;\n#endif\n",
+                         cfg, "test.hh"),
+              std::vector<std::string>{"include-guard"});
+    // Source files are exempt.
+    EXPECT_TRUE(firedRules("int x;\n", cfg, "test.cc").empty());
+}
+
+TEST(RuleNamespaceHygiene, HeaderScopeUsingAndStd)
+{
+    const auto cfg = onlyRule("namespace-hygiene");
+    EXPECT_EQ(firedRules("#pragma once\nusing namespace conopt;\n", cfg,
+                         "test.hh"),
+              std::vector<std::string>{"namespace-hygiene"});
+    EXPECT_TRUE(firedRules("using namespace conopt;\n", cfg, "test.cc")
+                    .empty());
+    EXPECT_EQ(firedRules("using namespace std;\n", cfg, "test.cc"),
+              std::vector<std::string>{"namespace-hygiene"});
+}
+
+TEST(RuleStrayOutput, FlagsStdoutWritersUnlessAnnotated)
+{
+    const auto cfg = onlyRule("stray-output");
+    EXPECT_EQ(firedRules("std::printf(\"debug %d\\n\", x);", cfg),
+              std::vector<std::string>{"stray-output"});
+    EXPECT_EQ(firedRules("std::fprintf(stdout, \"x\\n\");", cfg),
+              std::vector<std::string>{"stray-output"});
+    // The stream argument comes *last* for fputs/fwrite.
+    EXPECT_EQ(firedRules("std::fputs(kUsage, stdout);", cfg),
+              std::vector<std::string>{"stray-output"});
+    EXPECT_EQ(firedRules("std::cout << x;", cfg),
+              std::vector<std::string>{"stray-output"});
+    EXPECT_TRUE(firedRules("std::fprintf(stderr, \"x\\n\");", cfg)
+                    .empty());
+    EXPECT_TRUE(firedRules("std::snprintf(b, n, \"x\");", cfg).empty());
+    auto output = cfg;
+    output.output = true;
+    EXPECT_TRUE(firedRules("std::printf(\"table row\\n\");", output)
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, SameLineAndPrecedingLineWithReason)
+{
+    const auto cfg = onlyRule("determinism");
+    EXPECT_TRUE(
+        firedRules("int x = rand(); // conopt-lint: allow(determinism) "
+                   "fixture models a legacy RNG",
+                   cfg)
+            .empty());
+    EXPECT_TRUE(
+        firedRules("// conopt-lint: allow(determinism) fixture RNG\n"
+                   "int x = rand();",
+                   cfg)
+            .empty());
+}
+
+TEST(Suppression, WithoutReasonIsItselfAViolation)
+{
+    const auto cfg = onlyRule("determinism");
+    const auto fired = firedRules(
+        "int x = rand(); // conopt-lint: allow(determinism)", cfg);
+    // The bare allow() is rejected AND does not suppress.
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], "determinism");
+    EXPECT_EQ(fired[1], "suppression");
+}
+
+TEST(Suppression, UnknownRuleAndWrongRuleDoNotSuppress)
+{
+    const auto cfg = onlyRule("determinism");
+    const auto unknown = firedRules(
+        "int x = rand(); // conopt-lint: allow(no-such-rule) because",
+        cfg);
+    ASSERT_EQ(unknown.size(), 2u);
+    EXPECT_EQ(unknown[0], "determinism");
+    EXPECT_EQ(unknown[1], "suppression");
+
+    // A valid suppression for a DIFFERENT rule leaves the finding.
+    EXPECT_EQ(firedRules("int x = rand(); // conopt-lint: "
+                         "allow(hotpath-alloc) wrong rule on purpose",
+                         cfg),
+              std::vector<std::string>{"determinism"});
+}
+
+TEST(Suppression, DoesNotLeakToLaterLines)
+{
+    const auto cfg = onlyRule("determinism");
+    EXPECT_EQ(firedRules("// conopt-lint: allow(determinism) first only\n"
+                         "int a = rand();\n"
+                         "int b = rand();\n",
+                         cfg),
+              std::vector<std::string>{"determinism"});
+}
+
+// ---------------------------------------------------------------------------
+// Per-directory config + CLI exit contract
+// ---------------------------------------------------------------------------
+
+TEST(Config, DirectoryMergeDisableEnableAndMarks)
+{
+    TempDir tmp;
+    tmp.write(".conopt-lint", "disable determinism\nhot hot_*.cc\n");
+    tmp.write("inner/.conopt-lint", "enable determinism\n");
+    tmp.write("outer.cc", "int x = rand();\n");
+    tmp.write("inner/inner.cc", "int x = rand();\n");
+    tmp.write("hot_one.cc", "q.push_back(x);\n");
+
+    // Outer: determinism disabled; inner: re-enabled.
+    EXPECT_EQ(lintMain({(tmp.path() / "outer.cc").string()}), 0);
+    EXPECT_EQ(lintMain({(tmp.path() / "inner/inner.cc").string()}), 1);
+    // The hot glob activates hotpath-alloc by basename match.
+    EXPECT_EQ(lintMain({(tmp.path() / "hot_one.cc").string()}), 1);
+}
+
+TEST(Config, MalformedConfigIsAnError)
+{
+    TempDir tmp;
+    tmp.write(".conopt-lint", "disable not-a-rule\n");
+    tmp.write("a.cc", "int x;\n");
+    EXPECT_EQ(lintMain({(tmp.path() / "a.cc").string()}), 2);
+}
+
+TEST(Cli, ExitCodeContract)
+{
+    TempDir tmp;
+    const auto clean = tmp.write("clean.cc", "int x = 0;\n");
+    const auto dirty =
+        tmp.write("dirty.cc", "int x = rand();\n");  // default config
+    EXPECT_EQ(lintMain({clean.string()}), 0);
+    EXPECT_EQ(lintMain({dirty.string()}), 1);
+    EXPECT_EQ(lintMain({}), 2);
+    EXPECT_EQ(lintMain({(tmp.path() / "missing.cc").string()}), 2);
+    EXPECT_EQ(lintMain({"--list-rules"}), 0);
+    // Directory walk finds both files -> violations exit.
+    EXPECT_EQ(lintMain({tmp.path().string()}), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Meta: the real tree lints clean with its checked-in configuration —
+// the exact invocation the CI gate runs.
+// ---------------------------------------------------------------------------
+
+TEST(Meta, RepositoryTreeIsClean)
+{
+    const std::string root = CONOPT_SOURCE_DIR;
+    EXPECT_EQ(lintMain({root + "/src", root + "/bench", root + "/tools",
+                        root + "/tests", root + "/examples"}),
+              0)
+        << "conopt_lint found violations in the checked-in tree; run "
+           "build/conopt_lint src bench tools tests examples from the "
+           "repo root to see them";
+}

@@ -63,6 +63,19 @@ childSpec()
  *  basename so the driver's derived name finds the artifacts. */
 constexpr const char *kChildBench = "test_sweep_driver";
 
+// Sanitizer instrumentation slows the simulated work inside each shard
+// several-fold, so the lingering-child test scales the straggler's
+// sleep and the finalize deadline together — the test must keep
+// discriminating "finalized on the shard's own exit" from "waited the
+// straggler out for pipe EOF" at either speed.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int kLingerDeciseconds = 900;
+constexpr double kFinalizeBoundSeconds = 45.0;
+#else
+constexpr int kLingerDeciseconds = 300;
+constexpr double kFinalizeBoundSeconds = 15.0;
+#endif
+
 std::string
 shardArgOf(int argc, char **argv)
 {
@@ -116,9 +129,9 @@ childMain(const std::string &mode, int argc, char **argv)
         // Leak our stdout/stderr/progress write ends to a background
         // child that outlives us: the classic fd-inheriting daemonized
         // helper. The driver must finalize this shard on its own exit
-        // shortly after, not wait the full 30 s for pipe EOF.
+        // shortly after, not wait the straggler out for pipe EOF.
         if (::fork() == 0) {
-            for (int i = 0; i < 300; ++i)
+            for (int i = 0; i < kLingerDeciseconds; ++i)
                 ::usleep(100000);
             ::_exit(0);
         }
@@ -623,10 +636,10 @@ TEST(SweepDriverRun, LingeringChildHoldingPipesDoesNotHangTheFleet)
                                       t0)
             .count();
     ASSERT_EQ(out.exitCode, 0) << out.error;
-    // The straggler sleeps ~30 s holding the pipe write ends; the
-    // driver must finalize on the shard's own exit plus the short
-    // drain grace instead.
-    EXPECT_LT(took, 15.0);
+    // The straggler sleeps kLingerDeciseconds holding the pipe write
+    // ends; the driver must finalize on the shard's own exit plus the
+    // short drain grace instead.
+    EXPECT_LT(took, kFinalizeBoundSeconds);
     EXPECT_EQ(readFile(out.mergedArtifactPath),
               referenceArtifact().toJson());
 }

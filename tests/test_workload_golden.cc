@@ -76,4 +76,4 @@ INSTANTIATE_TEST_SUITE_P(
                       "twf", "vor", "vpr", "amp", "app", "art", "eqk",
                       "msa", "mgd", "g721d", "g721e", "mpg2d", "mpg2e",
                       "untst", "tst"),
-    [](const auto &info) { return info.param; });
+    [](const auto &paramInfo) { return paramInfo.param; });

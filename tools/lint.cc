@@ -1,0 +1,21 @@
+/**
+ * @file
+ * conopt_lint: enforce the project's determinism, hot-path,
+ * signal-safety, and hygiene invariants over the C++ tree by token
+ * pattern matching (see src/lint/rules.hh for the rule catalogue and
+ * src/lint/lint.hh for configuration and the exit-code contract).
+ * All logic lives in lint::lintMain so tests/test_lint.cc covers the
+ * CLI behaviour in-process, the same split as conopt_bench_check.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    return conopt::lint::lintMain(
+        std::vector<std::string>(argv + 1, argv + argc));
+}
