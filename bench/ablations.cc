@@ -103,7 +103,7 @@ main(int argc, char **argv)
     auto art = sim::BenchArtifact::fromSweep(res);
     // Per the merge contract, a shard defers its whole-figure geomeans
     // to the post-merge recompute step.
-    if (!hopts.shard.active()) {
+    if (!hopts.run.shard.active()) {
         art.addGeomeans(res, "base", family_cols);
         art.addGeomeans(res, "base", mbc_cols);
         art.addGeomeans(res, "base",

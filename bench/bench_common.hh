@@ -63,11 +63,6 @@
 #ifndef CONOPT_BENCH_BENCH_COMMON_HH
 #define CONOPT_BENCH_BENCH_COMMON_HH
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -76,12 +71,21 @@
 #include "src/pipeline/stats_aggregate.hh"
 #include "src/sim/baseline.hh"
 #include "src/sim/driver.hh"
+#include "src/sim/harness.hh"
 #include "src/sim/report.hh"
 #include "src/sim/result_cache.hh"
 #include "src/sim/sweep.hh"
 #include "src/workloads/workload.hh"
 
 namespace conopt::bench {
+
+// The implementation lives in the src/sim library (src/sim/harness.hh)
+// so tools and the standing daemon link the exact same parser and
+// artifact pipeline; this header keeps the historical bench:: spelling
+// every table/figure binary uses.
+
+/** Harness options shared by every bench binary (see file header). */
+using HarnessOptions = sim::HarnessOptions;
 
 /** Print a section header. */
 inline void
@@ -94,209 +98,16 @@ header(const char *title)
 inline void
 printProgress(const sim::SweepProgress &p)
 {
-    std::fprintf(stderr,
-                 "[sweep] %3zu/%zu  %-30s %7.2fs  elapsed %6.1fs  "
-                 "eta %6.1fs  geomean ipc %.3f\n",
-                 p.done, p.total, p.label.c_str(), p.jobHostSeconds,
-                 p.elapsedSeconds, p.etaSeconds, p.geomeanIpc);
+    sim::printSweepProgress(p);
 }
 
-/**
- * Print the host-seconds distribution across the jobs that actually
- * simulated (cache hits measure the loader and are excluded), using
- * the nearest-rank percentiles of PercentileAccumulator. Print-only:
- * these numbers describe the machine the bench ran ON and never feed
- * the artifact or the baseline gate.
- */
+/** Host-seconds percentiles across the jobs that actually simulated
+ *  (print-only; see sim::printHostPercentiles). */
 inline void
 printHostPercentiles(const sim::SweepResult &res)
 {
-    pipeline::PercentileAccumulator acc;
-    for (const auto &r : res.all())
-        if (r.simSeconds > 0.0)
-            acc.add(r.simSeconds);
-    if (acc.empty())
-        return;
-    std::fprintf(stderr,
-                 "[perf] host seconds/job: p50 %.4f  p95 %.4f  "
-                 "p99 %.4f  max %.4f  (n=%zu)\n",
-                 acc.percentile(50), acc.percentile(95),
-                 acc.percentile(99), acc.max(), acc.count());
+    sim::printHostPercentiles(res);
 }
-
-/** Harness options shared by every bench binary (see file header). */
-struct HarnessOptions
-{
-    std::string artifactDir = ".";
-    std::string baselinePath; ///< file or directory; empty = no gate
-    double tolerance = 0.0;
-    bool emitArtifact = true;
-    sim::ShardSpec shard;     ///< {0,1} = whole sweep
-    bool progress = false;    ///< per-job progress/ETA on stderr
-    bool perf = false;        ///< record host_seconds/kips per job
-    /** Per-interval IPC sampling stride in retired instructions;
-     *  0 = off (the default — gated artifacts stay byte-identical). */
-    uint64_t ipcSampleInterval = 0;
-    /** Descriptor for machine-readable CONOPT-PROGRESS lines (one per
-     *  finished job); -1 = none. The conopt_sweep driver passes an
-     *  inherited pipe here to multiplex shard ETAs. */
-    int progressFd = -1;
-    std::string resultCacheDir;
-    /** Created by parse() when a cache dir is configured; shared with
-     *  the SweepRunner so finish() can report hit/miss counters. */
-    std::shared_ptr<sim::ResultCache> resultCache;
-
-    /** @p lenientArgs ignores unknown flags instead of rejecting them;
-     *  only for binaries sharing argv with another framework
-     *  (micro_structures + google-benchmark). Everywhere else a typo'd
-     *  gate flag must fail loudly, not silently skip the gate. A
-     *  malformed --shard/CONOPT_SHARD is always fatal (exit 2): a
-     *  shard spec that silently fell back to "the whole sweep" would
-     *  duplicate work and clobber the unsharded artifact. */
-    static HarnessOptions
-    parse(int argc, char **argv, bool lenientArgs = false)
-    {
-        HarnessOptions o;
-        if (const char *d = std::getenv("CONOPT_ARTIFACT_DIR"); d && *d)
-            o.artifactDir = d;
-        if (const char *b = std::getenv("CONOPT_BASELINE_DIR"); b && *b)
-            o.baselinePath = b;
-        if (const char *c = std::getenv("CONOPT_RESULT_CACHE"); c && *c)
-            o.resultCacheDir = c;
-        if (const char *p = std::getenv("CONOPT_PROGRESS");
-            p && *p && std::string(p) != "0")
-            o.progress = true;
-        if (const char *p = std::getenv("CONOPT_PERF");
-            p && *p && std::string(p) != "0")
-            o.perf = true;
-        const auto shardSpec = [&](const char *s, const char *what) {
-            if (!sim::parseShard(s, &o.shard)) {
-                std::fprintf(stderr,
-                             "invalid %s '%s' (want \"i/n\" with "
-                             "0 <= i < n, e.g. \"0/2\")\n",
-                             what, s);
-                std::exit(2);
-            }
-        };
-        if (const char *s = std::getenv("CONOPT_SHARD"); s && *s)
-            shardSpec(s, "CONOPT_SHARD");
-        const auto progressFdSpec = [&](const char *s, const char *what) {
-            char *end = nullptr;
-            errno = 0;
-            const long v = std::strtol(s, &end, 10);
-            if (end == s || *end != '\0' || errno == ERANGE || v < 0 ||
-                v > (1 << 20)) {
-                std::fprintf(stderr,
-                             "invalid %s '%s' (want a non-negative "
-                             "file descriptor number)\n",
-                             what, s);
-                std::exit(2);
-            }
-            o.progressFd = int(v);
-        };
-        if (const char *f = std::getenv("CONOPT_PROGRESS_FD"); f && *f)
-            progressFdSpec(f, "CONOPT_PROGRESS_FD");
-        const auto ipcSampleSpec = [&](const char *s, const char *what) {
-            char *end = nullptr;
-            errno = 0;
-            const unsigned long long v = std::strtoull(s, &end, 10);
-            if (end == s || *end != '\0' || errno == ERANGE) {
-                std::fprintf(stderr,
-                             "invalid %s '%s' (want a sampling stride "
-                             "in retired instructions; 0 = off)\n",
-                             what, s);
-                std::exit(2);
-            }
-            o.ipcSampleInterval = uint64_t(v);
-        };
-        if (const char *s = std::getenv("CONOPT_IPC_SAMPLE"); s && *s)
-            ipcSampleSpec(s, "CONOPT_IPC_SAMPLE");
-        for (int i = 1; i < argc; ++i) {
-            const std::string a = argv[i];
-            const auto value = [&]() -> const char * {
-                if (i + 1 >= argc) {
-                    std::fprintf(stderr, "%s requires a value\n",
-                                 a.c_str());
-                    std::exit(2);
-                }
-                return argv[++i];
-            };
-            if (a == "--artifact-dir") {
-                o.artifactDir = value();
-            } else if (a == "--baseline") {
-                o.baselinePath = value();
-            } else if (a == "--shard") {
-                shardSpec(value(), "--shard");
-            } else if (a == "--result-cache") {
-                o.resultCacheDir = value();
-            } else if (a == "--progress") {
-                o.progress = true;
-            } else if (a == "--perf") {
-                o.perf = true;
-            } else if (a == "--ipc-sample-interval") {
-                ipcSampleSpec(value(), "--ipc-sample-interval");
-            } else if (a == "--progress-fd") {
-                progressFdSpec(value(), "--progress-fd");
-            } else if (a == "--tolerance") {
-                const char *v = value();
-                if (!sim::parseTolerance(v, &o.tolerance)) {
-                    std::fprintf(stderr,
-                                 "invalid --tolerance '%s' (want a "
-                                 "finite non-negative number)\n",
-                                 v);
-                    std::exit(2);
-                }
-            } else if (a == "--no-artifact") {
-                o.emitArtifact = false;
-            } else if (!lenientArgs) {
-                std::fprintf(stderr,
-                             "unknown argument '%s' (flags: "
-                             "--artifact-dir DIR, --baseline PATH, "
-                             "--shard I/N, --result-cache DIR, "
-                             "--perf, --ipc-sample-interval N, "
-                             "--progress, --progress-fd FD, "
-                             "--tolerance T, --no-artifact)\n",
-                             a.c_str());
-                std::exit(2);
-            }
-        }
-        if (!o.resultCacheDir.empty())
-            o.resultCache =
-                std::make_shared<sim::ResultCache>(o.resultCacheDir);
-        return o;
-    }
-
-    /** SweepRunner options carrying the shard, the persistent result
-     *  cache, and the progress sinks: the human stderr printer (with
-     *  --progress) and/or the machine-readable line protocol (with
-     *  --progress-fd, one CONOPT-PROGRESS line per finished job). */
-    sim::SweepOptions
-    sweepOptions() const
-    {
-        sim::SweepOptions s;
-        s.shard = shard;
-        s.resultCache = resultCache;
-        s.ipcSampleInterval = ipcSampleInterval;
-        if (progressFd >= 0) {
-            const int fd = progressFd;
-            const bool human = progress;
-            s.onProgress = [fd, human](const sim::SweepProgress &p) {
-                if (human)
-                    printProgress(p);
-                sim::writeProgressLine(fd, p);
-            };
-        } else if (progress) {
-            s.onProgress = printProgress;
-        }
-        return s;
-    }
-
-    /** Shard membership for benches that enumerate their own item
-     *  lists instead of running a SweepRunner (table1_workloads,
-     *  table2_config, micro_structures): item @p idx of the full list
-     *  belongs to this process iff inShard(idx). */
-    bool inShard(size_t idx) const { return shard.contains(idx); }
-};
 
 /** Parse the harness flags (exits 2 on a bad flag, so a typo fails
  *  before the sweep runs, not after minutes of simulation). Call first
@@ -304,7 +115,7 @@ struct HarnessOptions
 inline HarnessOptions
 harnessInit(int argc, char **argv, bool lenientArgs = false)
 {
-    return HarnessOptions::parse(argc, argv, lenientArgs);
+    return sim::HarnessOptions::parse(argc, argv, lenientArgs);
 }
 
 /**
@@ -317,93 +128,7 @@ inline int
 finish(const std::string &benchName, sim::BenchArtifact art,
        const HarnessOptions &o)
 {
-    if (o.resultCache) {
-        const auto cs = o.resultCache->stats();
-        std::fprintf(stderr,
-                     "[cache] %s: %llu hits, %llu misses, %llu stored",
-                     o.resultCache->dir().c_str(),
-                     (unsigned long long)cs.hits,
-                     (unsigned long long)cs.misses,
-                     (unsigned long long)cs.stores);
-        if (cs.errors)
-            std::fprintf(stderr, " (%llu corrupt)",
-                         (unsigned long long)cs.errors);
-        std::fprintf(stderr, "\n");
-    }
-    if (!o.emitArtifact)
-        return 0;
-
-    art.bench = benchName;
-    std::string file = "BENCH_" + benchName;
-    if (o.shard.active())
-        file += ".shard" + std::to_string(o.shard.index) + "of" +
-                std::to_string(o.shard.count);
-    file += ".json";
-    const std::string outPath =
-        (std::filesystem::path(o.artifactDir) / file).string();
-    std::string err;
-    if (!art.save(outPath, &err)) {
-        std::fprintf(stderr, "%s: cannot write artifact: %s\n",
-                     benchName.c_str(), err.c_str());
-        return 1;
-    }
-    std::fprintf(stderr, "[artifact] wrote %s (%zu jobs, %zu geomeans)\n",
-                 outPath.c_str(), art.jobs.size(), art.geomeans.size());
-
-    if (o.baselinePath.empty())
-        return 0;
-    if (o.shard.active()) {
-        // A shard is a partial figure: gating it against a full
-        // baseline would flag every other shard's jobs as missing.
-        // The gate belongs to the merged artifact.
-        std::fprintf(stderr,
-                     "[artifact] shard %u/%u: baseline gate deferred; "
-                     "merge the shard artifacts and run "
-                     "conopt_bench_check %s <shard-dir>\n",
-                     o.shard.index, o.shard.count,
-                     o.baselinePath.c_str());
-        return 0;
-    }
-
-    std::string basePath = o.baselinePath;
-    std::error_code ec;
-    if (std::filesystem::is_directory(basePath, ec)) {
-        basePath =
-            (std::filesystem::path(basePath) /
-             ("BENCH_" + benchName + ".json"))
-                .string();
-        // A baseline *directory* gates whichever benches have seeds in
-        // it; a bench without one is "not yet baselined", not a
-        // failure (CONOPT_BASELINE_DIR is typically set globally). An
-        // explicit --baseline <file> that is missing still errors.
-        if (!std::filesystem::exists(basePath, ec)) {
-            std::fprintf(stderr,
-                         "[artifact] no baseline for %s in %s; gate "
-                         "skipped\n",
-                         benchName.c_str(), o.baselinePath.c_str());
-            return 0;
-        }
-    }
-    sim::BenchArtifact baseline;
-    if (!sim::loadArtifact(basePath, &baseline, &err)) {
-        std::fprintf(stderr, "%s: cannot load baseline: %s\n",
-                     benchName.c_str(), err.c_str());
-        return 1;
-    }
-    const auto cmp =
-        sim::compareArtifacts(baseline, art, {o.tolerance});
-    if (!cmp.ok) {
-        std::fprintf(stderr,
-                     "%s: BASELINE DRIFT vs %s (%zu difference%s):\n",
-                     benchName.c_str(), basePath.c_str(),
-                     cmp.diffs.size(), cmp.diffs.size() == 1 ? "" : "s");
-        for (const auto &d : cmp.diffs)
-            std::fprintf(stderr, "  %s\n", d.c_str());
-        return 1;
-    }
-    std::fprintf(stderr, "[artifact] matches baseline %s\n",
-                 basePath.c_str());
-    return 0;
+    return sim::harnessFinish(benchName, std::move(art), o);
 }
 
 /** An artifact job that pins a preset machine configuration without
@@ -413,11 +138,7 @@ finish(const std::string &benchName, sim::BenchArtifact art,
 inline sim::ArtifactJob
 configJob(const char *name, const pipeline::MachineConfig &cfg)
 {
-    sim::ArtifactJob j;
-    j.label = name;
-    j.config = name;
-    j.configFingerprint = sim::configFingerprint(cfg);
-    return j;
+    return sim::configJob(name, cfg);
 }
 
 /** finish() for the common case: a sweep plus the figure's headline
@@ -431,23 +152,8 @@ finishSweep(const std::string &benchName, const sim::SweepResult &res,
             const std::vector<std::string> &configs,
             const HarnessOptions &o)
 {
-    auto art = sim::BenchArtifact::fromSweep(res);
-    if (o.perf) {
-        art.addPerf(res);
-        printHostPercentiles(res);
-    }
-    // No-op unless --ipc-sample-interval armed sampling: gated runs
-    // keep byte-identical artifacts.
-    art.addIpcSamples(res);
-    if (!o.shard.active()) {
-        art.addGeomeans(res, baseConfig, configs);
-        // The sweep-level distribution block. Sharded runs defer it
-        // like the geomeans — a subset's percentiles are wrong for
-        // the whole — and the shard merge recomputes it from the
-        // per-job samples (loadArtifactOrShards).
-        art.addDistributionFromJobs();
-    }
-    return finish(benchName, std::move(art), o);
+    return sim::harnessFinishSweep(benchName, res, baseConfig, configs,
+                                   o);
 }
 
 } // namespace conopt::bench

@@ -116,7 +116,7 @@ BM_SweepEngine(benchmark::State &state)
 {
     sim::ProgramCache cache;
     sim::SweepOptions opts;
-    opts.threads = unsigned(state.range(0));
+    opts.run.threads = unsigned(state.range(0));
     opts.cache = &cache;
 
     sim::SweepSpec spec;

@@ -31,6 +31,7 @@
  */
 
 #include <cinttypes>
+#include <filesystem>
 
 #include "bench/bench_common.hh"
 
@@ -148,16 +149,16 @@ main(int argc, char **argv)
     auto art = sim::BenchArtifact::fromSweep(res);
     art.addPerf(res);
     art.addIpcSamples(res);
-    if (!hopts.shard.active())
+    if (!hopts.run.shard.active())
         art.addDistributionFromJobs();
 
     // Host-throughput comparison against the previous run's artifact.
     // The baseline is consumed here and cleared before finish(): host
     // perf is machine- and load-dependent, so simperf never gates.
     bench::HarnessOptions opts = hopts;
-    if (!opts.baselinePath.empty()) {
+    if (!opts.run.baselinePath.empty()) {
         namespace fs = std::filesystem;
-        std::string prevPath = opts.baselinePath;
+        std::string prevPath = opts.run.baselinePath;
         std::error_code ec;
         if (fs::is_directory(prevPath, ec))
             prevPath =
@@ -178,7 +179,7 @@ main(int argc, char **argv)
             printKipsDelta(prev, res);
             printHostDistDelta(prev, art);
         }
-        opts.baselinePath.clear();
+        opts.run.baselinePath.clear();
     }
 
     return bench::finish("simperf", std::move(art), opts);

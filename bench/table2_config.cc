@@ -1,10 +1,15 @@
 /**
  * @file
  * Reproduces Table 2 of the paper: the simulated machine configuration,
- * as actually instantiated by this repository's timing model.
+ * as actually instantiated by this repository's timing model. The
+ * preset fingerprints come from the bench registry
+ * (src/sim/bench_registry.hh) — the same artifact conopt_served
+ * serves — so any silent change to the experimental setup (Table 2
+ * itself) trips the baseline gate.
  */
 
 #include "bench/bench_common.hh"
+#include "src/sim/bench_registry.hh"
 
 using namespace conopt;
 
@@ -18,24 +23,12 @@ main(int argc, char **argv)
     std::printf("%s",
                 pipeline::MachineConfig::optimized().describe().c_str());
 
-    // No simulation here; the artifact pins the fingerprints of every
-    // preset machine, so any silent change to the experimental setup
-    // (Table 2 itself) trips the baseline gate.
+    const sim::BenchDef *def = sim::findBench("table2_config");
     sim::BenchArtifact art;
-    art.scale = sim::envScale();
-    size_t idx = 0;
-    const auto preset = [&](const char *name,
-                            const pipeline::MachineConfig &cfg) {
-        // Positional shard partition over the preset list, matching
-        // the sweep engine's round-robin convention.
-        if (hopts.inShard(idx++))
-            art.jobs.push_back(bench::configJob(name, cfg));
-    };
-    preset("baseline", pipeline::MachineConfig::baseline());
-    preset("optimized", pipeline::MachineConfig::optimized());
-    preset("fetch_bound", pipeline::MachineConfig::fetchBound(false));
-    preset("fetch_bound_opt", pipeline::MachineConfig::fetchBound(true));
-    preset("exec_bound", pipeline::MachineConfig::execBound(false));
-    preset("exec_bound_opt", pipeline::MachineConfig::execBound(true));
+    std::string err;
+    if (!def->build(hopts.run, sim::BenchContext{}, &art, &err)) {
+        std::fprintf(stderr, "table2_config: %s\n", err.c_str());
+        return 1;
+    }
     return bench::finish("table2_config", std::move(art), hopts);
 }

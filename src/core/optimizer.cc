@@ -439,23 +439,29 @@ RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
         return r;
     }
 
-    // GCC 12 at -O2 cannot prove the optional payload of va.known is
-    // written before the engaged-guarded reads below when readsRa is
-    // false, and warns -Wmaybe-uninitialized; every *va.known read is
-    // dominated by an `if (va.known)` check.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+    // The engaged flag and payload of va.known are read through local
+    // copies hoisted right after the assignment: GCC 12 at -O2 (and
+    // more so under -fsanitize=thread) cannot prove the optional
+    // payload is written before engaged-guarded reads further down the
+    // function and would warn -Wmaybe-uninitialized.
     View va;
-    if (info.readsRa)
+    bool va_known = false;
+    uint64_t va_value = 0;
+    if (info.readsRa) {
         va = readIntSource(inst.ra, opt_cycle);
+        if (va.known.has_value()) {
+            va_known = true;
+            va_value = *va.known;
+        }
+    }
 
     const bool is_direct = !info.isIndirect;
     bool resolved = false;
     if (opt_on) {
         if (info.isCondBranch) {
-            if (va.known) {
+            if (va_known) {
                 const bool taken =
-                    isa::branchCondTaken(inst.op, *va.known);
+                    isa::branchCondTaken(inst.op, va_value);
                 checkValue(taken, dyn.taken, "early branch direction",
                            dyn);
                 resolved = true;
@@ -467,13 +473,13 @@ RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
             resolved = true;
             r.branchTaken = true;
             r.branchTarget = static_cast<uint64_t>(inst.imm);
-        } else if (va.known) {
+        } else if (va_known) {
             // JMP/JSR/RET with a known register target.
-            checkValue(*va.known, dyn.nextPc, "early indirect target",
+            checkValue(va_value, dyn.nextPc, "early indirect target",
                        dyn);
             resolved = true;
             r.branchTaken = true;
-            r.branchTarget = *va.known;
+            r.branchTarget = va_value;
         }
     }
 
@@ -489,7 +495,6 @@ RenameUnit::renameControl(const arch::DynInst &dyn, uint64_t opt_cycle)
         if (cpra_on && va.sym.isExpr() && va.sym.base != va.mapping)
             r.wasOptimized = true;
     }
-#pragma GCC diagnostic pop
 
     // Calls write the return address, a PC-derived constant the
     // optimizer always knows. (Written after the dependence was held so

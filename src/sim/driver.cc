@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -15,12 +16,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/sim/baseline.hh"
+#include "src/sim/harness.hh"
+#include "src/sim/service.hh"
 
 namespace conopt::sim {
 
@@ -35,34 +41,9 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Strict decimal uint64: no sign, no whitespace, no trailing junk. */
-bool
-parseU64Token(const std::string &s, uint64_t *out)
-{
-    if (s.empty() || !std::isdigit(uint8_t(s[0])))
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-    if (*end != '\0' || errno == ERANGE)
-        return false;
-    *out = v;
-    return true;
-}
-
-/** Strict finite double: the whole token, no trailing junk. */
-bool
-parseDoubleToken(const std::string &s, double *out)
-{
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    if (end == s.c_str() || *end != '\0' || !std::isfinite(v))
-        return false;
-    *out = v;
-    return true;
-}
+// parseU64Token/parseDoubleToken (the strict numeric-token
+// primitives this protocol shares with the SweepRequest decoder)
+// moved to src/sim/request.{hh,cc}.
 
 } // namespace
 
@@ -78,12 +59,26 @@ formatProgressLine(const SweepProgress &p)
                   "%s v%u done=%zu total=%zu job_s=%.17g host_s=%.17g "
                   "elapsed_s=%.17g eta_s=%.17g geomean_ipc=%.17g "
                   "kips=%.17g host_p50=%.17g host_p95=%.17g "
-                  "host_p99=%.17g label=",
+                  "host_p99=%.17g ",
                   kProgressLineTag, kProgressLineVersion, p.done, p.total,
                   p.jobHostSeconds, p.totalHostSeconds, p.elapsedSeconds,
                   p.etaSeconds, p.geomeanIpc, p.kips, p.hostP50, p.hostP95,
                   p.hostP99);
-    return std::string(head) + p.label;
+    std::string line = head;
+    // Daemon-backed shards carry their service context; ephemeral
+    // shards (both fields 0) keep the exact pre-existing bytes, and v1
+    // parsers skip the keys they don't know (regression-tested in
+    // tests/test_sweep_driver.cc).
+    if (p.queueDepth || p.sessions) {
+        char svc[96];
+        std::snprintf(svc, sizeof(svc),
+                      "queue_depth=%llu sessions=%llu ",
+                      (unsigned long long)p.queueDepth,
+                      (unsigned long long)p.sessions);
+        line += svc;
+    }
+    line += "label=";
+    return line + p.label;
 }
 
 bool
@@ -166,6 +161,14 @@ parseProgressLine(const std::string &lineIn, SweepProgress *out)
             if (!parseDoubleToken(val, &d))
                 return false;
             p.hostP99 = d;
+        } else if (key == "queue_depth") {
+            if (!parseU64Token(val, &u))
+                return false;
+            p.queueDepth = u;
+        } else if (key == "sessions") {
+            if (!parseU64Token(val, &u))
+                return false;
+            p.sessions = u;
         }
         // Unknown keys are skipped: a same-major-version harness may
         // append fields without breaking older drivers.
@@ -302,7 +305,7 @@ resolveBenchPath(const std::string &path)
 std::string
 shardDirOf(const DriverOptions &opts)
 {
-    return (fs::path(opts.artifactDir) / (opts.benchName + ".shards"))
+    return (fs::path(opts.run.artifactDir) / (opts.benchName + ".shards"))
         .string();
 }
 
@@ -376,18 +379,18 @@ parseDriverArgs(const std::vector<std::string> &args, DriverOptions *out,
             }
             o.benchName = v;
         } else if (a == "--artifact-dir") {
-            if (!value(a, &o.artifactDir))
+            if (!value(a, &o.run.artifactDir))
                 return false;
         } else if (a == "--result-cache") {
-            if (!value(a, &o.resultCacheDir))
+            if (!value(a, &o.run.resultCacheDir))
                 return false;
         } else if (a == "--baseline") {
-            if (!value(a, &o.baselinePath))
+            if (!value(a, &o.run.baselinePath))
                 return false;
         } else if (a == "--tolerance") {
             if (!value(a, &v))
                 return false;
-            if (!parseTolerance(v.c_str(), &o.tolerance)) {
+            if (!parseTolerance(v.c_str(), &o.run.tolerance)) {
                 *err = "invalid --tolerance '" + v +
                        "' (want a finite non-negative number)";
                 return false;
@@ -447,6 +450,25 @@ parseDriverArgs(const std::vector<std::string> &args, DriverOptions *out,
                 o.sshHosts.push_back(host);
                 start = comma + 1;
             }
+        } else if (a == "--connect") {
+            if (!value(a, &v))
+                return false;
+            o.connectHosts.clear();
+            size_t start = 0;
+            while (start <= v.size()) {
+                size_t comma = v.find(',', start);
+                if (comma == std::string::npos)
+                    comma = v.size();
+                const std::string host = v.substr(start, comma - start);
+                if (host.empty()) {
+                    *err = "invalid --connect '" + v +
+                           "' (want a comma-separated list of non-empty "
+                           "host:port or unix:PATH endpoints)";
+                    return false;
+                }
+                o.connectHosts.push_back(host);
+                start = comma + 1;
+            }
         } else if (a == "--no-progress") {
             o.streamProgress = false;
         } else if (!a.empty() && a[0] == '-') {
@@ -486,6 +508,12 @@ parseDriverArgs(const std::vector<std::string> &args, DriverOptions *out,
             return false;
         }
     }
+    if (!o.connectHosts.empty() &&
+        (!o.launcher.empty() || !o.sshHosts.empty())) {
+        *err = "--connect drives a standing fleet and cannot be "
+               "combined with --launcher or --ssh";
+        return false;
+    }
     if (o.benchName.empty()) {
         o.benchName = fs::path(o.benchPath).filename().string();
         if (!validBenchName(o.benchName)) {
@@ -508,9 +536,9 @@ buildShardArgv(const DriverOptions &opts, unsigned index, std::string *err)
                     std::to_string(opts.shards));
     bench.push_back("--artifact-dir");
     bench.push_back(shardDirOf(opts));
-    if (!opts.resultCacheDir.empty()) {
+    if (!opts.run.resultCacheDir.empty()) {
         bench.push_back("--result-cache");
-        bench.push_back(opts.resultCacheDir);
+        bench.push_back(opts.run.resultCacheDir);
     }
     if (progressFdAttached(opts)) {
         // The driver dup2()s the progress pipe to fd 3 in the child.
@@ -817,10 +845,17 @@ renderProgress(const std::vector<LiveShard> &shards)
         // percentiles, the numbers a served fleet would alert on.
         if (len > 0 && size_t(len) < sizeof(buf) &&
             (s.progress.kips > 0.0 || s.progress.hostP99 > 0.0))
+            len += std::snprintf(buf + len, sizeof(buf) - size_t(len),
+                                 " %.0fkips p50/p95/p99 %.3f/%.3f/%.3fs",
+                                 s.progress.kips, s.progress.hostP50,
+                                 s.progress.hostP95, s.progress.hostP99);
+        // Daemon-backed shards also report their service context.
+        if (len > 0 && size_t(len) < sizeof(buf) &&
+            (s.progress.queueDepth || s.progress.sessions))
             std::snprintf(buf + len, sizeof(buf) - size_t(len),
-                          " %.0fkips p50/p95/p99 %.3f/%.3f/%.3fs",
-                          s.progress.kips, s.progress.hostP50,
-                          s.progress.hostP95, s.progress.hostP99);
+                          " q%llu sess%llu",
+                          (unsigned long long)s.progress.queueDepth,
+                          (unsigned long long)s.progress.sessions);
         per += buf;
     }
     if (any)
@@ -870,6 +905,12 @@ printOutputTail(const LiveShard &s)
     std::fprintf(stderr, "--- end shard %u output ---\n", s.index);
 }
 
+void mergeVerifyAndGate(const DriverOptions &opts, const std::string &sdir,
+                        DriverOutcome *outp);
+
+bool runConnectFleet(const DriverOptions &opts, const std::string &sdir,
+                     DriverOutcome *outp);
+
 } // namespace
 
 DriverOutcome
@@ -890,8 +931,11 @@ runSweepDriver(const DriverOptions &optsIn)
     }
 
     // Local direct-exec mode fails fast on a missing binary; launcher
-    // and ssh commands can only be validated by running them.
-    if (opts.launcher.empty() && opts.sshHosts.empty()) {
+    // and ssh commands can only be validated by running them, and in
+    // --connect mode the positional argument is a registered bench
+    // name the daemon resolves, not a local binary.
+    if (opts.connectHosts.empty() && opts.launcher.empty() &&
+        opts.sshHosts.empty()) {
         const std::string resolved = resolveBenchPath(opts.benchPath);
         std::error_code ec;
         if (resolved.find('/') != std::string::npos &&
@@ -903,7 +947,7 @@ runSweepDriver(const DriverOptions &optsIn)
 
     const std::string sdir = shardDirOf(opts);
     std::error_code ec;
-    fs::create_directories(opts.artifactDir, ec);
+    fs::create_directories(opts.run.artifactDir, ec);
     fs::create_directories(sdir, ec);
     if (ec) {
         out.error =
@@ -921,6 +965,18 @@ runSweepDriver(const DriverOptions &optsIn)
     } catch (const fs::filesystem_error &fe) {
         out.error = std::string("cannot clean shard directory: ") +
                     fe.what();
+        return out;
+    }
+
+    if (!opts.connectHosts.empty()) {
+        // Daemon-backed mode: no child processes — each shard is a
+        // SweepRequest against the standing fleet, and the returned
+        // artifact bytes land in the same shard directory the
+        // ephemeral path uses, so the merge/gate below is shared.
+        SignalGuard signalGuard;
+        if (!runConnectFleet(opts, sdir, &out))
+            return out;
+        mergeVerifyAndGate(opts, sdir, &out);
         return out;
     }
 
@@ -1136,6 +1192,23 @@ runSweepDriver(const DriverOptions &optsIn)
         return out;
     }
 
+    mergeVerifyAndGate(opts, sdir, &out);
+    return out;
+}
+
+namespace {
+
+/** The shared back half of both driver modes (ephemeral shards and
+ *  --connect): verify every expected shard artifact exists, merge the
+ *  shard directory, recompute the deferred figure geomeans, save the
+ *  merged artifact, and gate it against the baseline. Fills
+ *  out->exitCode/error/mergedArtifactPath/gateDiffs. */
+void
+mergeVerifyAndGate(const DriverOptions &opts, const std::string &sdir,
+                   DriverOutcome *outp)
+{
+    DriverOutcome &out = *outp;
+    std::error_code ec;
     // Every shard claims success: verify each expected artifact really
     // exists, so a shard that "succeeded" without writing its file can
     // never produce a silently thinner merged artifact.
@@ -1153,18 +1226,18 @@ runSweepDriver(const DriverOptions &optsIn)
         out.error = "shard artifact(s) missing after successful shard "
                     "exit: " +
                     missing;
-        return out;
+        return;
     }
 
     BenchArtifact merged;
     std::string err;
     if (!loadArtifactOrShards(sdir, &merged, &err)) {
         out.error = "cannot merge shard artifacts: " + err;
-        return out;
+        return;
     }
     if (merged.jobs.empty()) {
         out.error = "merged artifact has zero jobs: nothing was swept";
-        return out;
+        return;
     }
     merged.sortJobsByLabel();
 
@@ -1173,7 +1246,7 @@ runSweepDriver(const DriverOptions &optsIn)
     // conopt_bench_check contract).
     BenchArtifact baseline;
     bool haveBaseline = false;
-    std::string basePath = opts.baselinePath;
+    std::string basePath = opts.run.baselinePath;
     if (!basePath.empty() && fs::is_directory(basePath, ec)) {
         basePath = (fs::path(basePath) /
                     ("BENCH_" + opts.benchName + ".json"))
@@ -1183,14 +1256,14 @@ runSweepDriver(const DriverOptions &optsIn)
                          "[conopt_sweep] no baseline for %s in %s; gate "
                          "skipped\n",
                          opts.benchName.c_str(),
-                         opts.baselinePath.c_str());
+                         opts.run.baselinePath.c_str());
             basePath.clear();
         }
     }
     if (!basePath.empty()) {
         if (!loadArtifact(basePath, &baseline, &err)) {
             out.error = "cannot load baseline: " + err;
-            return out;
+            return;
         }
         haveBaseline = true;
     }
@@ -1214,11 +1287,11 @@ runSweepDriver(const DriverOptions &optsIn)
     }
 
     const std::string mergedPath =
-        (fs::path(opts.artifactDir) / ("BENCH_" + opts.benchName + ".json"))
+        (fs::path(opts.run.artifactDir) / ("BENCH_" + opts.benchName + ".json"))
             .string();
     if (!merged.save(mergedPath, &err)) {
         out.error = "cannot write merged artifact: " + err;
-        return out;
+        return;
     }
     out.mergedArtifactPath = mergedPath;
     std::fprintf(stderr,
@@ -1233,32 +1306,356 @@ runSweepDriver(const DriverOptions &optsIn)
     if (gDriverInterrupted) {
         out.error = "interrupted during merge";
         out.exitCode = 2;
-        return out;
+        return;
     }
     if (!haveBaseline) {
         out.exitCode = 0;
-        return out;
+        return;
     }
-    const auto cmp = compareArtifacts(baseline, merged, {opts.tolerance});
+    const auto cmp = compareArtifacts(baseline, merged, {opts.run.tolerance});
     if (!cmp.ok) {
         std::fprintf(stderr,
                      "[conopt_sweep] BASELINE DRIFT vs %s (%zu "
                      "difference%s, tolerance %g):\n",
                      basePath.c_str(), cmp.diffs.size(),
-                     cmp.diffs.size() == 1 ? "" : "s", opts.tolerance);
+                     cmp.diffs.size() == 1 ? "" : "s", opts.run.tolerance);
         for (const auto &d : cmp.diffs)
             std::fprintf(stderr, "  %s\n", d.c_str());
         out.gateDiffs = cmp.diffs;
         out.exitCode = 1;
-        return out;
+        return;
     }
     std::fprintf(stderr,
                  "[conopt_sweep] merged artifact matches baseline %s "
                  "(tolerance %g)\n",
-                 basePath.c_str(), opts.tolerance);
+                 basePath.c_str(), opts.run.tolerance);
     out.exitCode = 0;
-    return out;
 }
+
+// --------------------------------------------------------------------------
+// --connect: daemon-backed shards
+// --------------------------------------------------------------------------
+
+/** Mutable state of one daemon-backed shard request: the --connect
+ *  analogue of LiveShard (no pid/fds — the "process" is a standing
+ *  daemon on the other end of a socket). */
+struct ConnectShard
+{
+    unsigned index = 0;
+    unsigned attempts = 0;
+    bool ok = false;
+    bool aborted = false;   ///< interrupted; never counts as ok
+    std::string error;      ///< last attempt's failure, for the report
+    double seconds = 0.0;   ///< last attempt's wall-clock duration
+    size_t progressLines = 0;
+    bool haveProgress = false;
+    SweepProgress progress;
+    std::mutex mu; ///< guards progress/haveProgress/progressLines
+    std::atomic<bool> done{false};
+};
+
+/** One request against one endpoint: connect, send, stream progress,
+ *  persist the returned artifact bytes verbatim to @p artPath (the
+ *  daemon sends BenchArtifact::toJson() text, so the written file is
+ *  byte-identical to what an ephemeral shard's save() produces).
+ *  False with @p failMsg on anything short of a written artifact. */
+bool
+connectAttempt(const DriverOptions &opts, const SweepRequest &req,
+               const std::string &endpoint, const std::string &artPath,
+               ConnectShard &cs, std::string *failMsg)
+{
+    std::string err;
+    const int fd = connectToService(endpoint, &err);
+    if (fd < 0) {
+        *failMsg = err;
+        return false;
+    }
+    if (!writeFrame(fd, makeRunFrame(req), &err)) {
+        ::close(fd);
+        *failMsg = endpoint + ": " + err;
+        return false;
+    }
+    FrameReader rd;
+    const auto start = Clock::now();
+    bool ok = false;
+    bool terminal = false;
+    while (!terminal) {
+        if (gDriverInterrupted) {
+            *failMsg = "interrupted";
+            cs.aborted = true;
+            break;
+        }
+        if (opts.timeoutSeconds > 0.0 &&
+            secondsSince(start) > opts.timeoutSeconds) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "timed out after %.1fs",
+                          opts.timeoutSeconds);
+            *failMsg = endpoint + ": " + buf;
+            break;
+        }
+        // Bounded poll slices keep the interrupt flag and the
+        // per-attempt deadline live while waiting on the daemon.
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, kPollMillis);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            *failMsg = endpoint + ": poll: " + std::strerror(errno);
+            break;
+        }
+        if (pr == 0)
+            continue;
+        char buf[4096];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            *failMsg = endpoint + ": read: " + std::strerror(errno);
+            break;
+        }
+        if (n == 0) {
+            *failMsg = endpoint + ": connection closed before a result";
+            break;
+        }
+        rd.feed(buf, size_t(n));
+        for (;;) {
+            std::string payload, perr;
+            const int got = rd.next(&payload, &perr);
+            if (got == 0)
+                break;
+            if (got < 0) {
+                *failMsg = endpoint + ": " + perr;
+                terminal = true;
+                break;
+            }
+            ServerFrame f;
+            if (!parseServerFrame(payload, &f, &perr)) {
+                *failMsg = endpoint + ": " + perr;
+                terminal = true;
+                break;
+            }
+            if (f.type == ServerFrame::Type::Progress) {
+                SweepProgress p;
+                if (parseProgressLine(f.line, &p)) {
+                    std::lock_guard<std::mutex> lk(cs.mu);
+                    cs.progress = std::move(p);
+                    cs.haveProgress = true;
+                    ++cs.progressLines;
+                }
+                // Non-protocol progress lines are ignored, like the
+                // ephemeral path's progress-fd parser.
+            } else if (f.type == ServerFrame::Type::Result) {
+                std::FILE *af = std::fopen(artPath.c_str(), "w");
+                if (!af) {
+                    *failMsg = "cannot write " + artPath + ": " +
+                               std::strerror(errno);
+                } else {
+                    std::fwrite(f.artifact.data(), 1, f.artifact.size(),
+                                af);
+                    if (std::fclose(af) == 0)
+                        ok = true;
+                    else
+                        *failMsg = "cannot write " + artPath;
+                }
+                terminal = true;
+            } else if (f.type == ServerFrame::Type::Error) {
+                *failMsg = endpoint + ": daemon error (code " +
+                           std::to_string(f.code) + "): " + f.message;
+                terminal = true;
+            }
+            // A healthz frame mid-run would be a daemon bug; skip it.
+            if (terminal)
+                break;
+        }
+    }
+    ::close(fd);
+    cs.seconds = secondsSince(start);
+    return ok;
+}
+
+/** One shard's full retry loop against the fleet (runs on its own
+ *  thread). Endpoints rotate with the attempt number, so a dead
+ *  daemon only costs its shards one attempt each. */
+void
+runConnectShard(const DriverOptions &opts, const SweepRequest &base,
+                const std::string &sdir, ConnectShard &cs)
+{
+    const unsigned maxAttempts = opts.retries + 1;
+    SweepRequest req = base;
+    req.run.shard.index = cs.index;
+    req.run.shard.count = opts.shards;
+    const std::string artPath =
+        (fs::path(sdir) /
+         shardArtifactName(opts.benchName, cs.index, opts.shards))
+            .string();
+    while (cs.attempts < maxAttempts && !cs.ok && !cs.aborted) {
+        if (gDriverInterrupted) {
+            cs.aborted = true;
+            break;
+        }
+        const std::string &endpoint =
+            opts.connectHosts[(cs.index + cs.attempts) %
+                              opts.connectHosts.size()];
+        ++cs.attempts;
+        std::string failMsg;
+        if (connectAttempt(opts, req, endpoint, artPath, cs, &failMsg)) {
+            cs.ok = true;
+            std::fprintf(stderr,
+                         "[conopt_sweep] shard %u/%u: ok in %.1fs "
+                         "(attempt %u, %s)\n",
+                         cs.index, opts.shards, cs.seconds, cs.attempts,
+                         endpoint.c_str());
+            break;
+        }
+        cs.error = failMsg;
+        if (cs.aborted)
+            break;
+        {
+            // A retry starts from zero, like a respawned shard.
+            std::lock_guard<std::mutex> lk(cs.mu);
+            cs.haveProgress = false;
+            cs.progress = SweepProgress{};
+        }
+        std::error_code ec;
+        fs::remove(artPath, ec);
+        if (cs.attempts < maxAttempts)
+            std::fprintf(
+                stderr,
+                "[conopt_sweep] shard %u/%u attempt %u failed (%s); "
+                "retrying (%u attempt%s left)\n",
+                cs.index, opts.shards, cs.attempts, failMsg.c_str(),
+                maxAttempts - cs.attempts,
+                maxAttempts - cs.attempts == 1 ? "" : "s");
+    }
+    cs.done.store(true);
+}
+
+/** Aggregate progress line for the connect fleet, through the same
+ *  renderer as the ephemeral path. */
+void
+renderConnectProgress(
+    const std::vector<std::unique_ptr<ConnectShard>> &shards)
+{
+    std::vector<LiveShard> snap(shards.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+        std::lock_guard<std::mutex> lk(shards[i]->mu);
+        snap[i].index = shards[i]->index;
+        snap[i].haveProgress = shards[i]->haveProgress;
+        snap[i].progress = shards[i]->progress;
+    }
+    renderProgress(snap);
+}
+
+/** The --connect engine: dispatch every shard as a SweepRequest to
+ *  the standing fleet and collect the artifacts into @p sdir. True
+ *  when every shard succeeded (the caller then merges and gates);
+ *  false with out->error/exitCode/shards filled. */
+bool
+runConnectFleet(const DriverOptions &opts, const std::string &sdir,
+                DriverOutcome *outp)
+{
+    DriverOutcome &out = *outp;
+    // The bench's `-- args` parse exactly as an ephemeral shard would
+    // parse them (same flags, same CONOPT_* environment, same exit-2
+    // contract), so a daemon-backed run describes the same work.
+    const HarnessOptions hopts = HarnessOptions::parseArgs(opts.benchArgs);
+    SweepRequest base;
+    base.bench = opts.benchName;
+    base.run = hopts.run;
+    // Capture this client's environment into the wire request: the
+    // daemon must reproduce the client's run, never its own
+    // environment.
+    if (base.run.scale == 0)
+        base.run.scale = envScale();
+    if (base.run.threads == 0)
+        base.run.threads = envThreads();
+    // The daemon never touches client paths; the artifact comes back
+    // as bytes and the gate runs client-side after the merge.
+    base.run.artifactDir.clear();
+    base.run.baselinePath.clear();
+    base.run.resultCacheDir.clear();
+    base.run.emitArtifact = true;
+
+    std::vector<std::unique_ptr<ConnectShard>> shards;
+    shards.reserve(opts.shards);
+    for (unsigned i = 0; i < opts.shards; ++i) {
+        shards.push_back(std::make_unique<ConnectShard>());
+        shards.back()->index = i;
+    }
+    std::fprintf(stderr,
+                 "[conopt_sweep] dispatching %u shard%s of %s to %zu "
+                 "endpoint%s (artifacts in %s)\n",
+                 opts.shards, opts.shards == 1 ? "" : "s",
+                 opts.benchName.c_str(), opts.connectHosts.size(),
+                 opts.connectHosts.size() == 1 ? "" : "s",
+                 sdir.c_str());
+    std::vector<std::thread> threads;
+    threads.reserve(opts.shards);
+    for (auto &cs : shards)
+        threads.emplace_back([&opts, &base, &sdir, &cs] {
+            runConnectShard(opts, base, sdir, *cs);
+        });
+
+    auto lastRender = Clock::now();
+    for (;;) {
+        bool allDone = true;
+        for (const auto &cs : shards)
+            if (!cs->done.load()) {
+                allDone = false;
+                break;
+            }
+        if (allDone)
+            break;
+        ::poll(nullptr, 0, kPollMillis);
+        if (opts.streamProgress &&
+            secondsSince(lastRender) >= kRenderIntervalSeconds) {
+            renderConnectProgress(shards);
+            lastRender = Clock::now();
+        }
+    }
+    for (auto &t : threads)
+        t.join();
+
+    unsigned failures = 0;
+    for (const auto &csp : shards) {
+        const ConnectShard &cs = *csp;
+        ShardOutcome so;
+        so.index = cs.index;
+        so.attempts = cs.attempts;
+        so.ok = cs.ok && !cs.aborted;
+        so.exitStatus = so.ok ? 0 : 2;
+        so.seconds = cs.seconds;
+        so.outputTail = cs.error;
+        so.progressLines = cs.progressLines;
+        if (!so.ok) {
+            ++failures;
+            std::fprintf(stderr,
+                         "[conopt_sweep] shard %u/%u FAILED after %u "
+                         "attempt%s (%s)\n",
+                         cs.index, opts.shards, cs.attempts,
+                         cs.attempts == 1 ? "" : "s",
+                         cs.error.c_str());
+        }
+        out.shards.push_back(std::move(so));
+    }
+    if (gDriverInterrupted) {
+        out.error = "interrupted; not merging";
+        out.exitCode = 2;
+        return false;
+    }
+    if (failures > 0) {
+        out.error = std::to_string(failures) + " of " +
+                    std::to_string(opts.shards) +
+                    " shard(s) failed; not merging";
+        out.exitCode = 2;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
 
 // --------------------------------------------------------------------------
 // CLI
@@ -1298,6 +1695,11 @@ constexpr const char *kUsage =
     "  --ssh H1,H2,...         run shards round-robin over ssh hosts\n"
     "                          (assumes a shared filesystem; with\n"
     "                          --launcher, only supplies {host})\n"
+    "  --connect A1,A2,...     send shards to standing conopt_served\n"
+    "                          daemons (host:port or unix:PATH) instead\n"
+    "                          of spawning processes; <bench> is then a\n"
+    "                          registered bench name (see README\n"
+    "                          \"Standing fleet\")\n"
     "  --no-progress           do not stream per-shard progress/ETA\n"
     "exit status: 0 merged artifact ok, 1 baseline drift, 2 error\n";
 

@@ -117,14 +117,15 @@ struct DriverOptions
     std::vector<std::string> benchArgs; ///< extra args after `--`
 
     unsigned shards = 2;         ///< shard process count (>= 1)
-    std::string artifactDir = "."; ///< merged artifact lands here; the
-                                   ///< per-shard files go to a
-                                   ///< driver-owned `<name>.shards/`
-                                   ///< subdirectory that is cleaned of
-                                   ///< stale artifacts first
-    std::string resultCacheDir;  ///< forwarded to every shard when set
-    std::string baselinePath;    ///< file or directory; "" = no gate
-    double tolerance = 0.0;      ///< gate tolerance (0 = exact)
+    /** The canonical run description (src/sim/request.hh). The driver
+     *  consumes run.artifactDir (the merged artifact lands here; the
+     *  per-shard files go to a driver-owned `<name>.shards/`
+     *  subdirectory that is cleaned of stale artifacts first),
+     *  run.resultCacheDir (forwarded to every shard when set),
+     *  run.baselinePath (file or directory; "" = no gate), and
+     *  run.tolerance (0 = exact). In --connect mode the rest of the
+     *  RunOptions travels to the daemons as the SweepRequest body. */
+    RunOptions run;
     std::string geomeanBase;     ///< non-empty: recompute merged figure
                                  ///< geomeans over this base config
     double timeoutSeconds = 0.0; ///< per shard attempt; 0 = none
@@ -140,6 +141,16 @@ struct DriverOptions
      *  the remote process — bound remote runtimes remotely too, e.g.
      *  `--launcher 'ssh {host} timeout N {cmd}' --ssh h1,h2`. */
     std::vector<std::string> sshHosts;
+    /** `--connect host:port[,host:port...]` / `--connect unix:PATH`:
+     *  instead of spawning shard processes, send each shard as a
+     *  SweepRequest to a standing conopt_served fleet (round-robin
+     *  over the endpoints, rotating on retry) and write the returned
+     *  artifacts into the same shard directory — the merge, geomean
+     *  recompute, and baseline gate are byte-identical to the
+     *  ephemeral path. The positional bench argument is then a
+     *  *registered bench name* (src/sim/bench_registry.hh), not a
+     *  binary path. Mutually exclusive with --launcher/--ssh. */
+    std::vector<std::string> connectHosts;
     bool streamProgress = true;  ///< attach --progress-fd + render ETA
 };
 

@@ -6,7 +6,12 @@
 
 namespace conopt::sim {
 
-SimSession::SimSession() = default;
+std::atomic<uint64_t> SimSession::constructed_{0};
+
+SimSession::SimSession()
+{
+    constructed_.fetch_add(1, std::memory_order_relaxed);
+}
 
 SimSession::~SimSession() = default;
 

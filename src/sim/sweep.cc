@@ -18,82 +18,8 @@
 
 namespace conopt::sim {
 
-namespace {
-
-/** Parse environment variable @p name as an unsigned. Unset, empty,
- *  non-numeric, negative, zero, or partially-numeric values (e.g.
- *  "8x", "4,") yield @p def; values beyond @p cap clamp to it (so
- *  absurd inputs can't overflow downstream scale/thread arithmetic). */
-unsigned
-envUnsigned(const char *name, unsigned def, unsigned cap)
-{
-    const char *s = std::getenv(name);
-    if (!s || !*s)
-        return def;
-    // Skip exactly the whitespace strtoull would, so a negative value
-    // is rejected here rather than wrapping to a huge unsigned there.
-    while (std::isspace(uint8_t(*s)))
-        ++s;
-    if (*s == '-')
-        return def;
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s)
-        return def;
-    // The whole token must be the number: trailing whitespace is fine,
-    // trailing garbage means the value was not what the user intended
-    // ("8x", "4,") and must fall back to the default, not silently
-    // parse as its numeric prefix.
-    while (std::isspace(uint8_t(*end)))
-        ++end;
-    if (*end != '\0')
-        return def;
-    if (errno == ERANGE || v > cap)
-        return cap;
-    return v == 0 ? def : unsigned(v);
-}
-
-} // namespace
-
-unsigned
-envScale()
-{
-    return envUnsigned("CONOPT_SCALE", 1, kMaxEnvScale);
-}
-
-unsigned
-envThreads()
-{
-    return envUnsigned("CONOPT_THREADS", 0, kMaxEnvThreads);
-}
-
-bool
-parseShard(const std::string &s, ShardSpec *out)
-{
-    // Strict "<digits>/<digits>": no sign, no whitespace, no trailing
-    // characters (strtoull alone would accept all three).
-    const char *p = s.c_str();
-    if (!std::isdigit(uint8_t(*p)))
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long i = std::strtoull(p, &end, 10);
-    if (*end != '/' || errno == ERANGE)
-        return false;
-    const char *q = end + 1;
-    if (!std::isdigit(uint8_t(*q)))
-        return false;
-    errno = 0;
-    const unsigned long long n = std::strtoull(q, &end, 10);
-    if (*end != '\0' || errno == ERANGE)
-        return false;
-    if (n == 0 || n > kMaxEnvThreads || i >= n)
-        return false;
-    out->index = unsigned(i);
-    out->count = unsigned(n);
-    return true;
-}
+// envScale()/envThreads()/parseShard() moved to src/sim/request.cc
+// with the canonical RunOptions/SweepRequest schema.
 
 namespace {
 
@@ -109,9 +35,11 @@ seedFor(const std::string &label, unsigned scale)
     return h ? h : 1;
 }
 
-/** Resolve names/defaults so workers see a fully-specified job. */
+/** Resolve names/defaults so workers see a fully-specified job.
+ *  @p scaleMul is the workload scale multiplier (RunOptions::
+ *  effectiveScale(): an explicit request value, or CONOPT_SCALE). */
 void
-normalize(SimJob &job)
+normalize(SimJob &job, unsigned scaleMul)
 {
     if (job.label.empty()) {
         if (job.workload.empty() && !job.configName.empty())
@@ -125,13 +53,14 @@ normalize(SimJob &job)
             conopt_fatal("sweep job '%s': unknown workload '%s'",
                          job.label.c_str(), job.workload.c_str());
         if (job.scale == 0)
-            job.scale = w->defaultScale * envScale();
+            job.scale = w->defaultScale * scaleMul;
     } else if (job.scale == 0) {
         // Pre-built programs have no registry defaultScale, but must
         // still be fully specified: the scale feeds the seed
         // derivation, the artifact record, and the result-cache key.
-        // A bare program is the envScale() of a defaultScale-1 job.
-        job.scale = envScale();
+        // A bare program is the scale-multiplier of a defaultScale-1
+        // job.
+        job.scale = scaleMul;
     }
     if (job.seed == 0)
         job.seed = seedFor(job.label, job.scale);
@@ -383,7 +312,7 @@ SweepRunner::runOne(const SimJob &job)
         // (re)armed — or disarmed — for every job, with the job's own
         // deterministic seed: per-job reservoirs never depend on which
         // worker thread ran the job or what ran on it before.
-        session.setIpcSampling(opts_.ipcSampleInterval,
+        session.setIpcSampling(opts_.run.ipcSampleInterval,
                                opts_.ipcReservoirCapacity, job.seed);
         // Time the simulation alone: the kips trend must not move
         // with cache fingerprinting or the rc->store() disk write.
@@ -410,8 +339,9 @@ SweepRunner::run(std::vector<SimJob> jobs)
     // every shard of the same sweep agrees on labels and positions.
     {
         std::set<std::string> seen;
+        const unsigned scaleMul = opts_.run.effectiveScale();
         for (auto &job : jobs) {
-            normalize(job);
+            normalize(job, scaleMul);
             if (!seen.insert(job.label).second)
                 conopt_fatal("duplicate sweep job label '%s'",
                              job.label.c_str());
@@ -420,7 +350,7 @@ SweepRunner::run(std::vector<SimJob> jobs)
 
     // Keep only this shard's slice (round-robin over submission order,
     // so the partition is balanced and depends only on job position).
-    const ShardSpec shard = opts_.shard;
+    const ShardSpec shard = opts_.run.shard;
     if (shard.count == 0 || shard.index >= shard.count)
         conopt_fatal("invalid sweep shard %u/%u (want index < count)",
                      shard.index, shard.count);
@@ -496,7 +426,7 @@ SweepRunner::run(std::vector<SimJob> jobs)
         }
     };
 
-    unsigned n = opts_.threads ? opts_.threads : envThreads();
+    unsigned n = opts_.run.effectiveThreads();
     if (n == 0)
         n = std::thread::hardware_concurrency();
     if (n < 1)

@@ -53,48 +53,16 @@
 
 #include "src/asm/program.hh"
 #include "src/pipeline/machine_config.hh"
+#include "src/sim/request.hh"
 #include "src/sim/result_cache.hh"
 #include "src/sim/session.hh"
 #include "src/sim/simulator.hh"
 
 namespace conopt::sim {
 
-/** Upper bounds on the CONOPT_SCALE / CONOPT_THREADS environment
- *  variables; larger values clamp rather than overflow the scale
- *  multiplication or the thread-pool size. */
-constexpr unsigned kMaxEnvScale = 1u << 20;
-constexpr unsigned kMaxEnvThreads = 1u << 16;
-
-/** Workload scale multiplier from the CONOPT_SCALE environment variable
- *  (default 1); lets the harness trade runtime for statistical weight.
- *  Unset, zero, negative, or garbage values yield the default; huge
- *  values clamp to kMaxEnvScale. */
-unsigned envScale();
-
-/** Worker-thread count from the CONOPT_THREADS environment variable;
- *  0 (unset/invalid/garbage) means use
- *  std::thread::hardware_concurrency(); huge values clamp to
- *  kMaxEnvThreads. */
-unsigned envThreads();
-
-/** One shard of a sweep split across processes/machines. The job list
- *  is partitioned round-robin over submission order (job i belongs to
- *  shard i % count), so shards are balanced across the workload-major
- *  cross product and a job's shard depends only on its position, never
- *  on thread scheduling. {0, 1} is the whole sweep. */
-struct ShardSpec
-{
-    unsigned index = 0; ///< 0-based shard id
-    unsigned count = 1; ///< total shards; 1 = unsharded
-
-    bool active() const { return count > 1; }
-    /** Does submission position @p i fall in this shard? */
-    bool contains(size_t i) const { return i % count == index; }
-};
-
-/** Parse "<i>/<n>" (e.g. "0/2", "1/2") into @p out. False on anything
- *  else: garbage, trailing characters, n == 0, or i >= n. */
-bool parseShard(const std::string &s, ShardSpec *out);
+// kMaxEnvScale/kMaxEnvThreads, envScale(), envThreads(), ShardSpec,
+// and parseShard() live in src/sim/request.hh with the canonical
+// RunOptions/SweepRequest schema they belong to.
 
 // ProgramPtr (an immutable, shareable assembled program) lives in
 // src/sim/session.hh with the session that consumes it.
@@ -238,6 +206,13 @@ struct SweepProgress
     double hostP50 = 0.0;
     double hostP95 = 0.0;
     double hostP99 = 0.0;
+    /** Service-side context for daemon-backed shards: the daemon's
+     *  request-queue depth and total SimSessions constructed when the
+     *  job finished. 0/0 for ephemeral (process-per-shard) runs — the
+     *  progress line only carries the keys when one is nonzero, so
+     *  existing v1 consumers and byte-stable logs are unaffected. */
+    uint64_t queueDepth = 0;
+    uint64_t sessions = 0;
 };
 
 /** Invoked after every finished job, serialized under an internal
@@ -287,22 +262,28 @@ struct SweepOptions
     SweepOptions() = default;
     /** The common short form: thread count plus a shared program
      *  cache, everything else defaulted. */
-    SweepOptions(unsigned threads_, ProgramCache *cache_)
-        : threads(threads_), cache(cache_)
-    {}
+    SweepOptions(unsigned threads_, ProgramCache *cache_) : cache(cache_)
+    {
+        run.threads = threads_;
+    }
 
-    /** Worker threads; 0 = CONOPT_THREADS from the environment, or
-     *  std::thread::hardware_concurrency() when that is unset too. */
-    unsigned threads = 0;
+    /** The serializable run description (src/sim/request.hh). The
+     *  runner consumes run.threads (0 = CONOPT_THREADS, else hardware
+     *  concurrency), run.shard (the slice of the job list this runner
+     *  executes — the *full* job list is still normalized and
+     *  label-checked so every shard agrees on the partition; only
+     *  this shard's jobs run and only they appear in the SweepResult),
+     *  run.scale (0 = CONOPT_SCALE) as the workload scale multiplier,
+     *  and run.ipcSampleInterval (one IPC sample per this many retired
+     *  instructions into a bounded per-job reservoir seeded with the
+     *  job's deterministic seed; 0 = off, the default, so gated runs
+     *  stay sample-free — sampling is host-side observability only and
+     *  simulated results are bit-identical either way; cache hits
+     *  carry no samples, exactly as they carry no host timings). */
+    RunOptions run;
 
     /** Program cache to share across sweeps; nullptr = per-runner. */
     ProgramCache *cache = nullptr;
-
-    /** Which slice of the job list this runner executes. The *full*
-     *  job list is still normalized and label-checked, so every shard
-     *  agrees on the partition; only this shard's jobs run (and only
-     *  they appear in the SweepResult). */
-    ShardSpec shard;
 
     /** Persistent cross-process result cache; nullptr = none. Jobs
      *  whose (program, config, scale, seed, maxInsts) key hits skip
@@ -311,14 +292,6 @@ struct SweepOptions
 
     /** Per-finished-job progress callback; empty = none. */
     ProgressFn onProgress;
-
-    /** Per-interval IPC sampling: one sample per this many retired
-     *  instructions, drawn into a bounded per-job reservoir seeded
-     *  with the job's deterministic seed. 0 (default) = off — gated
-     *  runs stay sample-free. Host-side observability only; simulated
-     *  results are bit-identical either way. Cache hits carry no
-     *  samples, exactly as they carry no host timings. */
-    uint64_t ipcSampleInterval = 0;
 
     /** Reservoir capacity per job when sampling is on. */
     size_t ipcReservoirCapacity = 256;

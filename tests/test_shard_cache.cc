@@ -86,8 +86,8 @@ sim::SweepOptions
 shardOpts(unsigned index, unsigned count)
 {
     sim::SweepOptions o;
-    o.threads = 2;
-    o.shard = {index, count};
+    o.run.threads = 2;
+    o.run.shard = {index, count};
     return o;
 }
 
@@ -285,7 +285,7 @@ TEST(ResultCache, SecondRunPerformsZeroNewSimulations)
     const auto spec = smallSpec();
 
     sim::SweepOptions cold;
-    cold.threads = 2;
+    cold.run.threads = 2;
     cold.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner first(cold);
@@ -304,7 +304,7 @@ TEST(ResultCache, SecondRunPerformsZeroNewSimulations)
     // can only come from the persisted entries, and zero misses means
     // zero new simulations — the acceptance criterion.
     sim::SweepOptions warm;
-    warm.threads = 2;
+    warm.run.threads = 2;
     warm.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner second(warm);
@@ -340,7 +340,7 @@ TEST(ResultCache, CachedRunProducesIdenticalArtifact)
     const auto spec = smallSpec();
 
     sim::SweepOptions o;
-    o.threads = 2;
+    o.run.threads = 2;
     o.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner runner(o);
@@ -360,7 +360,7 @@ TEST(ResultCache, InvalidatesOnConfigScaleAndSeedChange)
     const auto cache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepOptions o;
-    o.threads = 1;
+    o.run.threads = 1;
     o.resultCache = cache;
     sim::SweepRunner runner(o);
 
@@ -416,7 +416,7 @@ TEST(ResultCache, CorruptEntryIsAMissNotACrash)
         "base", pipeline::MachineConfig::baseline());
 
     sim::SweepOptions o;
-    o.threads = 1;
+    o.run.threads = 1;
     o.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner cold(o);
@@ -432,7 +432,7 @@ TEST(ResultCache, CorruptEntryIsAMissNotACrash)
     }
 
     sim::SweepOptions o2;
-    o2.threads = 1;
+    o2.run.threads = 1;
     o2.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner warm(o2);
@@ -515,7 +515,7 @@ TEST(ResultCache, ShardsSharingACacheDirWarmEachOther)
     }
     // An unsharded run over the same directory: every cell cached.
     sim::SweepOptions o;
-    o.threads = 2;
+    o.run.threads = 2;
     o.resultCache =
         std::make_shared<sim::ResultCache>(tmp.file("cache"));
     sim::SweepRunner full(o);
@@ -533,7 +533,7 @@ TEST(SweepProgress, ReportsEveryJobOnceWithMonotonicDoneCounter)
 {
     std::vector<sim::SweepProgress> seen;
     sim::SweepOptions o;
-    o.threads = 3;
+    o.run.threads = 3;
     o.onProgress = [&](const sim::SweepProgress &p) {
         seen.push_back(p);
     };

@@ -286,8 +286,8 @@ TEST(ShardedDistribution, MergedShardPercentilesMatchUnsharded)
 {
     const auto spec = smallSpec();
     sim::SweepOptions base;
-    base.threads = 2;
-    base.ipcSampleInterval = 200;
+    base.run.threads = 2;
+    base.run.ipcSampleInterval = 200;
     base.ipcReservoirCapacity = 32;
 
     sim::SweepRunner full(base);
@@ -304,7 +304,7 @@ TEST(ShardedDistribution, MergedShardPercentilesMatchUnsharded)
     std::string err;
     for (unsigned i = 0; i < 2; ++i) {
         sim::SweepOptions o = base;
-        o.shard = {i, 2};
+        o.run.shard = {i, 2};
         sim::SweepRunner part(o);
         const auto shardRes = part.run(spec);
         auto shard = sim::BenchArtifact::fromSweep(shardRes);
@@ -372,8 +372,8 @@ TEST(ArtifactCompat, UnsampledArtifactsCarryNoDistributionFields)
 TEST(ArtifactCompat, SampledArtifactsRoundTripByteIdentically)
 {
     sim::SweepOptions o;
-    o.threads = 2;
-    o.ipcSampleInterval = 200;
+    o.run.threads = 2;
+    o.run.ipcSampleInterval = 200;
     o.ipcReservoirCapacity = 16;
     sim::SweepRunner runner(o);
     const auto res = runner.run(smallSpec());
@@ -403,8 +403,8 @@ TEST(ArtifactCompat, CompareArtifactsIgnoresDistributionFields)
     artPlain.bench = "dist_test";
 
     sim::SweepOptions o;
-    o.threads = 2;
-    o.ipcSampleInterval = 200;
+    o.run.threads = 2;
+    o.run.ipcSampleInterval = 200;
     sim::SweepRunner sampled(o);
     const auto res = sampled.run(spec);
     auto artSampled = sim::BenchArtifact::fromSweep(res);

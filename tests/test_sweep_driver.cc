@@ -70,7 +70,10 @@ constexpr const char *kChildBench = "test_sweep_driver";
 // straggler out for pipe EOF" at either speed.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
 constexpr int kLingerDeciseconds = 900;
-constexpr double kFinalizeBoundSeconds = 45.0;
+// Must stay well under the straggler's 90 s sleep to keep its
+// discriminating power, but high enough that sanitized shards on a
+// contended CI box don't trip it on the pass path.
+constexpr double kFinalizeBoundSeconds = 70.0;
 #else
 constexpr int kLingerDeciseconds = 300;
 constexpr double kFinalizeBoundSeconds = 15.0;
@@ -209,7 +212,7 @@ childDriverOptions(const TempDir &tmp, unsigned shards)
     o.benchPath = selfExePath();
     o.benchName = kChildBench;
     o.shards = shards;
-    o.artifactDir = tmp.path.string();
+    o.run.artifactDir = tmp.path.string();
     return o;
 }
 
@@ -271,6 +274,39 @@ TEST(ProgressLine, FormatParseRoundTripsExactly)
 
     // A trailing newline (the wire form) is tolerated.
     EXPECT_TRUE(sim::parseProgressLine(line + "\n", &q));
+}
+
+TEST(ProgressLine, DaemonKeysRoundTripAndStayOffTheEphemeralWire)
+{
+    // Daemon-backed shards annotate the stream with their queue depth
+    // and warm-session count; an ephemeral shard (both zero) must emit
+    // byte-identical v1 lines to the pre-daemon protocol.
+    sim::SweepProgress p;
+    p.done = 2;
+    p.total = 4;
+    p.label = "gzp/opt";
+    const std::string bare = sim::formatProgressLine(p);
+    EXPECT_EQ(bare.find("queue_depth="), std::string::npos) << bare;
+    EXPECT_EQ(bare.find("sessions="), std::string::npos) << bare;
+
+    p.queueDepth = 3;
+    p.sessions = 2;
+    const std::string line = sim::formatProgressLine(p);
+    sim::SweepProgress q;
+    ASSERT_TRUE(sim::parseProgressLine(line, &q)) << line;
+    EXPECT_EQ(q.queueDepth, 3u);
+    EXPECT_EQ(q.sessions, 2u);
+    EXPECT_EQ(q.label, "gzp/opt");
+
+    // A v1 parser that predates the keys sees them as unknown
+    // key=value tokens — and unknown keys are skipped, so the new
+    // wire form stays parseable (regression: forward compatibility).
+    ASSERT_TRUE(sim::parseProgressLine(
+        "CONOPT-PROGRESS v1 done=2 total=4 queue_depth=3 sessions=2 "
+        "brand_new_key=7 label=gzp/opt",
+        &q));
+    EXPECT_EQ(q.queueDepth, 3u);
+    EXPECT_EQ(q.label, "gzp/opt");
 }
 
 TEST(ProgressLine, RejectsMalformedLines)
@@ -351,8 +387,8 @@ TEST(BuildShardArgv, LocalDirectExec)
     o.benchPath = "/bin/bench_bin";
     o.benchName = "bench_bin";
     o.shards = 2;
-    o.artifactDir = "out";
-    o.resultCacheDir = "rc";
+    o.run.artifactDir = "out";
+    o.run.resultCacheDir = "rc";
     std::string err;
     const auto argv = sim::buildShardArgv(o, 1, &err);
     const std::vector<std::string> want = {
@@ -435,13 +471,13 @@ TEST(ParseDriverArgs, AcceptsAFullyLoadedCommandLine)
     EXPECT_EQ(o.shards, 4u);
     EXPECT_EQ(o.benchPath, "fig6_speedup");
     EXPECT_EQ(o.benchName, "fig6_speedup");
-    EXPECT_EQ(o.baselinePath, "bench/baselines");
-    EXPECT_EQ(o.resultCacheDir, "rc");
+    EXPECT_EQ(o.run.baselinePath, "bench/baselines");
+    EXPECT_EQ(o.run.resultCacheDir, "rc");
     EXPECT_EQ(o.geomeanBase, "base");
     EXPECT_DOUBLE_EQ(o.timeoutSeconds, 2.5);
     EXPECT_EQ(o.retries, 0u);
-    EXPECT_DOUBLE_EQ(o.tolerance, 0.01);
-    EXPECT_EQ(o.artifactDir, "out");
+    EXPECT_DOUBLE_EQ(o.run.tolerance, 0.01);
+    EXPECT_EQ(o.run.artifactDir, "out");
     EXPECT_EQ(o.benchArgs, std::vector<std::string>{"--progress"});
 
     // A path-y bench derives its name from the basename.
@@ -458,6 +494,18 @@ TEST(ParseDriverArgs, AcceptsAFullyLoadedCommandLine)
                                      &o, &err))
         << err;
     EXPECT_EQ(o.sshHosts.size(), 2u);
+
+    // --connect: a comma-separated endpoint rotation; the bench is a
+    // registered name, not a spawned path.
+    ASSERT_TRUE(sim::parseDriverArgs(
+        {"--connect", "hostA:7070,unix:/run/conopt.sock",
+         "table1_workloads"},
+        &o, &err))
+        << err;
+    ASSERT_EQ(o.connectHosts.size(), 2u);
+    EXPECT_EQ(o.connectHosts[0], "hostA:7070");
+    EXPECT_EQ(o.connectHosts[1], "unix:/run/conopt.sock");
+    EXPECT_EQ(o.benchName, "table1_workloads");
 }
 
 TEST(ParseDriverArgs, RejectsMalformedInput)
@@ -486,6 +534,12 @@ TEST(ParseDriverArgs, RejectsMalformedInput)
         // --ssh with a template that never uses {host}: every shard
         // would silently run locally.
         {"--ssh", "h1,h2", "--launcher", "nice {cmd}", "b"},
+        {"--connect", "", "b"},                // empty endpoint list
+        {"--connect", "a:1,,b:2", "b"},        // empty endpoint
+        // --connect drives a standing fleet; spawning flags make no
+        // sense alongside it.
+        {"--connect", "a:1", "--launcher", "nice {cmd}", "b"},
+        {"--connect", "a:1", "--ssh", "h1", "b"},
         {"--bogus", "b"},                      // unknown flag
         {"bench1", "bench2"},                  // two positionals
     };
@@ -547,9 +601,9 @@ TEST(SweepDriverRun, GatesMergedArtifactAgainstBaseline)
     ASSERT_TRUE(baseline.save(tmp.file("baseline.json"), &err)) << err;
 
     auto o = childDriverOptions(tmp, 2);
-    o.artifactDir = (tmp.path / "run_ok").string();
+    o.run.artifactDir = (tmp.path / "run_ok").string();
     o.geomeanBase = "base";
-    o.baselinePath = tmp.file("baseline.json");
+    o.run.baselinePath = tmp.file("baseline.json");
     EXPECT_EQ(sim::runSweepDriver(o).exitCode, 0);
 
     // Any cycle perturbation in the baseline must gate as drift (1),
@@ -557,9 +611,9 @@ TEST(SweepDriverRun, GatesMergedArtifactAgainstBaseline)
     baseline.jobs[0].cycles += 1;
     ASSERT_TRUE(baseline.save(tmp.file("drift.json"), &err)) << err;
     auto o2 = childDriverOptions(tmp, 2);
-    o2.artifactDir = (tmp.path / "run_drift").string();
+    o2.run.artifactDir = (tmp.path / "run_drift").string();
     o2.geomeanBase = "base";
-    o2.baselinePath = tmp.file("drift.json");
+    o2.run.baselinePath = tmp.file("drift.json");
     const auto drift = sim::runSweepDriver(o2);
     EXPECT_EQ(drift.exitCode, 1);
     EXPECT_FALSE(drift.gateDiffs.empty());
@@ -722,7 +776,7 @@ TEST(SweepDriverRun, MissingBenchBinaryFailsBeforeSpawning)
     o.benchPath = tmp.file("no_such_bench");
     o.benchName = "no_such_bench";
     o.shards = 2;
-    o.artifactDir = tmp.path.string();
+    o.run.artifactDir = tmp.path.string();
     const auto out = sim::runSweepDriver(o);
     EXPECT_EQ(out.exitCode, 2);
     EXPECT_NE(out.error.find("not found"), std::string::npos)

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * conopt_served: the standing sweep daemon. Listens on a TCP or unix
+ * socket, keeps warm simulation sessions, a hot program cache, and an
+ * always-on result cache across requests, and serves SweepRequests
+ * from `conopt_sweep --connect` (or any client speaking the framed
+ * line-JSON protocol in README.md, "Standing fleet"). All logic lives
+ * in sim::servedMain / sim::SweepService (src/sim/service.hh) so
+ * tests/test_served.cc covers the behaviour in-process.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/sim/service.hh"
+
+int
+main(int argc, char **argv)
+{
+    return conopt::sim::servedMain(
+        std::vector<std::string>(argv + 1, argv + argc));
+}
