@@ -27,10 +27,20 @@
  *     BENCH_simperf.json is loaded and per-job + aggregate kips
  *     deltas are printed. Informational only: the baseline is consumed
  *     by the delta report and never turned into a gate (a slow CI
- *     machine is not a regression).
+ *     machine is not a regression);
+ *   - --repeat N (simperf-only, stripped before the shared harness
+ *     parser) runs the whole grid N times interleaved and reports the
+ *     per-job MEDIAN simSeconds/hostSeconds/kips, so a noisy container
+ *     can neither fake nor hide a perf leg's gain. Interleaving whole
+ *     rounds (not N back-to-back runs per job) spreads host noise
+ *     across every job equally; SimStats must be bit-identical across
+ *     rounds (the simulator is deterministic) and simperf aborts if
+ *     they are not.
  */
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstring>
 #include <filesystem>
 
 #include "bench/bench_common.hh"
@@ -100,12 +110,51 @@ printHostDistDelta(const sim::BenchArtifact &prev,
     row("max", a.max, b.max);
 }
 
+/** Median of @p v (destructive); even sizes average the two middles. */
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    if (n == 0)
+        return 0.0;
+    if (n % 2 == 1)
+        return v[n / 2];
+    return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const bench::HarnessOptions hopts = bench::harnessInit(argc, argv);
+    // --repeat N is simperf-local methodology, not part of the shared
+    // RunOptions schema: strip it before the (strict) harness parser.
+    int repeat = 1;
+    std::vector<char *> args;
+    args.reserve(size_t(argc));
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeat") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "simperf: --repeat needs a count\n");
+                return 2;
+            }
+            repeat = std::atoi(argv[++i]);
+            if (repeat < 1) {
+                std::fprintf(stderr,
+                             "simperf: bad --repeat count '%s' (want "
+                             ">= 1)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int argCount = int(args.size());
+    const bench::HarnessOptions hopts =
+        bench::harnessInit(argCount, args.data());
     // Perf recording is unconditional here (the explicit addPerf call
     // below); no --perf needed.
     if (hopts.resultCache) {
@@ -125,8 +174,65 @@ main(int argc, char **argv)
         .config("opt", pipeline::MachineConfig::optimized());
 
     sim::SweepRunner runner(hopts.sweepOptions());
-    const auto res = runner.run(spec);
 
+    // Run the whole grid `repeat` times, interleaved round by round,
+    // then take per-job medians. One round is the plain simperf run.
+    std::vector<sim::SweepResult> rounds;
+    rounds.reserve(size_t(repeat));
+    for (int round = 0; round < repeat; ++round) {
+        rounds.push_back(runner.run(spec));
+        if (repeat > 1) {
+            double sec = 0.0;
+            uint64_t insts = 0;
+            for (const auto &r : rounds.back().all()) {
+                sec += r.simSeconds;
+                insts += r.sim.instructions;
+            }
+            std::printf("round %d/%d: %10.1f kips aggregate\n",
+                        round + 1, repeat,
+                        sec > 0.0 ? double(insts) / sec / 1e3 : 0.0);
+        }
+    }
+
+    // The simulator is deterministic: every round must produce the
+    // same simulated results, or the medians compare different work.
+    const sim::SweepResult &first = rounds.front();
+    for (const auto &rd : rounds) {
+        for (size_t i = 0; i < first.size(); ++i) {
+            if (rd.all()[i].sim.stats.cycles !=
+                first.all()[i].sim.stats.cycles) {
+                std::fprintf(stderr,
+                             "simperf: job '%s' changed simulated "
+                             "cycles between rounds — simulator is "
+                             "non-deterministic\n",
+                             first.all()[i].job.label.c_str());
+                return 1;
+            }
+        }
+    }
+
+    // Per-job medians across rounds (repeat == 1: the round itself).
+    sim::SweepResult res;
+    for (size_t i = 0; i < first.size(); ++i) {
+        sim::JobResult r = first.all()[i];
+        std::vector<double> simS, hostS;
+        simS.reserve(rounds.size());
+        hostS.reserve(rounds.size());
+        for (const auto &rd : rounds) {
+            simS.push_back(rd.all()[i].simSeconds);
+            hostS.push_back(rd.all()[i].hostSeconds);
+        }
+        r.simSeconds = medianOf(std::move(simS));
+        r.hostSeconds = medianOf(std::move(hostS));
+        r.kips = r.simSeconds > 0.0
+                     ? double(r.sim.instructions) / r.simSeconds / 1e3
+                     : 0.0;
+        res.add(std::move(r));
+    }
+
+    if (repeat > 1)
+        std::printf("\nper-job medians over %d interleaved rounds:\n",
+                    repeat);
     std::printf("%-14s %14s %12s %10s\n", "job", "insts", "host s",
                 "kips");
     double totalSec = 0.0;

@@ -27,11 +27,29 @@ Emulator::Emulator(std::shared_ptr<const assembler::Program> program,
 }
 
 void
+Emulator::setPredecode(bool enable)
+{
+    predecodeEnabled_ = enable;
+    if (!enable)
+        pre_.reset();
+    else if (program_ && !pre_)
+        pre_ = PredecodeCache::instance().get(*program_);
+}
+
+void
 Emulator::reset(std::shared_ptr<const assembler::Program> program,
                 uint64_t max_insts)
 {
     conopt_assert(program != nullptr);
+    // Warm same-program resets (the batched sweep path) skip the cache
+    // probe entirely: Programs are immutable behind shared_ptr, so
+    // pointer identity proves the pre-decoded table is still current.
+    const bool sameProgram = program.get() == program_.get();
     program_ = std::move(program);
+    if (!predecodeEnabled_)
+        pre_.reset();
+    else if (!pre_ || !sameProgram)
+        pre_ = PredecodeCache::instance().get(*program_);
     maxInsts_ = max_insts;
     instCount_ = 0;
     done_ = false;
@@ -71,6 +89,11 @@ Emulator::branchTaken(const Instruction &inst, uint64_t a) const
 DynInst
 Emulator::step()
 {
+    if (pre_ != nullptr)
+        return stepPredecoded();
+
+    // Reference path (setPredecode(false)): re-decode from the raw
+    // Program. stepPredecoded() must stay bit-exact with this.
     conopt_assert(!done_);
     if (!program_->contains(state_.pc)) {
         conopt_panic("pc 0x%llx outside program",
@@ -149,6 +172,104 @@ Emulator::step()
             state_.fpRegs[inst.rc] = dyn.result;
         else
             state_.writeInt(inst.rc, dyn.result);
+    }
+
+    state_.pc = dyn.nextPc;
+    ++instCount_;
+    if (instCount_ >= maxInsts_)
+        done_ = true;
+    return dyn;
+}
+
+DynInst
+Emulator::stepPredecoded()
+{
+    conopt_assert(!done_);
+    const uint64_t pc = state_.pc;
+    const uint64_t off = pc - assembler::codeBase;
+    if (pc < assembler::codeBase
+        || off >= pre_->size() * isa::instBytes
+        || off % isa::instBytes != 0) {
+        conopt_panic("pc 0x%llx outside program",
+                     static_cast<unsigned long long>(pc));
+    }
+
+    const PreInst &p = pre_->at(off / isa::instBytes);
+    const uint16_t flags = p.flags;
+
+    DynInst dyn;
+    dyn.seq = instCount_;
+    dyn.pc = pc;
+    dyn.inst = p.inst;
+    dyn.nextPc = pc + isa::instBytes;
+
+    // Read sources.
+    if (flags & PreInst::kReadsRa)
+        dyn.srcA = (flags & PreInst::kRaIsFp) ? state_.fpRegs[p.inst.ra]
+                                              : state_.readInt(p.inst.ra);
+    if (flags & PreInst::kReadsRbOrImm) {
+        if (flags & PreInst::kUseImm)
+            dyn.srcB = p.immU;
+        else
+            dyn.srcB = (flags & PreInst::kRbIsFp)
+                           ? state_.fpRegs[p.inst.rb]
+                           : state_.readInt(p.inst.rb);
+    }
+    if (flags & PreInst::kReadsRc)
+        dyn.srcC = (flags & PreInst::kRcIsFp) ? state_.fpRegs[p.inst.rc]
+                                              : state_.readInt(p.inst.rc);
+
+    switch (p.cls) {
+      case isa::OpClass::IntSimple:
+      case isa::OpClass::IntComplex:
+      case isa::OpClass::Fp:
+        dyn.result = isa::aluCompute(p.inst.op, dyn.srcA, dyn.srcB);
+        break;
+
+      case isa::OpClass::Mem:
+        dyn.memAddr = wrappingAdd(state_.readInt(p.inst.ra), p.immU);
+        dyn.memSize = p.memSize;
+        if (flags & PreInst::kIsLoad) {
+            uint64_t raw = memory_.read(dyn.memAddr, p.memSize);
+            if (flags & PreInst::kSextLoad)
+                raw = static_cast<uint64_t>(sext64(raw, 32));
+            dyn.result = raw;
+        } else {
+            dyn.result = dyn.srcC;
+            memory_.write(dyn.memAddr, dyn.srcC, p.memSize);
+        }
+        break;
+
+      case isa::OpClass::Control:
+        if (flags & PreInst::kIsCondBranch) {
+            dyn.taken = isa::branchCondTaken(p.inst.op, dyn.srcA);
+            if (dyn.taken)
+                dyn.nextPc = p.immU;
+        } else if (flags & PreInst::kIsIndirect) {
+            dyn.taken = true;
+            dyn.nextPc = dyn.srcA;
+        } else {
+            dyn.taken = true;
+            dyn.nextPc = p.immU;
+        }
+        if (flags & PreInst::kIsCall)
+            dyn.result = pc + isa::instBytes;
+        break;
+
+      case isa::OpClass::None:
+        if (flags & PreInst::kIsHalt) {
+            done_ = true;
+            halted_ = true;
+        }
+        break;
+    }
+
+    // Write back.
+    if (flags & PreInst::kWritesRc) {
+        if (flags & PreInst::kRcIsFp)
+            state_.fpRegs[p.inst.rc] = dyn.result;
+        else
+            state_.writeInt(p.inst.rc, dyn.result);
     }
 
     state_.pc = dyn.nextPc;

@@ -14,6 +14,7 @@
 
 #include "src/arch/dyn_inst.hh"
 #include "src/arch/memory.hh"
+#include "src/arch/predecode.hh"
 #include "src/asm/program.hh"
 #include "src/isa/isa.hh"
 
@@ -76,6 +77,17 @@ class Emulator
     /** Execute and retire one instruction. done() must be false. */
     DynInst step();
 
+    /**
+     * Toggle the pre-decode fast path (default on). On, step() walks
+     * the process-wide PredecodeCache table for the bound program; off,
+     * it re-decodes from the raw Program — the reference path the
+     * bit-exactness tests compare against. Sticky across reset().
+     */
+    void setPredecode(bool enable);
+
+    /** True when step() is using a pre-decoded table. */
+    bool predecodeActive() const { return pre_ != nullptr; }
+
     /** True once HALT has executed or the instruction limit was hit. */
     bool done() const { return done_; }
 
@@ -99,14 +111,18 @@ class Emulator
     uint64_t executeAlu(const isa::Instruction &inst, uint64_t a,
                         uint64_t b) const;
     bool branchTaken(const isa::Instruction &inst, uint64_t a) const;
+    DynInst stepPredecoded();
 
     std::shared_ptr<const assembler::Program> program_;
+    /** Pre-decoded table for program_ (null when setPredecode(false)). */
+    std::shared_ptr<const PreDecodedProgram> pre_;
     ArchState state_;
     Memory memory_;
     uint64_t instCount_ = 0;
     uint64_t maxInsts_;
     bool done_ = false;
     bool halted_ = false;
+    bool predecodeEnabled_ = true;
 };
 
 } // namespace conopt::arch

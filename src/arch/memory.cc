@@ -1,5 +1,6 @@
 #include "src/arch/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/logging.hh"
@@ -19,7 +20,11 @@ Memory::touchPage(uint64_t addr)
     auto &slot = pages_[addr >> pageShift];
     if (!slot) {
         slot = std::make_unique<Page>();
-        slot->fill(0);
+        slot->bytes.fill(0);
+    }
+    if (!slot->dirty) {
+        slot->dirty = true;
+        dirty_.push_back(slot.get());
     }
     return *slot;
 }
@@ -34,13 +39,13 @@ Memory::read(uint64_t addr, unsigned size) const
     if (off + size <= pageBytes) {
         const Page *p = findPage(addr);
         if (p)
-            std::memcpy(&value, p->data() + off, size);
+            std::memcpy(&value, p->bytes.data() + off, size);
         return value;
     }
     // Page-straddling access, byte by byte.
     for (unsigned i = 0; i < size; ++i) {
         const Page *p = findPage(addr + i);
-        const uint8_t b = p ? (*p)[(addr + i) & (pageBytes - 1)] : 0;
+        const uint8_t b = p ? p->bytes[(addr + i) & (pageBytes - 1)] : 0;
         value |= uint64_t(b) << (8 * i);
     }
     return value;
@@ -53,28 +58,42 @@ Memory::write(uint64_t addr, uint64_t value, unsigned size)
     const uint64_t off = addr & (pageBytes - 1);
     if (off + size <= pageBytes) {
         Page &p = touchPage(addr);
-        std::memcpy(p.data() + off, &value, size);
+        std::memcpy(p.bytes.data() + off, &value, size);
         return;
     }
     for (unsigned i = 0; i < size; ++i) {
         Page &p = touchPage(addr + i);
-        p[(addr + i) & (pageBytes - 1)] = uint8_t(value >> (8 * i));
+        p.bytes[(addr + i) & (pageBytes - 1)] = uint8_t(value >> (8 * i));
     }
 }
 
 void
 Memory::reset()
 {
-    for (auto &kv : pages_)
-        kv.second->fill(0);
+    // Clean resident pages are already all-zero (class invariant), so
+    // a warm reset wipes only the footprint the last run touched
+    // instead of the whole resident set.
+    for (Page *p : dirty_) {
+        p->bytes.fill(0);
+        p->dirty = false;
+    }
+    dirty_.clear();
 }
 
 void
 Memory::writeBytes(uint64_t addr, const uint8_t *src, size_t len)
 {
-    for (size_t i = 0; i < len; ++i) {
-        Page &p = touchPage(addr + i);
-        p[(addr + i) & (pageBytes - 1)] = src[i];
+    // Page-chunked: one page probe per up-to-4-KiB run instead of one
+    // per byte (this is the data-segment load on every reset()).
+    while (len > 0) {
+        const uint64_t off = addr & (pageBytes - 1);
+        const size_t chunk =
+            std::min<size_t>(len, size_t(pageBytes - off));
+        Page &p = touchPage(addr);
+        std::memcpy(p.bytes.data() + off, src, chunk);
+        addr += chunk;
+        src += chunk;
+        len -= chunk;
     }
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace conopt::arch {
 
@@ -39,19 +40,32 @@ class Memory
      * pages are wiped in place, so a reused emulator re-runs over a
      * warm page set instead of re-faulting its whole footprint.
      * Indistinguishable from a fresh Memory through read()/write().
+     * Only pages written since the last reset() are wiped — pages can
+     * only acquire nonzero bytes through the write paths, which mark
+     * them dirty, so clean resident pages are already all-zero.
      */
     void reset();
 
     /** Number of resident pages (for tests). */
     size_t pageCount() const { return pages_.size(); }
 
+    /** Pages written since the last reset() (for tests). */
+    size_t dirtyPageCount() const { return dirty_.size(); }
+
   private:
-    using Page = std::array<uint8_t, pageBytes>;
+    struct Page
+    {
+        std::array<uint8_t, pageBytes> bytes;
+        bool dirty = false;
+    };
 
     const Page *findPage(uint64_t addr) const;
     Page &touchPage(uint64_t addr);
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    /** Pages to wipe on reset(). Raw pointers are stable: pages live
+     *  on the heap behind unique_ptr and are never evicted. */
+    std::vector<Page *> dirty_;
 };
 
 } // namespace conopt::arch

@@ -1,0 +1,150 @@
+#include "src/arch/predecode.hh"
+
+#include "src/util/bitops.hh"
+
+namespace conopt::arch {
+
+namespace {
+
+/** Mix one 64-bit word into an FNV-1a state, little-endian byte order
+ *  (same walk as sim::Fnv::mix, re-stated here because src/arch cannot
+ *  depend on src/sim). */
+constexpr uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h = fnv1aByte(h, uint8_t(v));
+        v >>= 8;
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+programContentKey(const assembler::Program &prog)
+{
+    // Same content walk as sim::programFingerprint (every field that
+    // determines the initial machine state), kept as a raw uint64 so
+    // the per-reset cache probe never formats or compares strings.
+    uint64_t h = kFnv1aOffsetBasis;
+    h = fnvMix(h, prog.entryPc);
+    h = fnvMix(h, prog.code.size());
+    for (const auto &inst : prog.code) {
+        h = fnvMix(h, uint64_t(inst.op));
+        h = fnvMix(h, inst.ra);
+        h = fnvMix(h, inst.rb);
+        h = fnvMix(h, inst.rc);
+        h = fnvMix(h, inst.useImm);
+        h = fnvMix(h, uint64_t(inst.imm));
+    }
+    h = fnvMix(h, prog.data.size());
+    for (const auto &seg : prog.data) {
+        h = fnvMix(h, seg.addr);
+        h = fnvMix(h, seg.bytes.size());
+        for (uint8_t b : seg.bytes)
+            h = fnv1aByte(h, b);
+    }
+    return avalanche64(h);
+}
+
+PreDecodedProgram::PreDecodedProgram(const assembler::Program &prog)
+    : fingerprint_(programContentKey(prog)), entryPc_(prog.entryPc)
+{
+    insts_.resize(prog.code.size());
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const isa::Instruction &inst = prog.code[i];
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        PreInst &p = insts_[i];
+        p.inst = inst;
+        p.immU = static_cast<uint64_t>(inst.imm);
+        p.cls = info.cls;
+        p.memSize = info.memSize;
+        uint16_t f = 0;
+        if (info.readsRa)
+            f |= PreInst::kReadsRa;
+        if (info.raIsFp)
+            f |= PreInst::kRaIsFp;
+        if (info.readsRb || inst.useImm)
+            f |= PreInst::kReadsRbOrImm;
+        if (info.rbIsFp)
+            f |= PreInst::kRbIsFp;
+        if (inst.useImm)
+            f |= PreInst::kUseImm;
+        if (info.readsRc)
+            f |= PreInst::kReadsRc;
+        if (info.rcIsFp)
+            f |= PreInst::kRcIsFp;
+        if (info.writesRc)
+            f |= PreInst::kWritesRc;
+        if (info.isLoad)
+            f |= PreInst::kIsLoad;
+        if (inst.op == isa::Opcode::LDL)
+            f |= PreInst::kSextLoad;
+        if (info.isCondBranch)
+            f |= PreInst::kIsCondBranch;
+        if (info.isIndirect)
+            f |= PreInst::kIsIndirect;
+        if (info.isCall)
+            f |= PreInst::kIsCall;
+        if (inst.op == isa::Opcode::HALT)
+            f |= PreInst::kIsHalt;
+        p.flags = f;
+    }
+}
+
+PredecodeCache &
+PredecodeCache::instance()
+{
+    // conopt-lint: allow(hotpath-alloc) one-time process singleton
+    static PredecodeCache cache;
+    return cache;
+}
+
+std::shared_ptr<const PreDecodedProgram>
+PredecodeCache::get(const assembler::Program &prog)
+{
+    const uint64_t key = programContentKey(prog);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        // The key covers the full program content, so a hit with a
+        // mismatched shape would mean an FNV collision: rebuild rather
+        // than replay the wrong trace.
+        if (it != cache_.end() && it->second->size() == prog.code.size()
+            && it->second->entryPc() == prog.entryPc) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // First touch of this program (or a collision): build outside the
+    // lock so concurrent sweep workers never serialize on a decode.
+    // conopt-lint: allow(hotpath-alloc) first-touch build of a new program
+    auto built = std::make_shared<const PreDecodedProgram>(prog);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    // conopt-lint: allow(hotpath-alloc) first-touch insert of a new program
+    auto &slot = cache_[key];
+    if (!slot || slot->size() != prog.code.size()
+        || slot->entryPc() != prog.entryPc)
+        slot = std::move(built);
+    return slot;
+}
+
+size_t
+PredecodeCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+void
+PredecodeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    builds_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace conopt::arch

@@ -96,6 +96,13 @@ OooCore::reset(const MachineConfig &config)
     hotStoreDataReg_.assign(soa_n, invalidPreg);
     hotStoreDataFp_.assign(soa_n, 0);
 
+    // Store-window hash chains (two nodes per SoA slot; see header).
+    storeBucketMask_ = config.storeWindowBuckets() - 1;
+    storeBucketHead_.assign(storeBucketMask_ + 1, -1);
+    storeNodeNext_.assign(2 * soa_n, -1);
+    storeNodePrev_.assign(2 * soa_n, -1);
+    storeNodeSeq_.assign(2 * soa_n, 0);
+
     // Event-driven scheduler state.
     schedCount_.fill(0);
     for (auto &q : ready_) {
@@ -553,6 +560,7 @@ OooCore::retireStage()
             conopt_assert(!storeQueue_.empty() &&
                           storeQueue_.front() == e.dyn.seq);
             storeQueue_.pop_front();
+            storeWindowRemove(e.dyn.seq);
         }
 
         // Release the references this instruction held.
@@ -646,6 +654,133 @@ OooCore::tryIssueAlu(RobEntry &e, unsigned &budget)
     return true;
 }
 
+size_t
+OooCore::storeBucketOf(uint64_t granule) const
+{
+    return size_t(avalanche64(granule)) & storeBucketMask_;
+}
+
+void
+OooCore::storeWindowInsert(uint64_t seq)
+{
+    // Called at rename, after the hot store range is recorded. Stores
+    // rename in ascending seq order and push at chain heads, so every
+    // chain stays sorted youngest first.
+    const size_t sx = soaIndex(seq);
+    const uint64_t g0 = hotStoreLo_[sx] >> storeGranuleShift;
+    const uint64_t g1 = (hotStoreHi_[sx] - 1) >> storeGranuleShift;
+    for (uint64_t g = g0;; ++g) {
+        const auto node = int32_t(2 * sx + size_t(g - g0));
+        const size_t b = storeBucketOf(g);
+        const int32_t head = storeBucketHead_[b];
+        storeNodeSeq_[size_t(node)] = seq;
+        storeNodePrev_[size_t(node)] = -1;
+        storeNodeNext_[size_t(node)] = head;
+        if (head >= 0)
+            storeNodePrev_[size_t(head)] = node;
+        storeBucketHead_[b] = node;
+        if (g == g1)
+            break;
+    }
+}
+
+void
+OooCore::storeWindowRemove(uint64_t seq)
+{
+    // Called at retire. The hot store range at this SoA slot is still
+    // the one recorded at rename: a colliding seq is soaMask_+1 ahead,
+    // more than the in-flight span, so it cannot have renamed yet.
+    const size_t sx = soaIndex(seq);
+    const uint64_t g0 = hotStoreLo_[sx] >> storeGranuleShift;
+    const uint64_t g1 = (hotStoreHi_[sx] - 1) >> storeGranuleShift;
+    for (uint64_t g = g0;; ++g) {
+        const auto node = int32_t(2 * sx + size_t(g - g0));
+        const int32_t prev = storeNodePrev_[size_t(node)];
+        const int32_t next = storeNodeNext_[size_t(node)];
+        if (prev >= 0) {
+            storeNodeNext_[size_t(prev)] = next;
+        } else {
+            const size_t b = storeBucketOf(g);
+            conopt_assert(storeBucketHead_[b] == node);
+            storeBucketHead_[b] = next;
+        }
+        if (next >= 0)
+            storeNodePrev_[size_t(next)] = prev;
+        if (g == g1)
+            break;
+    }
+}
+
+OooCore::StoreScan
+OooCore::scanOlderStores(const RobEntry &e)
+{
+    const uint64_t lo = e.dyn.memAddr;
+    const uint64_t hi = lo + e.dyn.memSize;
+
+    // Find the youngest older in-flight store overlapping [lo, hi) —
+    // the one store whose state decides this load, under either scan.
+    uint64_t young_seq = 0;
+    bool have = false;
+    if (storeWindowEnabled_) {
+        // Hashed window: probe only the load's ≤2 granule chains. Any
+        // overlapping store shares a granule with the load, so it is
+        // on a probed chain; chains are youngest first, so the first
+        // overlapping hit per chain is that chain's youngest, and the
+        // max across chains is the global youngest. The exact range
+        // test also rejects bucket-collision neighbours.
+        const uint64_t g0 = lo >> storeGranuleShift;
+        const uint64_t g1 = (hi - 1) >> storeGranuleShift;
+        for (uint64_t g = g0;; ++g) {
+            for (int32_t node = storeBucketHead_[storeBucketOf(g)];
+                 node >= 0; node = storeNodeNext_[size_t(node)]) {
+                const uint64_t s_seq = storeNodeSeq_[size_t(node)];
+                if (s_seq >= e.dyn.seq)
+                    continue; // younger than the load
+                const size_t sx = soaIndex(s_seq);
+                if (hotStoreHi_[sx] <= lo || hi <= hotStoreLo_[sx])
+                    continue; // disjoint
+                if (!have || s_seq > young_seq) {
+                    young_seq = s_seq;
+                    have = true;
+                }
+                break;
+            }
+            if (g == g1)
+                break;
+        }
+    } else {
+        // Reference path: full queue scan, youngest to oldest. The
+        // hot-array walk the windowed path must stay equivalent to.
+        for (size_t i = storeQueue_.size(); i-- > 0;) {
+            const uint64_t s_seq = storeQueue_[i];
+            if (s_seq >= e.dyn.seq)
+                continue;
+            const size_t sx = soaIndex(s_seq);
+            if (hotStoreHi_[sx] <= lo || hi <= hotStoreLo_[sx])
+                continue; // disjoint
+            young_seq = s_seq;
+            have = true;
+            break;
+        }
+    }
+
+    if (!have)
+        return StoreScan::Clear;
+    const size_t sx = soaIndex(young_seq);
+    if (hotStoreLo_[sx] <= lo && hi <= hotStoreHi_[sx]) {
+        // Fully covering store: forward when its address is known and
+        // its data is ready.
+        const core::PhysRegId dreg = hotStoreDataReg_[sx];
+        const bool data_ok =
+            dreg == invalidPreg ||
+            prfFor(hotStoreDataFp_[sx] != 0).readyBy(dreg, cycle_);
+        if (hotAddrReadyCycle_[sx] <= cycle_ && data_ok)
+            return StoreScan::Forward;
+        return StoreScan::Block; // must wait for the store
+    }
+    return StoreScan::Block; // partial overlap: wait until it retires
+}
+
 bool
 OooCore::tryIssueMem(RobEntry &e)
 {
@@ -674,38 +809,13 @@ OooCore::tryIssueMem(RobEntry &e)
         return false;
 
     // Perfect (oracle) memory disambiguation: only truly overlapping
-    // older stores constrain this load. The scan reads only the hot
-    // store arrays — no RobEntry pointer chasing.
-    const uint64_t lo = e.dyn.memAddr;
-    const uint64_t hi = lo + e.dyn.memSize;
-    bool forwarded = false;
-    for (size_t i = storeQueue_.size(); i-- > 0;) {
-        const uint64_t s_seq = storeQueue_[i];
-        if (s_seq >= e.dyn.seq)
-            continue;
-        const size_t sx = soaIndex(s_seq);
-        const uint64_t s_lo = hotStoreLo_[sx];
-        const uint64_t s_hi = hotStoreHi_[sx];
-        if (s_hi <= lo || hi <= s_lo)
-            continue; // disjoint
-        if (s_lo <= lo && hi <= s_hi) {
-            // Fully covering store: forward when its address is known
-            // and its data is ready.
-            const core::PhysRegId dreg = hotStoreDataReg_[sx];
-            const bool data_ok =
-                dreg == invalidPreg ||
-                prfFor(hotStoreDataFp_[sx] != 0).readyBy(dreg, cycle_);
-            if (hotAddrReadyCycle_[sx] <= cycle_ && data_ok) {
-                forwarded = true;
-                break;
-            }
-            return false; // must wait for the store
-        }
-        return false; // partial overlap: wait until the store retires
-    }
+    // older stores constrain this load.
+    const StoreScan scan = scanOlderStores(e);
+    if (scan == StoreScan::Block)
+        return false;
 
     unsigned mem_lat;
-    if (forwarded) {
+    if (scan == StoreScan::Forward) {
         mem_lat = cfg_.hier.l1d.latency;
         e.forwardedFromStore = true;
     } else {
@@ -832,8 +942,10 @@ OooCore::renameStage()
             break;
         }
 
-        FetchedInst fi = frontPipe_.front();
-        frontPipe_.pop();
+        // The front-pipe slot stays valid until a later pushSlot()
+        // overwrites it; nothing below pushes into frontPipe_, so a
+        // reference avoids copying the fat record through the stack.
+        const FetchedInst &fi = frontPipe_.front();
         if (renamed == 0)
             rename_.beginBundle();
 
@@ -851,18 +963,28 @@ OooCore::renameStage()
         hotDepBound_[ix] = 0;
         hotSched_[ix] = 0;
 
-        RobEntry e;
+        // Fill the ROB slot in place (it holds a stale entry robCapacity
+        // seqs ago: overwrite every field, including the ones only other
+        // paths set). Skips the zero-init + move that a stack-built
+        // entry pays per instruction.
+        // conopt-lint: allow(hotpath-alloc) fixed-capacity RingBuffer
+        RobEntry &e = rob_.pushSlot();  // panics on overflow
         e.dyn = fi.dyn;
         e.opt = opt;
         e.pred = fi.pred;
         e.isBranch = fi.isBranch;
         e.mispredicted = fi.mispredicted;
         e.misfetch = fi.misfetch;
-        e.fetchCycle = fi.fetchCycle;
-        e.renameCycle = cycle_;
+        e.earlyRecovered = false;
         e.isLoad = fi.dyn.inst.isLoad() && !opt.loadRemoved &&
                    !opt.loadSynthesized;
         e.isStore = fi.dyn.inst.isStore();
+        e.storeAddrWasUnknown = false;
+        e.forwardedFromStore = false;
+        e.fetchCycle = fi.fetchCycle;
+        e.renameCycle = cycle_;
+        e.issueCycle = neverCycle;
+        frontPipe_.pop();
 
         // References for the in-flight window were taken by the rename
         // unit (see RenameUnit docs); this entry releases them at retire.
@@ -883,21 +1005,22 @@ OooCore::renameStage()
             hotDoneCycle_[ix] = opt_cycle;
             hotAddrReadyCycle_[ix] = opt_cycle;
         } else {
-            dispatchPipe_.push(cycle_, fi.dyn.seq);
+            dispatchPipe_.push(cycle_, e.dyn.seq);
         }
 
         if (e.isStore) {
             // conopt-lint: allow(hotpath-alloc) fixed-capacity RingBuffer
-            storeQueue_.push_back(fi.dyn.seq);  // panics on overflow
+            storeQueue_.push_back(e.dyn.seq);  // panics on overflow
             if (opt.addrKnown && hotAddrReadyCycle_[ix] == neverCycle)
                 hotAddrReadyCycle_[ix] = opt_cycle;
             e.storeAddrWasUnknown = !opt.addrKnown;
             // Hot store fields for the load-ordering scan (oracle
             // addresses: perfect disambiguation, as before).
-            hotStoreLo_[ix] = fi.dyn.memAddr;
-            hotStoreHi_[ix] = fi.dyn.memAddr + fi.dyn.memSize;
+            hotStoreLo_[ix] = e.dyn.memAddr;
+            hotStoreHi_[ix] = e.dyn.memAddr + e.dyn.memSize;
             hotStoreDataReg_[ix] = opt.storeDataDep.reg;
             hotStoreDataFp_[ix] = opt.storeDataDep.isFp ? 1 : 0;
+            storeWindowInsert(e.dyn.seq);
         }
         if (e.isLoad && opt.addrKnown)
             hotAddrReadyCycle_[ix] = opt_cycle;
@@ -905,7 +1028,7 @@ OooCore::renameStage()
         // Early branch recovery (paper section 2.5.1): a mispredicted
         // branch resolved by the optimizer redirects fetch right after
         // the extended rename stage.
-        if (fi.mispredicted && opt.branchResolved) {
+        if (e.mispredicted && opt.branchResolved) {
             e.earlyRecovered = true;
             resolveMispredict(e, cycle_ + renameDepth_);
         }
@@ -917,8 +1040,6 @@ OooCore::renameStage()
                 fetchResumeCycle_, cycle_ + cfg_.mbcMisspecPenalty);
         }
 
-        // conopt-lint: allow(hotpath-alloc) fixed-capacity RingBuffer
-        rob_.push_back(std::move(e));  // panics on overflow
         ++renamed;
         progress_ = true;
     }

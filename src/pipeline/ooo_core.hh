@@ -107,6 +107,17 @@ class OooCore
     bool fastForwardEnabled() const { return fastForwardEnabled_; }
 
     /**
+     * Enable/disable the address-hashed store-queue window in the load
+     * forwarding/conflict scan (default on). Off, loads scan the whole
+     * in-flight store queue — the reference path the equivalence tests
+     * compare against. Purely a host-speed switch: both settings
+     * produce identical SimStats (tests/test_wakeup.cc pins this).
+     * Survives reset().
+     */
+    void setStoreWindow(bool on) { storeWindowEnabled_ = on; }
+    bool storeWindowEnabled() const { return storeWindowEnabled_; }
+
+    /**
      * Arm per-interval IPC sampling: every @p intervalInsts retired
      * instructions, the interval's IPC (insts retired / cycles
      * elapsed) is added to a bounded reservoir of @p reservoirCapacity
@@ -204,6 +215,16 @@ class OooCore
     PhysRegFile &prfFor(bool fp) { return fp ? fpPrf_ : intPrf_; }
     bool depsReady(const RobEntry &e) const;
     unsigned schedIndex(isa::OpClass cls) const;
+    /** Outcome of a load's ordering scan against older stores. */
+    enum class StoreScan : uint8_t { Clear, Forward, Block };
+    /** Decide @p e (a load) against the youngest overlapping older
+     *  in-flight store — via the hashed window, or the full queue scan
+     *  when setStoreWindow(false). Identical verdicts by construction:
+     *  both act on the same youngest overlapping store. */
+    StoreScan scanOlderStores(const RobEntry &e);
+    size_t storeBucketOf(uint64_t granule) const;
+    void storeWindowInsert(uint64_t seq);
+    void storeWindowRemove(uint64_t seq);
     bool tryIssueMem(RobEntry &e);
     bool tryIssueAlu(RobEntry &e, unsigned &budget);
     void completeAt(uint64_t cycle, uint64_t seq);
@@ -298,6 +319,24 @@ class OooCore
 
     /** In-flight stores (seqs), oldest first, for load ordering. */
     RingBuffer<uint64_t> storeQueue_;
+
+    /**
+     * Address-hashed window over the in-flight stores: per-8-byte-
+     * granule bucket chains, youngest first, so a load's ordering scan
+     * visits only possibly-overlapping stores instead of the whole
+     * queue. A store at SoA slot sx owns nodes 2*sx and 2*sx+1, one
+     * per granule its [lo, hi) range touches (any ≤8-byte access spans
+     * ≤2 consecutive granules). Maintained unconditionally — insert
+     * and unlink are O(1) — while storeWindowEnabled_ only selects
+     * which scan tryIssueMem runs.
+     */
+    static constexpr uint64_t storeGranuleShift = 3;
+    bool storeWindowEnabled_ = true;
+    size_t storeBucketMask_ = 0;
+    std::vector<int32_t> storeBucketHead_; ///< bucket -> head node, -1 none
+    std::vector<int32_t> storeNodeNext_;
+    std::vector<int32_t> storeNodePrev_;
+    std::vector<uint64_t> storeNodeSeq_;
 
     /** Completion events (cycle, seq), kept sorted descending so the
      *  next event is at back(): a flat sorted-insertion list pops in

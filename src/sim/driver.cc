@@ -1196,6 +1196,59 @@ runSweepDriver(const DriverOptions &optsIn)
     return out;
 }
 
+// --------------------------------------------------------------------------
+// Connect-mode scheduling (--connect)
+// --------------------------------------------------------------------------
+
+bool
+parseHealthzQueueDepth(const std::string &json, uint64_t *depth)
+{
+    static constexpr char key[] = "\"queue_depth\":";
+    const size_t pos = json.find(key);
+    if (pos == std::string::npos)
+        return false;
+    size_t i = pos + sizeof(key) - 1;
+    while (i < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[i])))
+        ++i;
+    if (i >= json.size() ||
+        !std::isdigit(static_cast<unsigned char>(json[i])))
+        return false;
+    uint64_t v = 0;
+    for (; i < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[i]));
+         ++i)
+        v = v * 10 + uint64_t(json[i] - '0');
+    *depth = v;
+    return true;
+}
+
+size_t
+pickConnectEndpoint(const std::vector<std::string> &endpoints,
+                    size_t rotation, const HealthzProbeFn &probe)
+{
+    const size_t n = endpoints.size();
+    size_t best = rotation % n;
+    uint64_t bestDepth = UINT64_MAX;
+    bool anyProbed = false;
+    // Rotation-order walk: the first endpoint probed is the one blind
+    // round-robin would have picked, and only a STRICTLY smaller depth
+    // displaces it, so equal-depth fleets and all-probe-failure both
+    // reproduce the historical schedule exactly.
+    for (size_t i = 0; i < n; ++i) {
+        const size_t idx = (rotation + i) % n;
+        uint64_t d = 0;
+        if (!probe(endpoints[idx], &d))
+            continue;
+        if (!anyProbed || d < bestDepth) {
+            anyProbed = true;
+            bestDepth = d;
+            best = idx;
+        }
+    }
+    return best;
+}
+
 namespace {
 
 /** The shared back half of both driver modes (ephemeral shards and
@@ -1474,9 +1527,40 @@ connectAttempt(const DriverOptions &opts, const SweepRequest &req,
     return ok;
 }
 
+/** Real healthz probe of one endpoint: connect, send a healthz frame,
+ *  and extract queue_depth from the reply. Bounded by a short timeout
+ *  so a wedged daemon costs the scheduler ~2s, never a full attempt;
+ *  any failure just reports the endpoint as unprobeable (the picker
+ *  then treats it as infinitely busy). */
+bool
+probeEndpointQueueDepth(const std::string &endpoint, uint64_t *depth)
+{
+    constexpr double kHealthzTimeoutSeconds = 2.0;
+    std::string err;
+    const int fd = connectToService(endpoint, &err);
+    if (fd < 0)
+        return false;
+    bool ok = false;
+    std::string payload;
+    FrameReader rd;
+    if (writeFrame(fd, makeHealthzFrame(), &err) &&
+        readFrame(fd, &rd, &payload, kHealthzTimeoutSeconds, &err)) {
+        ServerFrame f;
+        std::string perr;
+        if (parseServerFrame(payload, &f, &perr) &&
+            f.type == ServerFrame::Type::Healthz)
+            ok = parseHealthzQueueDepth(f.body, depth);
+    }
+    ::close(fd);
+    return ok;
+}
+
 /** One shard's full retry loop against the fleet (runs on its own
- *  thread). Endpoints rotate with the attempt number, so a dead
- *  daemon only costs its shards one attempt each. */
+ *  thread). Each attempt asks every daemon's healthz for its queue
+ *  depth and targets the least-loaded one; ties, single-endpoint
+ *  fleets, and probe failures fall back to the historical rotation
+ *  (index + attempt), so a dead daemon only costs its shards one
+ *  attempt each. */
 void
 runConnectShard(const DriverOptions &opts, const SweepRequest &base,
                 const std::string &sdir, ConnectShard &cs)
@@ -1494,9 +1578,15 @@ runConnectShard(const DriverOptions &opts, const SweepRequest &base,
             cs.aborted = true;
             break;
         }
-        const std::string &endpoint =
-            opts.connectHosts[(cs.index + cs.attempts) %
-                              opts.connectHosts.size()];
+        // Load-aware pick; with one endpoint there is nothing to
+        // choose, so skip the probe round-trip entirely.
+        const size_t rotation = cs.index + cs.attempts;
+        const size_t slot =
+            opts.connectHosts.size() == 1
+                ? 0
+                : pickConnectEndpoint(opts.connectHosts, rotation,
+                                      probeEndpointQueueDepth);
+        const std::string &endpoint = opts.connectHosts[slot];
         ++cs.attempts;
         std::string failMsg;
         if (connectAttempt(opts, req, endpoint, artPath, cs, &failMsg)) {

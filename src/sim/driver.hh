@@ -37,6 +37,8 @@
 #ifndef CONOPT_SIM_DRIVER_HH
 #define CONOPT_SIM_DRIVER_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,35 @@ bool parseProgressLine(const std::string &line, SweepProgress *out);
  *  errors are ignored: progress is advisory and must never fail the
  *  sweep itself. */
 void writeProgressLine(int fd, const SweepProgress &p);
+
+// --------------------------------------------------------------------------
+// Connect-mode scheduling (--connect)
+// --------------------------------------------------------------------------
+
+/** Extract queue_depth from a conopt_served healthz JSON body. True
+ *  with *depth filled when a `"queue_depth":<digits>` member is
+ *  present; false (depth untouched) otherwise. A targeted scan, not a
+ *  JSON parser: the daemon emits the healthz object itself, so the key
+ *  never appears inside a string value. */
+bool parseHealthzQueueDepth(const std::string &json, uint64_t *depth);
+
+/** One healthz probe of @p endpoint ("host:port"). True with *depth
+ *  filled on success; false when the daemon is unreachable or the
+ *  reply is malformed. Injected into pickConnectEndpoint so the
+ *  scheduling policy is testable without sockets. */
+using HealthzProbeFn =
+    std::function<bool(const std::string &endpoint, uint64_t *depth)>;
+
+/** Pick the least-loaded endpoint for the next connect attempt: probe
+ *  every endpoint starting at @p rotation (so ties and total probe
+ *  failure reproduce the historical rotating round-robin exactly), and
+ *  return the index of the strictly smallest queue depth in rotation
+ *  order. Endpoints whose probe fails are treated as infinitely busy;
+ *  when every probe fails the rotation slot itself is returned, which
+ *  is the old blind behavior and lets the attempt surface the real
+ *  connection error. @p endpoints must be non-empty. */
+size_t pickConnectEndpoint(const std::vector<std::string> &endpoints,
+                           size_t rotation, const HealthzProbeFn &probe);
 
 // --------------------------------------------------------------------------
 // Launcher templates

@@ -333,6 +333,100 @@ TEST(ProgressLine, RejectsMalformedLines)
 }
 
 // ---------------------------------------------------------------------------
+// Connect-mode scheduling: healthz parsing and the least-loaded pick.
+// The probe is injected as a lambda, so these cover the policy without
+// any sockets or daemons.
+// ---------------------------------------------------------------------------
+
+TEST(ConnectScheduling, ParsesQueueDepthFromHealthzJson)
+{
+    uint64_t d = 77;
+    // A realistic conopt_served healthz body.
+    EXPECT_TRUE(sim::parseHealthzQueueDepth(
+        "{\"ok\":true,\"uptime_s\":12.5,\"requests\":4,"
+        "\"queue_depth\":3,\"benches\":[\"table1\"]}",
+        &d));
+    EXPECT_EQ(d, 3u);
+    // Whitespace after the colon and a large depth.
+    EXPECT_TRUE(sim::parseHealthzQueueDepth(
+        "{\"queue_depth\":   18446744073709551615}", &d));
+    EXPECT_EQ(d, UINT64_MAX);
+    // Missing key, or a key with garbage where digits belong: d is
+    // left alone.
+    d = 77;
+    EXPECT_FALSE(sim::parseHealthzQueueDepth("{\"ok\":true}", &d));
+    EXPECT_FALSE(
+        sim::parseHealthzQueueDepth("{\"queue_depth\":\"busy\"}", &d));
+    EXPECT_FALSE(sim::parseHealthzQueueDepth("", &d));
+    EXPECT_EQ(d, 77u);
+}
+
+TEST(ConnectScheduling, PicksStrictlySmallestQueueDepth)
+{
+    const std::vector<std::string> eps{"a:1", "b:1", "c:1"};
+    size_t probes = 0;
+    const sim::HealthzProbeFn probe = [&](const std::string &ep,
+                                          uint64_t *depth) {
+        ++probes;
+        *depth = ep == "a:1" ? 5 : ep == "b:1" ? 1 : 3;
+        return true;
+    };
+    // Least-loaded wins from any rotation; every endpoint is probed
+    // exactly once per pick.
+    for (size_t rot = 0; rot < 6; ++rot) {
+        probes = 0;
+        EXPECT_EQ(sim::pickConnectEndpoint(eps, rot, probe), 1u)
+            << "rotation " << rot;
+        EXPECT_EQ(probes, eps.size());
+    }
+}
+
+TEST(ConnectScheduling, RotationBreaksTiesLikeBlindRoundRobin)
+{
+    const std::vector<std::string> eps{"a:1", "b:1", "c:1"};
+    const sim::HealthzProbeFn flat = [](const std::string &,
+                                        uint64_t *depth) {
+        *depth = 2;
+        return true;
+    };
+    // An evenly loaded fleet reproduces the historical rotating
+    // round-robin schedule exactly.
+    for (size_t rot = 0; rot < 7; ++rot)
+        EXPECT_EQ(sim::pickConnectEndpoint(eps, rot, flat), rot % 3)
+            << "rotation " << rot;
+}
+
+TEST(ConnectScheduling, FailedProbesCountAsInfinitelyBusy)
+{
+    const std::vector<std::string> eps{"dead:1", "busy:1", "idle:1"};
+    const sim::HealthzProbeFn probe = [](const std::string &ep,
+                                         uint64_t *depth) {
+        if (ep == "dead:1")
+            return false;
+        *depth = ep == "busy:1" ? 9 : 0;
+        return true;
+    };
+    // The dead daemon never wins, even when rotation starts on it.
+    EXPECT_EQ(sim::pickConnectEndpoint(eps, 0, probe), 2u);
+    // And a reachable-but-busy daemon still beats an unreachable one.
+    const std::vector<std::string> two{"dead:1", "busy:1"};
+    EXPECT_EQ(sim::pickConnectEndpoint(two, 0, probe), 1u);
+}
+
+TEST(ConnectScheduling, AllProbesFailingFallsBackToRotationSlot)
+{
+    const std::vector<std::string> eps{"a:1", "b:1", "c:1"};
+    const sim::HealthzProbeFn dead = [](const std::string &, uint64_t *) {
+        return false;
+    };
+    // Nothing answered: behave exactly like the blind rotation so the
+    // subsequent attempt surfaces the real connection error.
+    for (size_t rot = 0; rot < 5; ++rot)
+        EXPECT_EQ(sim::pickConnectEndpoint(eps, rot, dead), rot % 3)
+            << "rotation " << rot;
+}
+
+// ---------------------------------------------------------------------------
 // Launcher templates and shard command composition.
 // ---------------------------------------------------------------------------
 

@@ -225,6 +225,66 @@ TEST(FastForward, OnAndOffProduceIdenticalStatsAcrossModels)
            "tested nothing";
 }
 
+// ---------------------------------------------------------------------------
+// Store-queue scan windowing equivalence
+// ---------------------------------------------------------------------------
+
+TEST(StoreWindow, OnAndOffProduceIdenticalStatsAcrossModels)
+{
+    // The address-hashed store window replaces the full store-queue
+    // scan on every load issue; windowed and full scans must agree on
+    // every forwarding/blocking decision, hence on every counter.
+    const std::vector<std::string> workloads{"mcf", "gcc", "untst"};
+    uint64_t totalForwarded = 0, totalLoads = 0;
+
+    sim::SimSession windowed, full;
+    full.setStoreWindow(false);
+    ASSERT_FALSE(full.storeWindowEnabled());
+    ASSERT_TRUE(windowed.storeWindowEnabled())
+        << "store windowing defaults on";
+
+    for (const auto &wl : workloads) {
+        const auto program = programOf(wl);
+        for (const auto &[name, cfg] : machineModels()) {
+            const auto fast = windowed.simulate(program, cfg);
+            const auto slow = full.simulate(program, cfg);
+            const std::string what = wl + "/" + name;
+            expectSameStats(fast.stats, slow.stats, what);
+            EXPECT_EQ(fast.instructions, slow.instructions) << what;
+            EXPECT_EQ(fast.halted, slow.halted) << what;
+            totalForwarded += fast.stats.loadsForwardedFromStoreQ;
+            totalLoads += fast.stats.loads;
+        }
+    }
+    // Non-vacuity: the grid must actually exercise loads that meet
+    // in-flight stores, or the scan equivalence above tested nothing.
+    EXPECT_GT(totalLoads, 0u);
+    EXPECT_GT(totalForwarded, 0u)
+        << "no load ever forwarded from the store queue across the "
+           "whole grid";
+}
+
+TEST(StoreWindow, StickyAcrossSessionReuse)
+{
+    // setStoreWindow survives reset()/simulate() until changed, and
+    // flipping it between runs on the SAME warm session still yields
+    // identical results (the window is rebuilt from scratch by reset).
+    const auto program = programOf("art");
+    const auto cfg = pipeline::MachineConfig::optimized();
+
+    sim::SimSession s;
+    const auto first = s.simulate(program, cfg);
+    s.setStoreWindow(false);
+    EXPECT_FALSE(s.storeWindowEnabled());
+    EXPECT_FALSE(s.core().storeWindowEnabled());
+    const auto slow = s.simulate(program, cfg);
+    s.setStoreWindow(true);
+    const auto again = s.simulate(program, cfg);
+
+    expectSameStats(first.stats, slow.stats, "warm window-off rerun");
+    expectSameStats(first.stats, again.stats, "warm window-on rerun");
+}
+
 TEST(FastForward, StickyAcrossSessionReuse)
 {
     // setFastForward survives reset()/simulate() until changed, and
